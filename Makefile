@@ -1,0 +1,40 @@
+# Convenience targets for the multi-mode co-synthesis reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench bench-fast tables examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Quick look: motivational figures + micro benches only.
+bench-fast:
+	$(PYTHON) -m pytest benchmarks/test_fig2_fig3.py \
+	    benchmarks/test_micro.py --benchmark-only
+
+tables:
+	$(PYTHON) -m repro.cli table1 --runs 5
+	$(PYTHON) -m repro.cli table2 --runs 2
+	$(PYTHON) -m repro.cli table3 --runs 2
+
+examples:
+	$(PYTHON) examples/motivational_example.py
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/dvs_hardware_cores.py
+	$(PYTHON) examples/simulation_validation.py
+	$(PYTHON) examples/persist_simulate_battery.py
+	$(PYTHON) examples/explore_area_tradeoff.py
+	$(PYTHON) examples/smartphone_case_study.py
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

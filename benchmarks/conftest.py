@@ -1,0 +1,66 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints (and archives under ``benchmarks/results/``) the paper-style
+rows.  GA sizing and run counts are environment-configurable so the
+default invocation finishes in minutes while paper-grade averaging
+stays one variable away:
+
+=======================  =======  =====================================
+variable                 default  meaning
+=======================  =======  =====================================
+REPRO_BENCH_RUNS         2        optimisation runs averaged per policy
+REPRO_BENCH_RUNS_DVS     1        same, for the DVS table (slower)
+REPRO_BENCH_POPULATION   32       GA population size
+REPRO_BENCH_GENERATIONS  90       GA generation limit
+REPRO_BENCH_CONVERGENCE  18       stop after N stagnant generations
+=======================  =======  =====================================
+
+The paper averages 40 runs of a larger GA; set REPRO_BENCH_RUNS=40 to
+match (hours of CPU time).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.synthesis.config import SynthesisConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+BENCH_RUNS = _env_int("REPRO_BENCH_RUNS", 2)
+BENCH_RUNS_DVS = _env_int("REPRO_BENCH_RUNS_DVS", 1)
+BENCH_POPULATION = _env_int("REPRO_BENCH_POPULATION", 32)
+BENCH_GENERATIONS = _env_int("REPRO_BENCH_GENERATIONS", 90)
+BENCH_CONVERGENCE = _env_int("REPRO_BENCH_CONVERGENCE", 18)
+
+
+def bench_config() -> SynthesisConfig:
+    """The GA configuration all table benchmarks share."""
+    return SynthesisConfig(
+        population_size=BENCH_POPULATION,
+        max_generations=BENCH_GENERATIONS,
+        convergence_generations=BENCH_CONVERGENCE,
+    )
+
+
+def archive(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

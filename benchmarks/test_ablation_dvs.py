@@ -1,0 +1,84 @@
+"""Ablation: gradient (PV-DVS) vs naive uniform voltage selection.
+
+DESIGN.md calls out the energy-gradient slack distribution as a design
+choice worth ablating: the naive baseline stretches every scalable
+activity by one global factor, which wastes the slack of off-critical
+activities.  The benchmark synthesises three suite instances with each
+method and reports the power gap.
+"""
+
+import statistics
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.benchgen.suite import suite_problem
+from repro.synthesis.config import DvsMethod
+from repro.synthesis.cosynthesis import MultiModeSynthesizer
+
+from benchmarks.conftest import archive, bench_config
+
+INSTANCES = ("mul5", "mul9", "mul11")
+RUNS = 2
+
+_RESULTS: Dict[str, Dict[str, float]] = {}
+
+
+@pytest.mark.parametrize("name", INSTANCES)
+def test_dvs_method_ablation(benchmark, name):
+    problem = suite_problem(name)
+
+    def run() -> Dict[str, float]:
+        powers: Dict[str, float] = {}
+        for method in (
+            DvsMethod.NONE,
+            DvsMethod.UNIFORM,
+            DvsMethod.GRADIENT,
+        ):
+            config = bench_config().with_updates(dvs=method)
+            values = []
+            for seed in range(RUNS):
+                result = MultiModeSynthesizer(
+                    problem, config.with_updates(seed=500 + seed)
+                ).run()
+                values.append(result.average_power)
+            powers[method.value] = statistics.mean(values)
+        return powers
+
+    powers = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[name] = powers
+    # Any DVS must beat no DVS; the gradient method must not lose to
+    # the naive one beyond noise.
+    assert powers["gradient"] < powers["none"]
+    assert powers["uniform"] <= powers["none"] + 1e-12
+    assert powers["gradient"] <= powers["uniform"] * 1.10
+
+
+def test_dvs_ablation_report(benchmark):
+    assert _RESULTS
+
+    def render() -> str:
+        lines = [
+            "Ablation: DVS voltage-selection method",
+            "=" * 54,
+            f"{'instance':<10}{'no DVS':>12}{'uniform':>12}"
+            f"{'gradient':>12}{'grad vs uni':>14}",
+            "-" * 60,
+        ]
+        for name, powers in _RESULTS.items():
+            gain = 100.0 * (
+                1.0 - powers["gradient"] / powers["uniform"]
+            )
+            lines.append(
+                f"{name:<10}"
+                f"{powers['none'] * 1e3:>11.3f} "
+                f"{powers['uniform'] * 1e3:>11.3f} "
+                f"{powers['gradient'] * 1e3:>11.3f} "
+                f"{gain:>12.2f} %"
+            )
+        return "\n".join(lines)
+
+    archive(
+        "ablation_dvs_method",
+        benchmark.pedantic(render, rounds=1, iterations=1),
+    )

@@ -1,0 +1,87 @@
+"""Ablation: the paper's improvement mutations and Ψ-biased targeting.
+
+The paper attributes part of the GA's quality to four directed
+mutations (Fig. 4 lines 19–22) and we additionally bias the shut-down
+mutation toward probable modes.  This benchmark synthesises suite
+instances with the operators enabled/disabled and reports the best
+powers found under an identical evaluation budget.
+"""
+
+import statistics
+from typing import Dict
+
+import pytest
+
+from repro.benchgen.suite import suite_problem
+from repro.synthesis.cosynthesis import MultiModeSynthesizer
+
+from benchmarks.conftest import archive, bench_config
+
+INSTANCES = ("mul9", "mul11")
+RUNS = 2
+
+VARIANTS = {
+    "full": {},
+    "no improvement ops": dict(
+        enable_shutdown_improvement=False,
+        enable_area_improvement=False,
+        enable_timing_improvement=False,
+        enable_transition_improvement=False,
+    ),
+    "no shutdown op": dict(enable_shutdown_improvement=False),
+    "unbiased shutdown": dict(bias_shutdown_by_probability=False),
+}
+
+_RESULTS: Dict[str, Dict[str, float]] = {}
+
+
+@pytest.mark.parametrize("name", INSTANCES)
+def test_mutation_ablation(benchmark, name):
+    problem = suite_problem(name)
+
+    def run() -> Dict[str, float]:
+        outcome: Dict[str, float] = {}
+        for label, overrides in VARIANTS.items():
+            config = bench_config().with_updates(**overrides)
+            values = []
+            for seed in range(RUNS):
+                result = MultiModeSynthesizer(
+                    problem, config.with_updates(seed=600 + seed)
+                ).run()
+                values.append(result.average_power)
+            outcome[label] = statistics.mean(values)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[name] = outcome
+    for power in outcome.values():
+        assert power > 0
+
+
+def test_mutation_ablation_report(benchmark):
+    assert _RESULTS
+
+    def render() -> str:
+        labels = list(VARIANTS)
+        header = f"{'instance':<10}" + "".join(
+            f"{label:>22}" for label in labels
+        )
+        lines = [
+            "Ablation: improvement mutations (mean power, mW)",
+            "=" * len(header),
+            header,
+            "-" * len(header),
+        ]
+        for name, outcome in _RESULTS.items():
+            lines.append(
+                f"{name:<10}"
+                + "".join(
+                    f"{outcome[label] * 1e3:>22.3f}" for label in labels
+                )
+            )
+        return "\n".join(lines)
+
+    archive(
+        "ablation_mutations",
+        benchmark.pedantic(render, rounds=1, iterations=1),
+    )

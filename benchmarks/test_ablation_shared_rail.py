@@ -1,0 +1,78 @@
+"""Ablation: shared voltage rail vs idealised per-core rails.
+
+The paper constrains all cores of one hardware component to a single
+supply rail (per-core DC/DC converters cost area and power) and pays
+for it with the Fig. 5 serialisation during voltage selection.  This
+benchmark quantifies what per-core rails would buy on instances whose
+hardware components are DVS-capable — bounding the benefit the paper
+gives up.
+"""
+
+import statistics
+from typing import Dict
+
+import pytest
+
+from repro.benchgen.suite import suite_problem
+from repro.synthesis.config import DvsMethod
+from repro.synthesis.cosynthesis import MultiModeSynthesizer
+
+from benchmarks.conftest import archive, bench_config
+
+INSTANCES = ("mul4", "mul5", "mul11")
+RUNS = 2
+
+_RESULTS: Dict[str, Dict[str, float]] = {}
+
+
+@pytest.mark.parametrize("name", INSTANCES)
+def test_shared_vs_per_core_rail(benchmark, name):
+    problem = suite_problem(name)
+
+    def run() -> Dict[str, float]:
+        outcome: Dict[str, float] = {}
+        for label, shared in (("shared", True), ("per-core", False)):
+            config = bench_config().with_updates(
+                dvs=DvsMethod.GRADIENT, dvs_shared_rail=shared
+            )
+            values = []
+            for seed in range(RUNS):
+                result = MultiModeSynthesizer(
+                    problem, config.with_updates(seed=550 + seed)
+                ).run()
+                values.append(result.average_power)
+            outcome[label] = statistics.mean(values)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[name] = outcome
+    # The idealised per-core variant can only help (more freedom), up
+    # to search noise.
+    assert outcome["per-core"] <= outcome["shared"] * 1.10
+
+
+def test_shared_rail_report(benchmark):
+    assert _RESULTS
+
+    def render() -> str:
+        lines = [
+            "Ablation: shared rail (paper) vs per-core rails (ideal)",
+            "=" * 58,
+            f"{'instance':<10}{'shared (mW)':>14}{'per-core (mW)':>16}"
+            f"{'gap (%)':>10}",
+            "-" * 50,
+        ]
+        for name, outcome in _RESULTS.items():
+            gap = 100.0 * (
+                1.0 - outcome["per-core"] / outcome["shared"]
+            )
+            lines.append(
+                f"{name:<10}{outcome['shared'] * 1e3:>14.3f}"
+                f"{outcome['per-core'] * 1e3:>16.3f}{gap:>10.2f}"
+            )
+        return "\n".join(lines)
+
+    archive(
+        "ablation_shared_rail",
+        benchmark.pedantic(render, rounds=1, iterations=1),
+    )

@@ -1,0 +1,101 @@
+"""Figures 2 and 3: the motivational examples, to the printed digit.
+
+Fig. 2's two mappings must evaluate to exactly the published energies
+(26.7158 mW·s without probabilities, 15.7423 mW·s with — a 41 %
+reduction), and the synthesis must rediscover the probability-aware
+optimum.  Fig. 3's two mappings must differ exactly in the
+shut-down opportunity of PE1/CL0 during mode O2.
+"""
+
+import pytest
+
+from repro.examples_support import (
+    fig2_mapping_with_probabilities,
+    fig2_mapping_without_probabilities,
+    fig2_problem,
+    fig3_mapping_multiple_implementations,
+    fig3_mapping_shared_core,
+    fig3_problem,
+    weighted_task_energy,
+)
+from repro.synthesis import SynthesisConfig, synthesize
+from repro.synthesis.evaluator import evaluate_mapping
+
+from benchmarks.conftest import archive
+
+
+def test_fig2_energies(benchmark):
+    problem = fig2_problem()
+
+    def run():
+        without = weighted_task_energy(
+            problem, fig2_mapping_without_probabilities(problem)
+        )
+        with_p = weighted_task_energy(
+            problem, fig2_mapping_with_probabilities(problem)
+        )
+        return without, with_p
+
+    without, with_p = benchmark(run)
+    assert without == pytest.approx(26.7158e-3, abs=1e-9)
+    assert with_p == pytest.approx(15.7423e-3, abs=1e-9)
+    reduction = 100.0 * (without - with_p) / without
+    archive(
+        "fig2_motivational",
+        "Fig. 2 (Example 1) energies\n"
+        "===========================\n"
+        f"mapping w/o Ψ (Fig. 2b): {without * 1e3:.4f} mW·s "
+        "(paper: 26.7158)\n"
+        f"mapping with Ψ (Fig. 2c): {with_p * 1e3:.4f} mW·s "
+        "(paper: 15.7423)\n"
+        f"reduction: {reduction:.1f} % (paper: 41 %)",
+    )
+
+
+def test_fig2_synthesis_rediscovers_optimum(benchmark):
+    problem = fig2_problem(period=1.0)
+
+    def run():
+        return synthesize(
+            problem,
+            SynthesisConfig(
+                seed=1,
+                population_size=20,
+                max_generations=40,
+                convergence_generations=10,
+            ),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.average_power <= 15.7423e-3 + 1e-9
+
+
+def test_fig3_shutdown(benchmark):
+    problem = fig3_problem()
+
+    def run():
+        shared = evaluate_mapping(
+            problem, fig3_mapping_shared_core(problem), SynthesisConfig()
+        )
+        multiple = evaluate_mapping(
+            problem,
+            fig3_mapping_multiple_implementations(problem),
+            SynthesisConfig(),
+        )
+        return shared, multiple
+
+    shared, multiple = benchmark(run)
+    assert shared.shut_down_components("O2") == ()
+    assert multiple.shut_down_components("O2") == ("PE1", "CL0")
+    assert (
+        multiple.metrics.average_power < shared.metrics.average_power
+    )
+    archive(
+        "fig3_motivational",
+        "Fig. 3 (Example 2) multiple implementations\n"
+        "===========================================\n"
+        f"shared core  : off in O2 = none, "
+        f"P = {shared.metrics.average_power * 1e3:.3f} mW\n"
+        f"multiple impl: off in O2 = PE1, CL0, "
+        f"P = {multiple.metrics.average_power * 1e3:.3f} mW",
+    )

@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the library's building blocks.
+
+Statistical pytest-benchmark timings of the hot paths — mobility
+analysis, list scheduling, the Fig. 5 transformation, gradient DVS and
+full candidate evaluation — on the smart phone's largest mode.  These
+are the per-candidate costs the GA pays thousands of times, i.e. the
+drivers behind the paper's CPU-time columns.
+"""
+
+import random
+
+import pytest
+
+from repro.benchgen.smartphone import smartphone_problem
+from repro.dvs.pv_dvs import scale_schedule
+from repro.mapping.cores import allocate_cores
+from repro.mapping.encoding import MappingString
+from repro.scheduling.list_scheduler import schedule_mode
+from repro.scheduling.mobility import compute_mobilities
+from repro.synthesis.config import DvsMethod, SynthesisConfig
+from repro.synthesis.evaluator import evaluate_mapping
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return smartphone_problem()
+
+
+@pytest.fixture(scope="module")
+def genome(problem):
+    return MappingString.random(problem, random.Random(3))
+
+
+@pytest.fixture(scope="module")
+def largest_mode(problem):
+    return max(problem.omsm.modes, key=lambda m: len(m.task_graph))
+
+
+def test_bench_mobility(benchmark, problem, genome, largest_mode):
+    mode = largest_mode
+
+    def exec_time(task_name):
+        task = mode.task_graph.task(task_name)
+        return problem.technology.implementation(
+            task.task_type, genome.pe_of(mode.name, task_name)
+        ).exec_time
+
+    benchmark(compute_mobilities, mode, exec_time)
+
+
+def test_bench_core_allocation(benchmark, problem, genome):
+    benchmark(allocate_cores, problem, genome)
+
+
+def test_bench_list_scheduler(benchmark, problem, genome, largest_mode):
+    cores = allocate_cores(problem, genome)
+    mapping = genome.mode_mapping(largest_mode.name)
+    benchmark(
+        schedule_mode, problem, largest_mode, mapping, cores
+    )
+
+
+def test_bench_gradient_dvs(benchmark, problem, genome, largest_mode):
+    cores = allocate_cores(problem, genome)
+    schedule = schedule_mode(
+        problem,
+        largest_mode,
+        genome.mode_mapping(largest_mode.name),
+        cores,
+    )
+    benchmark(scale_schedule, problem, largest_mode, schedule)
+
+
+def test_bench_full_evaluation_no_dvs(benchmark, problem, genome):
+    config = SynthesisConfig()
+    benchmark(evaluate_mapping, problem, genome, config)
+
+
+def test_bench_full_evaluation_with_dvs(benchmark, problem, genome):
+    config = SynthesisConfig(dvs=DvsMethod.GRADIENT)
+    benchmark(evaluate_mapping, problem, genome, config)
+
+
+def test_bench_problem_generation(benchmark):
+    from repro.benchgen.suite import suite_problem
+
+    benchmark(suite_problem, "mul8")

@@ -1,0 +1,46 @@
+"""Design-space exploration: the area/power trade-off curve.
+
+Beyond the paper: sweep the hardware area of one suite instance and
+synthesise at every point, producing the cost/power curve a designer
+would use to size the ASIC.  The shape check encodes the expected
+monotone trend — more area never costs power (up to search noise).
+"""
+
+import pytest
+
+from repro.benchgen.suite import suite_problem
+from repro.synthesis.pareto import (
+    area_power_tradeoff,
+    format_tradeoff,
+    pareto_front,
+)
+
+from benchmarks.conftest import archive, bench_config
+
+SCALES = (0.4, 0.7, 1.0, 1.5, 2.5)
+
+
+def test_area_power_sweep(benchmark):
+    problem = suite_problem("mul11")
+    config = bench_config()
+
+    def run():
+        return area_power_tradeoff(
+            problem,
+            scales=SCALES,
+            config=config,
+            runs=2,
+            base_seed=520,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    archive(
+        "pareto_area_power",
+        "Area/power trade-off (mul11)\n"
+        "============================\n" + format_tradeoff(points),
+    )
+    front = pareto_front(points)
+    assert front
+    # The largest-area point must not be worse than the smallest-area
+    # point (monotone trend up to noise).
+    assert points[-1].average_power <= points[0].average_power * 1.10

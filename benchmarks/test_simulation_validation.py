@@ -1,0 +1,60 @@
+"""Equation-(1) validation: analytical vs trace-driven simulated power.
+
+Not a paper table — this benchmark validates the power model the whole
+reproduction rests on.  An implementation of a suite instance is
+replayed over semi-Markov mode traces of growing horizon; the simulated
+average power must converge onto the analytical Equation-(1) estimate.
+"""
+
+import pytest
+
+from repro.benchgen.suite import suite_problem
+from repro.simulation.executor import simulate
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.cosynthesis import MultiModeSynthesizer
+
+from benchmarks.conftest import archive
+
+
+@pytest.fixture(scope="module")
+def implementation():
+    problem = suite_problem("mul9")
+    config = SynthesisConfig(
+        seed=1,
+        population_size=24,
+        max_generations=50,
+        convergence_generations=12,
+    )
+    return MultiModeSynthesizer(problem, config).run().best
+
+
+def test_equation1_convergence(benchmark, implementation):
+    horizons = (100.0, 1000.0, 10000.0, 50000.0)
+
+    def run():
+        return [
+            simulate(implementation, horizon=h, seed=42)
+            for h in horizons
+        ]
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Equation (1) vs trace-driven simulation (mul9)",
+        "=" * 52,
+        f"{'horizon (s)':>12}{'simulated (mW)':>17}{'error (%)':>11}",
+        "-" * 40,
+    ]
+    for horizon, report in zip(horizons, reports):
+        lines.append(
+            f"{horizon:>12.0f}{report.average_power * 1e3:>17.4f}"
+            f"{report.relative_error * 100:>11.2f}"
+        )
+    lines.append(
+        f"{'analytical':>12}"
+        f"{reports[-1].analytical_power * 1e3:>17.4f}"
+    )
+    archive("simulation_validation", "\n".join(lines))
+
+    # Convergence: the longest horizon lands within 5 % of Equation (1).
+    assert abs(reports[-1].relative_error) < 0.05

@@ -1,0 +1,71 @@
+"""Table 3: the smart phone real-life example.
+
+Two rows — fixed-voltage and DVS — each comparing the
+probability-neglecting with the probability-aware synthesis on the
+eight-mode smart phone of paper Fig. 1a.  Shape checks follow the
+paper's reading of its Table 3: considering probabilities helps in
+both rows, DVS lowers absolute power for both policies, and the
+combined effect (fixed-voltage/no-Ψ → DVS+Ψ) is a large overall
+reduction (the paper reports ≈67 % on its instance).
+"""
+
+from typing import Dict
+
+import pytest
+
+from repro.analysis.experiments import ComparisonResult, compare_policies
+from repro.analysis.reporting import format_smartphone_table
+from repro.benchgen.smartphone import smartphone_problem
+from repro.synthesis.config import DvsMethod
+
+from benchmarks.conftest import BENCH_RUNS_DVS, archive, bench_config
+
+_RESULTS: Dict[str, ComparisonResult] = {}
+
+
+@pytest.mark.parametrize(
+    "label, dvs",
+    [("w/o DVS", DvsMethod.NONE), ("with DVS", DvsMethod.GRADIENT)],
+)
+def test_table3_row(benchmark, label, dvs):
+    problem = smartphone_problem()
+    config = bench_config().with_updates(dvs=dvs)
+
+    def run() -> ComparisonResult:
+        return compare_policies(
+            problem, config, runs=BENCH_RUNS_DVS, base_seed=400
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[label] = result
+    assert result.without.mean_power > 0
+
+
+def test_table3_report(benchmark):
+    assert set(_RESULTS) == {"w/o DVS", "with DVS"}
+
+    def render() -> str:
+        return format_smartphone_table(
+            _RESULTS,
+            title=(
+                f"Table 3: Results of Smart Phone Experiments "
+                f"({BENCH_RUNS_DVS} runs averaged)"
+            ),
+        )
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    archive("table3_smartphone", text)
+
+    fixed = _RESULTS["w/o DVS"]
+    dvs = _RESULTS["with DVS"]
+    # DVS reduces absolute power for both policies (Table 3's columns).
+    assert dvs.without.mean_power < fixed.without.mean_power
+    assert (
+        dvs.with_probabilities.mean_power
+        < fixed.with_probabilities.mean_power
+    )
+    # Combined saving: fixed-voltage/no-Ψ -> DVS+Ψ must be substantial.
+    overall = 1.0 - (
+        dvs.with_probabilities.mean_power / fixed.without.mean_power
+    )
+    assert overall > 0.30

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Design-space exploration: how much hardware is worth buying?
+
+The paper's savings come at unchanged hardware cost; the natural
+follow-up during platform definition is to sweep the hardware budget.
+This example scales the ASIC area of a suite instance from 40 % to
+250 %, synthesises at every point and prints the area/power trade-off
+curve with the Pareto-optimal points marked.  Run it::
+
+    python examples/explore_area_tradeoff.py
+"""
+
+from repro import SynthesisConfig, suite_problem
+from repro.synthesis.pareto import (
+    area_power_tradeoff,
+    format_tradeoff,
+    pareto_front,
+)
+
+
+def main() -> None:
+    problem = suite_problem("mul11")
+    print(f"instance: {problem.name}")
+    for pe in problem.architecture.hardware_pes():
+        print(
+            f"  {pe.name}: {pe.kind.value}, "
+            f"{pe.area:.0f} cells at scale 1.0"
+        )
+    print()
+
+    config = SynthesisConfig(
+        population_size=24,
+        max_generations=60,
+        convergence_generations=15,
+    )
+    points = area_power_tradeoff(
+        problem,
+        scales=(0.4, 0.7, 1.0, 1.5, 2.5),
+        config=config,
+        runs=2,
+        base_seed=77,
+    )
+    print(format_tradeoff(points))
+    print()
+
+    front = pareto_front(points)
+    knee = min(
+        front,
+        key=lambda p: p.average_power * p.total_hw_area,
+    )
+    print(
+        f"{len(front)} Pareto-optimal points; a balanced choice is "
+        f"scale {knee.area_scale:.2f} "
+        f"({knee.total_hw_area:.0f} cells, "
+        f"{knee.average_power * 1e3:.3f} mW)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Persistence, trace simulation and battery lifetime in one flow.
+
+Builds a small wearable-style two-mode system, writes it to JSON,
+reloads it (the round-trip a team would use to keep specifications
+under version control), synthesises an implementation, validates the
+analytical power by trace-driven simulation and finally translates the
+saving into battery lifetime.  Run it::
+
+    python examples/persist_simulate_battery.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    Architecture,
+    CommEdge,
+    CommunicationLink,
+    Mode,
+    ModeTransition,
+    OMSM,
+    PEKind,
+    Problem,
+    ProcessingElement,
+    SynthesisConfig,
+    Task,
+    TaskGraph,
+    TaskImplementation,
+    TechnologyLibrary,
+    synthesize,
+)
+from repro.analysis.battery import Battery
+from repro.io import load_problem, save_problem
+from repro.simulation import simulate
+
+
+def build_problem() -> Problem:
+    """A wearable: 95 % heart-rate monitoring, 5 % workout analytics."""
+    monitor = TaskGraph(
+        "monitor",
+        [
+            Task("ppg_sample", "ADC"),
+            Task("hr_filter", "FIR"),
+            Task("hr_detect", "PEAK"),
+            Task("store", "LOG"),
+        ],
+        [
+            CommEdge("ppg_sample", "hr_filter", 256),
+            CommEdge("hr_filter", "hr_detect", 256),
+            CommEdge("hr_detect", "store", 64),
+        ],
+    )
+    workout = TaskGraph(
+        "workout",
+        [
+            Task("imu_sample", "ADC"),
+            Task("fft", "FFT"),
+            Task("features", "FIR"),
+            Task("classify", "MLP"),
+            Task("sync_ble", "TX"),
+        ],
+        [
+            CommEdge("imu_sample", "fft", 2048),
+            CommEdge("fft", "features", 2048),
+            CommEdge("features", "classify", 512),
+            CommEdge("classify", "sync_ble", 128),
+        ],
+    )
+    omsm = OMSM(
+        "wearable",
+        [
+            Mode("monitor", monitor, probability=0.95, period=0.040),
+            Mode("workout", workout, probability=0.05, period=0.050),
+        ],
+        [
+            ModeTransition("monitor", "workout", max_time=0.01),
+            ModeTransition("workout", "monitor", max_time=0.01),
+        ],
+    )
+    mcu = ProcessingElement(
+        "MCU",
+        PEKind.GPP,
+        static_power=0.5e-3,
+        voltage_levels=(1.2, 1.8, 2.4, 3.3),
+    )
+    dsp = ProcessingElement(
+        "DSP", PEKind.ASIC, area=720.0, static_power=0.4e-3
+    )
+    bus = CommunicationLink(
+        "SPI",
+        ["MCU", "DSP"],
+        bandwidth_bps=4e6,
+        comm_power=0.3e-3,
+        static_power=0.1e-3,
+    )
+    table = {
+        "ADC": (0.8, 8.0, None),
+        "FIR": (4.0, 12.0, (0.3, 0.4, 260.0)),
+        "PEAK": (1.0, 9.0, None),
+        "LOG": (0.6, 8.0, None),
+        "FFT": (9.0, 16.0, (0.4, 0.5, 380.0)),
+        "MLP": (7.0, 14.0, (0.7, 0.6, 330.0)),
+        "TX": (2.5, 10.0, None),
+    }
+    entries = []
+    for task_type, (sw_ms, sw_mw, hw) in table.items():
+        entries.append(
+            TaskImplementation(
+                task_type,
+                "MCU",
+                exec_time=sw_ms * 1e-3,
+                power=sw_mw * 1e-3,
+            )
+        )
+        if hw:
+            hw_ms, hw_mw, cells = hw
+            entries.append(
+                TaskImplementation(
+                    task_type,
+                    "DSP",
+                    exec_time=hw_ms * 1e-3,
+                    power=hw_mw * 1e-3,
+                    area=cells,
+                )
+            )
+    return Problem(
+        omsm, Architecture("wearable_arch", [mcu, dsp], [bus]),
+        TechnologyLibrary(entries),
+    )
+
+
+def main() -> None:
+    problem = build_problem()
+
+    # --- persistence round-trip ---------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "wearable.json"
+        save_problem(problem, path)
+        reloaded = load_problem(path)
+        print(
+            f"saved and reloaded {reloaded.name!r} "
+            f"({path.stat().st_size} bytes of JSON)"
+        )
+
+    # --- synthesis ------------------------------------------------------
+    config = SynthesisConfig(
+        seed=2,
+        population_size=24,
+        max_generations=60,
+        convergence_generations=15,
+    )
+    baseline = synthesize(
+        reloaded, config.with_updates(use_probabilities=False)
+    )
+    proposed = synthesize(
+        reloaded, config.with_updates(use_probabilities=True)
+    )
+    print()
+    print(proposed.best.summary())
+    saving = 1.0 - proposed.average_power / baseline.average_power
+    print(f"\nprobability-aware saving: {saving * 100:.1f} %")
+
+    # --- trace-driven validation ---------------------------------------
+    report = simulate(proposed.best, horizon=20_000.0, seed=11)
+    print()
+    print(report.summary())
+
+    # --- battery lifetime -----------------------------------------------
+    battery = Battery(capacity_mah=180.0, voltage=3.8)
+    base_life = battery.lifetime_hours_peukert(baseline.average_power)
+    new_life = battery.lifetime_hours_peukert(proposed.average_power)
+    print()
+    print(
+        f"180 mAh battery: {base_life:.0f} h -> {new_life:.0f} h "
+        f"({battery.lifetime_gain(baseline.average_power, proposed.average_power) * 100:+.0f} %)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""repro — energy-efficient co-synthesis for multi-mode embedded systems.
+
+A faithful, pure-Python reproduction of
+
+    M. T. Schmitz, B. M. Al-Hashimi, P. Eles:
+    "A Co-Design Methodology for Energy-Efficient Multi-Mode Embedded
+    Systems with Consideration of Mode Execution Probabilities",
+    Design, Automation and Test in Europe (DATE), 2003.
+
+The library models multi-mode applications as operational mode state
+machines (modes = task graphs, transitions with time limits, mode
+execution probabilities), heterogeneous target architectures
+(GPPs/ASIPs/ASICs/FPGAs with optional dynamic voltage scaling, buses),
+and synthesises energy-minimal implementations with a genetic mapping
+algorithm, list scheduling, hardware core allocation and discrete
+voltage selection — including the paper's parallel-core-to-sequential
+DVS transformation for hardware components.
+
+Quick start::
+
+    from repro import (
+        SynthesisConfig, synthesize, smartphone_problem, DvsMethod,
+    )
+
+    problem = smartphone_problem()
+    result = synthesize(
+        problem,
+        SynthesisConfig(use_probabilities=True, dvs=DvsMethod.GRADIENT),
+    )
+    print(result.best.summary())
+"""
+
+from repro.errors import (
+    ArchitectureError,
+    MappingError,
+    ReproError,
+    SchedulingError,
+    SpecificationError,
+    SynthesisError,
+    TechnologyError,
+    VoltageScalingError,
+)
+from repro.specification import (
+    CommEdge,
+    Mode,
+    ModeTransition,
+    OMSM,
+    Task,
+    TaskGraph,
+)
+from repro.architecture import (
+    Architecture,
+    CommunicationLink,
+    PEKind,
+    ProcessingElement,
+    TaskImplementation,
+    TechnologyLibrary,
+)
+from repro.problem import Problem
+from repro.mapping import (
+    CoreAllocation,
+    Implementation,
+    ImplementationMetrics,
+    MappingString,
+    allocate_cores,
+)
+from repro.scheduling import ModeSchedule, compute_mobilities, schedule_mode
+from repro.dvs import scale_schedule, transform_parallel_tasks
+from repro.power import average_power, mode_dynamic_power, mode_static_power
+from repro.synthesis import (
+    MultiModeSynthesizer,
+    SynthesisConfig,
+    SynthesisResult,
+    evaluate_mapping,
+    synthesize,
+)
+from repro.synthesis.config import DvsMethod
+from repro.benchgen import (
+    MultiModeSpec,
+    generate_problem,
+    load_suite,
+    smartphone_problem,
+    suite_problem,
+)
+from repro.validation import ValidationError, validate_implementation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Architecture",
+    "ArchitectureError",
+    "CommEdge",
+    "CommunicationLink",
+    "CoreAllocation",
+    "DvsMethod",
+    "Implementation",
+    "ImplementationMetrics",
+    "MappingError",
+    "MappingString",
+    "Mode",
+    "ModeSchedule",
+    "ModeTransition",
+    "MultiModeSpec",
+    "MultiModeSynthesizer",
+    "OMSM",
+    "PEKind",
+    "Problem",
+    "ProcessingElement",
+    "ReproError",
+    "SchedulingError",
+    "SpecificationError",
+    "SynthesisConfig",
+    "SynthesisError",
+    "SynthesisResult",
+    "Task",
+    "TaskGraph",
+    "TaskImplementation",
+    "TechnologyError",
+    "TechnologyLibrary",
+    "ValidationError",
+    "VoltageScalingError",
+    "allocate_cores",
+    "average_power",
+    "compute_mobilities",
+    "evaluate_mapping",
+    "generate_problem",
+    "load_suite",
+    "mode_dynamic_power",
+    "mode_static_power",
+    "scale_schedule",
+    "schedule_mode",
+    "smartphone_problem",
+    "suite_problem",
+    "synthesize",
+    "transform_parallel_tasks",
+    "validate_implementation",
+]

@@ -1,0 +1,28 @@
+"""Experiment drivers and reporting for the paper's tables.
+
+:mod:`repro.analysis.experiments` runs the with/without-probability
+comparisons of Tables 1–3 (averaging several optimisation runs, as the
+paper averages 40); :mod:`repro.analysis.reporting` renders the results
+in the paper's table layout and next to the paper's own numbers
+(:mod:`repro.analysis.paper_data`).
+"""
+
+from repro.analysis.experiments import (
+    ComparisonResult,
+    compare_policies,
+    run_smartphone_experiment,
+    run_suite_experiment,
+)
+from repro.analysis.reporting import (
+    format_comparison_table,
+    format_paper_comparison,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "compare_policies",
+    "format_comparison_table",
+    "format_paper_comparison",
+    "run_smartphone_experiment",
+    "run_suite_experiment",
+]

@@ -1,0 +1,183 @@
+"""Experiment drivers: the with/without-probability comparisons.
+
+Each comparison runs the co-synthesis twice per repetition — once with
+the probability-neglecting fitness, once with the proposed
+probability-aware fitness — and averages the resulting true-probability
+powers over the repetitions, exactly the protocol behind the paper's
+Tables 1–3 (the paper averages 40 runs; the repetition count here is a
+parameter so test suites stay fast).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.benchgen.smartphone import smartphone_problem
+from repro.benchgen.suite import SUITE_SPECS, generate_problem
+from repro.problem import Problem
+from repro.synthesis.config import DvsMethod, SynthesisConfig
+from repro.synthesis.cosynthesis import MultiModeSynthesizer
+from repro.validation import validate_implementation
+
+
+@dataclass
+class PolicyOutcome:
+    """Aggregated runs of one probability policy on one instance."""
+
+    powers: List[float] = field(default_factory=list)
+    cpu_times: List[float] = field(default_factory=list)
+    feasible: List[bool] = field(default_factory=list)
+
+    @property
+    def feasible_runs(self) -> int:
+        return sum(self.feasible)
+
+    @property
+    def mean_power(self) -> float:
+        """Average power over the *feasible* runs.
+
+        An infeasible candidate's power is meaningless (it may be
+        arbitrarily low by violating constraints), so runs that ended
+        infeasible are excluded — the paper reports implementations,
+        i.e. feasible solutions.  Falls back to all runs only when no
+        run was feasible.
+        """
+        chosen = [
+            p for p, ok in zip(self.powers, self.feasible) if ok
+        ]
+        if not chosen:
+            chosen = self.powers
+        return statistics.mean(chosen)
+
+    @property
+    def mean_cpu_time(self) -> float:
+        return statistics.mean(self.cpu_times)
+
+    @property
+    def power_stdev(self) -> float:
+        chosen = [
+            p for p, ok in zip(self.powers, self.feasible) if ok
+        ] or self.powers
+        if len(chosen) < 2:
+            return 0.0
+        return statistics.stdev(chosen)
+
+
+@dataclass
+class ComparisonResult:
+    """Result of comparing the two policies on one instance.
+
+    Mirrors one row of the paper's Tables 1/2: average power and CPU
+    time for the probability-neglecting and the proposed approach, plus
+    the relative reduction.
+    """
+
+    example: str
+    modes: int
+    without: PolicyOutcome
+    with_probabilities: PolicyOutcome
+    runs: int
+
+    @property
+    def reduction_pct(self) -> float:
+        """Power reduction achieved by considering probabilities (%)."""
+        baseline = self.without.mean_power
+        if baseline <= 0:
+            return 0.0
+        return 100.0 * (baseline - self.with_probabilities.mean_power) / (
+            baseline
+        )
+
+
+def compare_policies(
+    problem: Problem,
+    config: Optional[SynthesisConfig] = None,
+    runs: int = 5,
+    base_seed: int = 0,
+) -> ComparisonResult:
+    """Run both probability policies ``runs`` times and aggregate.
+
+    Run ``i`` of both policies shares seed ``base_seed + i`` so the
+    comparison is paired: both GAs start from the same initial
+    population and differ only in the fitness weighting.
+    """
+    if config is None:
+        config = SynthesisConfig()
+    without = PolicyOutcome()
+    with_probabilities = PolicyOutcome()
+    for run in range(runs):
+        for use_probabilities, outcome in (
+            (False, without),
+            (True, with_probabilities),
+        ):
+            run_config = config.with_updates(
+                use_probabilities=use_probabilities,
+                seed=base_seed + run,
+            )
+            result = MultiModeSynthesizer(problem, run_config).run()
+            validate_implementation(result.best)
+            outcome.powers.append(result.average_power)
+            outcome.cpu_times.append(result.cpu_time)
+            outcome.feasible.append(result.is_feasible)
+    return ComparisonResult(
+        example=problem.name,
+        modes=len(problem.omsm),
+        without=without,
+        with_probabilities=with_probabilities,
+        runs=runs,
+    )
+
+
+def run_suite_experiment(
+    dvs: DvsMethod = DvsMethod.NONE,
+    runs: int = 5,
+    config: Optional[SynthesisConfig] = None,
+    examples: Optional[Sequence[str]] = None,
+    base_seed: int = 400,
+) -> List[ComparisonResult]:
+    """Tables 1 and 2: the with/without-Ψ comparison over mul1–mul12.
+
+    ``dvs=DvsMethod.NONE`` reproduces Table 1,
+    ``dvs=DvsMethod.GRADIENT`` Table 2.
+    """
+    if config is None:
+        config = SynthesisConfig()
+    config = config.with_updates(dvs=dvs)
+    results = []
+    for spec in SUITE_SPECS:
+        if examples is not None and spec.name not in examples:
+            continue
+        problem = generate_problem(spec)
+        results.append(
+            compare_policies(
+                problem, config, runs=runs, base_seed=base_seed
+            )
+        )
+    return results
+
+
+def run_smartphone_experiment(
+    runs: int = 3,
+    config: Optional[SynthesisConfig] = None,
+    base_seed: int = 400,
+) -> Dict[str, ComparisonResult]:
+    """Table 3: the smart phone, without and with DVS."""
+    if config is None:
+        config = SynthesisConfig()
+    problem = smartphone_problem()
+    return {
+        "w/o DVS": compare_policies(
+            problem,
+            config.with_updates(dvs=DvsMethod.NONE),
+            runs=runs,
+            base_seed=base_seed,
+        ),
+        "with DVS": compare_policies(
+            problem,
+            config.with_updates(dvs=DvsMethod.GRADIENT),
+            runs=runs,
+            base_seed=base_seed,
+        ),
+    }

@@ -1,0 +1,115 @@
+"""Text Gantt rendering of mode schedules.
+
+Turns a :class:`~repro.scheduling.schedule.ModeSchedule` into an ASCII
+timeline — one row per execution resource (software PE, hardware core,
+communication link) — so mapping and contention decisions can be read
+at a glance in a terminal or a log file::
+
+    CPU            |ssss------jjjj|
+    HW/P#0         |----aaaabbbb--|
+    BUS            |----xx--yy----|
+
+Each column is one time quantum; task rows use the first letter of the
+task name (capitalised on the start column), idle time is ``-``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.architecture.platform import Architecture
+from repro.scheduling.schedule import ModeSchedule
+
+
+def render_gantt(
+    schedule: ModeSchedule,
+    architecture: Architecture,
+    width: int = 72,
+    label_width: int = 18,
+) -> str:
+    """Render one mode's schedule as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    schedule:
+        The (possibly voltage-scaled) schedule to draw.
+    architecture:
+        Supplies the resource rows (PEs, cores, links).
+    width:
+        Number of time columns.
+    label_width:
+        Width of the row-label column.
+    """
+    makespan = schedule.makespan
+    if makespan <= 0:
+        return "(empty schedule)"
+    scale = width / makespan
+
+    def row_for(intervals: List[Tuple[float, float, str]]) -> str:
+        cells = ["-"] * width
+        for start, end, glyph in intervals:
+            first = min(width - 1, int(start * scale))
+            last = min(width - 1, max(first, int(end * scale) - 1))
+            for column in range(first, last + 1):
+                cells[column] = glyph.lower()
+            cells[first] = glyph.upper()
+        return "".join(cells)
+
+    lines: List[str] = [
+        f"mode {schedule.mode_name!r}: makespan "
+        f"{makespan * 1e3:.3f} ms, one column = "
+        f"{makespan / width * 1e3:.3f} ms"
+    ]
+
+    for pe in architecture.pes:
+        placed = schedule.tasks_on(pe.name)
+        if not placed:
+            continue
+        if pe.is_software:
+            intervals = [
+                (task.start, task.end, task.name[0]) for task in placed
+            ]
+            lines.append(
+                f"{pe.name:<{label_width}}|{row_for(intervals)}|"
+            )
+        else:
+            by_core: Dict[Tuple[str, Optional[int]], List] = {}
+            for task in placed:
+                by_core.setdefault(
+                    (task.task_type, task.core_index), []
+                ).append(task)
+            for (task_type, core), tasks in sorted(by_core.items()):
+                intervals = [
+                    (task.start, task.end, task.name[0])
+                    for task in tasks
+                ]
+                label = f"{pe.name}/{task_type}#{core}"
+                lines.append(
+                    f"{label:<{label_width}}|{row_for(intervals)}|"
+                )
+
+    for link in architecture.links:
+        carried = schedule.comms_on(link.name)
+        if not carried:
+            continue
+        intervals = [
+            (comm.start, comm.end, comm.src[0]) for comm in carried
+        ]
+        lines.append(
+            f"{link.name:<{label_width}}|{row_for(intervals)}|"
+        )
+
+    return "\n".join(lines)
+
+
+def render_all_modes(
+    schedules: Dict[str, ModeSchedule],
+    architecture: Architecture,
+    width: int = 72,
+) -> str:
+    """Render every mode of an implementation, separated by blank lines."""
+    blocks = [
+        render_gantt(schedule, architecture, width=width)
+        for _, schedule in sorted(schedules.items())
+    ]
+    return "\n\n".join(blocks)

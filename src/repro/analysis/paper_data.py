@@ -1,0 +1,91 @@
+"""The numbers published in the paper's Tables 1–3.
+
+Used for side-by-side reporting only — our regenerated benchmark
+instances are structurally equivalent but not identical to the
+(unpublished) originals, so absolute powers are not expected to match;
+the *shape* (probability-aware wins, reduction magnitudes, DVS effect,
+CPU-time trend) is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of Table 1 or Table 2 as printed in the paper."""
+
+    example: str
+    modes: int
+    power_without_mw: float
+    cpu_without_s: float
+    power_with_mw: float
+    cpu_with_s: float
+    reduction_pct: float
+
+
+#: Table 1 — considering execution probabilities (without DVS).
+TABLE1: Tuple[PaperRow, ...] = (
+    PaperRow("mul1", 4, 8.131, 20.7, 7.529, 24.7, 7.29),
+    PaperRow("mul2", 4, 3.404, 15.5, 2.771, 18.2, 18.61),
+    PaperRow("mul3", 5, 10.923, 23.4, 10.430, 23.0, 4.17),
+    PaperRow("mul4", 5, 7.975, 21.0, 6.726, 25.2, 15.50),
+    PaperRow("mul5", 3, 5.186, 18.4, 4.668, 22.1, 10.01),
+    PaperRow("mul6", 4, 1.677, 20.6, 1.301, 19.9, 22.46),
+    PaperRow("mul7", 4, 3.306, 11.6, 1.250, 21.4, 62.18),
+    PaperRow("mul8", 4, 1.565, 32.1, 1.329, 28.0, 15.06),
+    PaperRow("mul9", 4, 3.081, 6.0, 1.901, 5.8, 38.28),
+    PaperRow("mul10", 5, 1.105, 28.3, 0.941, 32.1, 14.83),
+    PaperRow("mul11", 3, 2.199, 9.3, 1.304, 16.6, 40.70),
+    PaperRow("mul12", 4, 7.006, 25.4, 5.975, 34.2, 14.69),
+)
+
+#: Table 2 — with DVS.
+TABLE2: Tuple[PaperRow, ...] = (
+    PaperRow("mul1", 4, 4.271, 526.6, 3.964, 768.6, 10.92),
+    PaperRow("mul2", 4, 1.568, 860.4, 1.273, 687.4, 18.82),
+    PaperRow("mul3", 5, 4.012, 1053.5, 3.344, 1192.2, 16.66),
+    PaperRow("mul4", 5, 2.914, 1135.2, 2.320, 1125.4, 20.39),
+    PaperRow("mul5", 3, 1.394, 967.7, 1.315, 932.1, 5.68),
+    PaperRow("mul6", 4, 0.689, 472.9, 0.465, 593.7, 32.53),
+    PaperRow("mul7", 4, 1.331, 540.3, 0.479, 820.7, 64.02),
+    PaperRow("mul8", 4, 0.564, 1262.1, 0.436, 1412.0, 22.64),
+    PaperRow("mul9", 4, 0.942, 161.2, 0.648, 177.1, 34.66),
+    PaperRow("mul10", 5, 0.480, 1456.3, 0.394, 1361.9, 17.88),
+    PaperRow("mul11", 3, 0.396, 318.1, 0.255, 403.2, 35.53),
+    PaperRow("mul12", 4, 2.857, 1384.7, 2.460, 1450.7, 13.91),
+)
+
+#: Table 3 — smart phone: {row: (P w/o Ψ, CPU w/o, P with Ψ, CPU with, %)}.
+TABLE3: Dict[str, Tuple[float, float, float, float, float]] = {
+    "w/o DVS": (2.602, 80.1, 1.801, 96.9, 30.76),
+    "with DVS": (1.217, 3754.5, 0.859, 4344.8, 29.41),
+}
+
+#: Fig. 2 motivational example: energies of the two mappings (mW·s).
+FIG2_ENERGY_WITHOUT_PROBABILITIES = 26.7158e-3
+FIG2_ENERGY_WITH_PROBABILITIES = 15.7423e-3
+FIG2_REDUCTION_PCT = 41.0
+
+#: Headline claims.
+MAX_REDUCTION_NO_DVS_PCT = 62.18
+MAX_REDUCTION_DVS_PCT = 64.02
+SMARTPHONE_OVERALL_REDUCTION_PCT = 67.0
+
+
+def table1_row(example: str) -> PaperRow:
+    """Look up a Table 1 row by benchmark name."""
+    for row in TABLE1:
+        if row.example == example:
+            return row
+    raise KeyError(f"no Table 1 row for {example!r}")
+
+
+def table2_row(example: str) -> PaperRow:
+    """Look up a Table 2 row by benchmark name."""
+    for row in TABLE2:
+        if row.example == example:
+            return row
+    raise KeyError(f"no Table 2 row for {example!r}")

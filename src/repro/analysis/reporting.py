@@ -1,0 +1,118 @@
+"""Rendering experiment results in the paper's table layout."""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.experiments import ComparisonResult
+from repro.analysis.paper_data import PaperRow
+
+
+def format_comparison_table(
+    results: Sequence[ComparisonResult],
+    title: str = "Considering Execution Probabilities",
+) -> str:
+    """The Tables-1/2 layout: example, power/CPU per policy, reduction."""
+    header = (
+        f"{'Example':<14}{'P w/o Ψ (mW)':>14}{'CPU (s)':>10}"
+        f"{'P with Ψ (mW)':>15}{'CPU (s)':>10}{'Reduc. (%)':>12}"
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for result in results:
+        lines.append(
+            f"{result.example + f' ({result.modes})':<14}"
+            f"{result.without.mean_power * 1e3:>14.3f}"
+            f"{result.without.mean_cpu_time:>10.1f}"
+            f"{result.with_probabilities.mean_power * 1e3:>15.3f}"
+            f"{result.with_probabilities.mean_cpu_time:>10.1f}"
+            f"{result.reduction_pct:>12.2f}"
+        )
+    if results:
+        reductions = [r.reduction_pct for r in results]
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'average':<14}{'':>14}{'':>10}{'':>15}{'':>10}"
+            f"{statistics.mean(reductions):>12.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_paper_comparison(
+    results: Sequence[ComparisonResult],
+    paper_rows: Dict[str, PaperRow],
+    title: str = "Reproduction vs paper",
+) -> str:
+    """Reduction-percent comparison against the published rows.
+
+    Absolute powers are not comparable (our instances are regenerated),
+    so the side-by-side focuses on the quantity the paper's claim rests
+    on: the relative reduction from considering probabilities.
+    """
+    header = (
+        f"{'Example':<10}{'paper reduc. (%)':>18}{'ours reduc. (%)':>18}"
+        f"{'paper P-ratio':>15}{'ours P-ratio':>15}"
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    ours_reductions: List[float] = []
+    paper_reductions: List[float] = []
+    for result in results:
+        row = paper_rows.get(result.example)
+        if row is None:
+            continue
+        paper_ratio = row.power_with_mw / row.power_without_mw
+        ours_ratio = (
+            result.with_probabilities.mean_power
+            / result.without.mean_power
+        )
+        ours_reductions.append(result.reduction_pct)
+        paper_reductions.append(row.reduction_pct)
+        lines.append(
+            f"{result.example:<10}{row.reduction_pct:>18.2f}"
+            f"{result.reduction_pct:>18.2f}"
+            f"{paper_ratio:>15.3f}{ours_ratio:>15.3f}"
+        )
+    if ours_reductions:
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'average':<10}{statistics.mean(paper_reductions):>18.2f}"
+            f"{statistics.mean(ours_reductions):>18.2f}{'':>15}{'':>15}"
+        )
+    return "\n".join(lines)
+
+
+def format_smartphone_table(
+    results: Dict[str, ComparisonResult],
+    title: str = "Results of Smart Phone Experiments",
+) -> str:
+    """The Table-3 layout (two rows: w/o DVS, with DVS)."""
+    header = (
+        f"{'Smart phone':<12}{'P w/o Ψ (mW)':>14}{'CPU (s)':>10}"
+        f"{'P with Ψ (mW)':>15}{'CPU (s)':>10}{'Reduc. (%)':>12}"
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for label in ("w/o DVS", "with DVS"):
+        result = results.get(label)
+        if result is None:
+            continue
+        lines.append(
+            f"{label:<12}"
+            f"{result.without.mean_power * 1e3:>14.3f}"
+            f"{result.without.mean_cpu_time:>10.1f}"
+            f"{result.with_probabilities.mean_power * 1e3:>15.3f}"
+            f"{result.with_probabilities.mean_cpu_time:>10.1f}"
+            f"{result.reduction_pct:>12.2f}"
+        )
+    both = [results.get("w/o DVS"), results.get("with DVS")]
+    if all(both):
+        overall = 100.0 * (
+            1.0
+            - both[1].with_probabilities.mean_power
+            / both[0].without.mean_power
+        )
+        lines.append("-" * len(header))
+        lines.append(
+            f"overall reduction (fixed voltage, no Ψ  →  DVS + Ψ): "
+            f"{overall:.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Target architecture model.
+
+A distributed heterogeneous architecture ``G_A(P, L)`` (paper Section
+2.2): processing elements (general-purpose processors, ASIPs, ASICs,
+FPGAs) connected by communication links.  Processing elements may be
+DVS-enabled, in which case they expose a set of discrete supply
+voltages.  The :class:`~repro.architecture.technology.TechnologyLibrary`
+describes, per (task type, processing element) pair, the implementation
+properties: nominal execution time, nominal dynamic power and — for
+hardware components — the core area.
+"""
+
+from repro.architecture.processing_element import PEKind, ProcessingElement
+from repro.architecture.communication_link import CommunicationLink
+from repro.architecture.platform import Architecture
+from repro.architecture.technology import TaskImplementation, TechnologyLibrary
+
+__all__ = [
+    "Architecture",
+    "CommunicationLink",
+    "PEKind",
+    "ProcessingElement",
+    "TaskImplementation",
+    "TechnologyLibrary",
+]

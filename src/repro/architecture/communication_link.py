@@ -1,0 +1,92 @@
+"""Communication links (buses) connecting processing elements.
+
+A communication link ``λ`` carries data between the processing elements
+attached to it.  Transfers on a link are serialised (single-master bus).
+A transfer of ``b`` bits takes ``b / bandwidth_bps`` seconds and draws
+``comm_power`` watts of dynamic power for its duration — matching the
+paper's communication energy term ``E(ε) = P_C(ε) · t_C(ε)``.  Like
+processing elements, links have a static power that is only paid in
+modes where at least one communication is mapped onto them (links with
+no traffic in a mode are switched off).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from repro.errors import ArchitectureError
+
+
+class CommunicationLink:
+    """One edge ``λ`` of the architecture graph.
+
+    Parameters
+    ----------
+    name:
+        Identifier, unique within the architecture.
+    connects:
+        Names of the processing elements attached to this link (at
+        least two).
+    bandwidth_bps:
+        Usable bandwidth in bits per second.
+    comm_power:
+        Dynamic power ``P_C`` in watts drawn while a transfer is active.
+    static_power:
+        Static power in watts drawn whenever the link is powered.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        connects: Iterable[str],
+        bandwidth_bps: float,
+        comm_power: float = 0.0,
+        static_power: float = 0.0,
+    ) -> None:
+        if not name:
+            raise ArchitectureError("communication link name must be non-empty")
+        attached = frozenset(connects)
+        if len(attached) < 2:
+            raise ArchitectureError(
+                f"link {name!r}: must connect at least two distinct PEs"
+            )
+        if bandwidth_bps <= 0:
+            raise ArchitectureError(
+                f"link {name!r}: bandwidth must be positive, "
+                f"got {bandwidth_bps}"
+            )
+        if comm_power < 0 or static_power < 0:
+            raise ArchitectureError(
+                f"link {name!r}: power figures must be non-negative"
+            )
+        self.name = name
+        self.connects: FrozenSet[str] = attached
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.comm_power = float(comm_power)
+        self.static_power = float(static_power)
+
+    def attaches(self, pe_name: str) -> bool:
+        """True if the processing element is on this link."""
+        return pe_name in self.connects
+
+    def links_pair(self, first: str, second: str) -> bool:
+        """True if both processing elements are attached to this link."""
+        return first in self.connects and second in self.connects
+
+    def transfer_time(self, data_bits: float) -> float:
+        """Seconds needed to move ``data_bits`` over this link."""
+        if data_bits < 0:
+            raise ArchitectureError(
+                f"link {self.name!r}: negative transfer size {data_bits}"
+            )
+        return data_bits / self.bandwidth_bps
+
+    def transfer_energy(self, data_bits: float) -> float:
+        """Dynamic energy ``P_C · t_C`` of one transfer, in joules."""
+        return self.comm_power * self.transfer_time(data_bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CommunicationLink({self.name!r}, connects={sorted(self.connects)},"
+            f" bw={self.bandwidth_bps})"
+        )

@@ -1,0 +1,157 @@
+"""Processing elements: software processors and hardware components.
+
+Four kinds are modelled, following the paper:
+
+* ``GPP``/``ASIP`` — software processors.  Tasks mapped here execute
+  sequentially.  No area accounting; every supported task type is
+  available as code.
+* ``ASIC`` — a hardware component with a fixed (non-reconfigurable) core
+  set.  The union of the cores required by *all* modes must fit the
+  available area; tasks on distinct cores run in parallel, tasks
+  contending for one core are serialised.
+* ``FPGA`` — like an ASIC but dynamically reconfigurable between modes:
+  only the per-mode core set must fit the area, and swapping cores at a
+  mode change costs reconfiguration time that is checked against the
+  transition time limits of the OMSM.
+
+Any kind may be DVS-enabled.  A DVS processing element exposes discrete
+supply voltage levels; on hardware components all cores share one rail
+(paper Section 4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ArchitectureError
+
+
+class PEKind(enum.Enum):
+    """The four processing-element kinds of the architectural model."""
+
+    GPP = "gpp"
+    ASIP = "asip"
+    ASIC = "asic"
+    FPGA = "fpga"
+
+    @property
+    def is_software(self) -> bool:
+        """True for instruction-set processors (sequential execution)."""
+        return self in (PEKind.GPP, PEKind.ASIP)
+
+    @property
+    def is_hardware(self) -> bool:
+        """True for core-based components (parallel execution, area)."""
+        return self in (PEKind.ASIC, PEKind.FPGA)
+
+
+class ProcessingElement:
+    """One node ``π`` of the architecture graph.
+
+    Parameters
+    ----------
+    name:
+        Identifier, unique within the architecture.
+    kind:
+        One of :class:`PEKind`.
+    area:
+        Available area ``a_π^max`` in cells.  Required (positive) for
+        hardware components; ignored for software processors.
+    static_power:
+        Static power ``P̄_stat`` in watts drawn whenever the component is
+        powered in a mode.  Components with no activity in a mode are
+        shut down and contribute nothing (paper Section 2.3).
+    voltage_levels:
+        Discrete supply voltages for DVS-enabled components, e.g.
+        ``(1.2, 1.8, 2.4, 3.3)``.  ``None`` or empty means the component
+        is not DVS-enabled and always runs at nominal voltage.
+    threshold_voltage:
+        Device threshold voltage ``V_t`` used by the delay model.  Must
+        be below the lowest voltage level.
+    reconfig_time_per_cell:
+        FPGA only: seconds needed to (re)configure one cell of core
+        area during a mode transition.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: PEKind,
+        area: float = 0.0,
+        static_power: float = 0.0,
+        voltage_levels: Optional[Sequence[float]] = None,
+        threshold_voltage: float = 0.4,
+        reconfig_time_per_cell: float = 0.0,
+    ) -> None:
+        if not name:
+            raise ArchitectureError("processing element name must be non-empty")
+        if not isinstance(kind, PEKind):
+            raise ArchitectureError(
+                f"PE {name!r}: kind must be a PEKind, got {kind!r}"
+            )
+        if kind.is_hardware and area <= 0:
+            raise ArchitectureError(
+                f"PE {name!r}: hardware component needs positive area, "
+                f"got {area}"
+            )
+        if static_power < 0:
+            raise ArchitectureError(
+                f"PE {name!r}: static power must be non-negative"
+            )
+        if reconfig_time_per_cell < 0:
+            raise ArchitectureError(
+                f"PE {name!r}: reconfiguration time must be non-negative"
+            )
+        if reconfig_time_per_cell > 0 and kind is not PEKind.FPGA:
+            raise ArchitectureError(
+                f"PE {name!r}: only FPGAs have reconfiguration time"
+            )
+        levels: Tuple[float, ...] = ()
+        if voltage_levels:
+            levels = tuple(sorted(set(float(v) for v in voltage_levels)))
+            if any(v <= 0 for v in levels):
+                raise ArchitectureError(
+                    f"PE {name!r}: voltage levels must be positive"
+                )
+            if threshold_voltage >= levels[0]:
+                raise ArchitectureError(
+                    f"PE {name!r}: threshold voltage {threshold_voltage} must "
+                    f"be below the lowest supply level {levels[0]}"
+                )
+        if threshold_voltage <= 0:
+            raise ArchitectureError(
+                f"PE {name!r}: threshold voltage must be positive"
+            )
+        self.name = name
+        self.kind = kind
+        self.area = float(area) if kind.is_hardware else 0.0
+        self.static_power = float(static_power)
+        self.voltage_levels = levels
+        self.threshold_voltage = float(threshold_voltage)
+        self.reconfig_time_per_cell = float(reconfig_time_per_cell)
+
+    @property
+    def is_software(self) -> bool:
+        return self.kind.is_software
+
+    @property
+    def is_hardware(self) -> bool:
+        return self.kind.is_hardware
+
+    @property
+    def dvs_enabled(self) -> bool:
+        """True if the component offers more than one supply voltage."""
+        return len(self.voltage_levels) >= 2
+
+    @property
+    def nominal_voltage(self) -> Optional[float]:
+        """The maximal supply voltage ``V_max`` (``None`` if not DVS)."""
+        if not self.voltage_levels:
+            return None
+        return self.voltage_levels[-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dvs = f", dvs={self.voltage_levels}" if self.dvs_enabled else ""
+        area = f", area={self.area}" if self.is_hardware else ""
+        return f"ProcessingElement({self.name!r}, {self.kind.value}{area}{dvs})"

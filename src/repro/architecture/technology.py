@@ -1,0 +1,174 @@
+"""Technology library: implementation alternatives per task type and PE.
+
+Each entry describes how one task type executes on one processing
+element: the nominal (worst-case) execution time ``t_min`` at maximal
+supply voltage, the dynamic power ``P_max`` drawn while executing at
+nominal voltage, and — for hardware components — the core area consumed
+when the type is instantiated there.  A task type may have entries for
+several processing elements; those are its *implementation alternatives*
+(paper Section 2.2), and the mapping genome picks one per task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.errors import TechnologyError
+from repro.architecture.platform import Architecture
+
+
+@dataclass(frozen=True)
+class TaskImplementation:
+    """Execution properties of one task type on one processing element.
+
+    Parameters
+    ----------
+    task_type:
+        The functional type ``η`` this entry implements.
+    pe:
+        Name of the processing element.
+    exec_time:
+        Nominal execution time ``t_min`` in seconds (at ``V_max``).
+    power:
+        Dynamic power ``P_max`` in watts at nominal voltage.  The
+        nominal dynamic energy of one execution is ``P_max · t_min``.
+    area:
+        Core area in cells when instantiated on a hardware component;
+        must be zero for software processors.
+    """
+
+    task_type: str
+    pe: str
+    exec_time: float
+    power: float
+    area: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.task_type or not self.pe:
+            raise TechnologyError(
+                "implementation entry needs non-empty task type and PE name"
+            )
+        if self.exec_time <= 0:
+            raise TechnologyError(
+                f"implementation {self.task_type!r}@{self.pe!r}: execution "
+                f"time must be positive, got {self.exec_time}"
+            )
+        if self.power < 0:
+            raise TechnologyError(
+                f"implementation {self.task_type!r}@{self.pe!r}: power must "
+                f"be non-negative"
+            )
+        if self.area < 0:
+            raise TechnologyError(
+                f"implementation {self.task_type!r}@{self.pe!r}: area must "
+                f"be non-negative"
+            )
+
+    @property
+    def energy(self) -> float:
+        """Nominal dynamic energy ``P_max · t_min`` in joules."""
+        return self.power * self.exec_time
+
+
+class TechnologyLibrary:
+    """All implementation alternatives for an application/architecture pair.
+
+    Parameters
+    ----------
+    entries:
+        The implementation table.  At most one entry per
+        ``(task_type, pe)`` pair.
+    """
+
+    def __init__(self, entries: Iterable[TaskImplementation]) -> None:
+        self._entries: Dict[Tuple[str, str], TaskImplementation] = {}
+        for entry in entries:
+            key = (entry.task_type, entry.pe)
+            if key in self._entries:
+                raise TechnologyError(
+                    f"duplicate implementation entry for type "
+                    f"{entry.task_type!r} on PE {entry.pe!r}"
+                )
+            self._entries[key] = entry
+        self._by_type: Dict[str, List[TaskImplementation]] = {}
+        for entry in self._entries.values():
+            self._by_type.setdefault(entry.task_type, []).append(entry)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def implementation(self, task_type: str, pe: str) -> TaskImplementation:
+        """The entry for ``task_type`` on ``pe``; raises if unsupported."""
+        try:
+            return self._entries[(task_type, pe)]
+        except KeyError:
+            raise TechnologyError(
+                f"task type {task_type!r} has no implementation on PE {pe!r}"
+            ) from None
+
+    def supports(self, task_type: str, pe: str) -> bool:
+        """True if ``task_type`` can execute on ``pe``."""
+        return (task_type, pe) in self._entries
+
+    def alternatives(self, task_type: str) -> Tuple[TaskImplementation, ...]:
+        """All implementation alternatives of a task type."""
+        try:
+            return tuple(self._by_type[task_type])
+        except KeyError:
+            raise TechnologyError(
+                f"task type {task_type!r} has no implementation alternatives"
+            ) from None
+
+    def candidate_pes(self, task_type: str) -> Tuple[str, ...]:
+        """Names of the PEs able to execute ``task_type``."""
+        return tuple(entry.pe for entry in self.alternatives(task_type))
+
+    def task_types(self) -> Tuple[str, ...]:
+        """All task types known to the library."""
+        return tuple(self._by_type)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TaskImplementation]:
+        return iter(self._entries.values())
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate_against(
+        self, architecture: Architecture, task_types: Iterable[str]
+    ) -> None:
+        """Check that the library is usable for a given problem.
+
+        Raises :class:`~repro.errors.TechnologyError` if an entry names a
+        PE that does not exist, if a hardware entry has zero area, if a
+        software entry has non-zero area, or if any of the given task
+        types has no implementation at all.
+        """
+        known_pes = set(architecture.pe_names)
+        for entry in self._entries.values():
+            if entry.pe not in known_pes:
+                raise TechnologyError(
+                    f"implementation {entry.task_type!r}@{entry.pe!r}: "
+                    f"unknown PE"
+                )
+            pe = architecture.pe(entry.pe)
+            if pe.is_hardware and entry.area <= 0:
+                raise TechnologyError(
+                    f"implementation {entry.task_type!r}@{entry.pe!r}: "
+                    f"hardware core must have positive area"
+                )
+            if pe.is_software and entry.area != 0:
+                raise TechnologyError(
+                    f"implementation {entry.task_type!r}@{entry.pe!r}: "
+                    f"software implementation must not consume area"
+                )
+        for task_type in task_types:
+            if task_type not in self._by_type:
+                raise TechnologyError(
+                    f"task type {task_type!r} has no implementation on any PE"
+                )

@@ -1,0 +1,31 @@
+"""Benchmark generation: the mul1–mul12 suite and the smart phone.
+
+The paper evaluates on 12 automatically generated multi-mode examples
+(3–5 modes of 8–32 tasks on 2–4 PEs with 1–3 links) plus a smart-phone
+case study whose eight-mode OMSM is given in the paper's Fig. 1a.  The
+original generated instances are not published, so
+:mod:`repro.benchgen.multimode` re-generates structurally equivalent
+instances from the stated parameters (deterministically, per seed), and
+:mod:`repro.benchgen.smartphone` hand-builds the smart phone from the
+GSM 06.10 / JPEG / MP3 decoder structures the paper profiled.
+"""
+
+from repro.benchgen.random_graphs import random_task_graph
+from repro.benchgen.multimode import MultiModeSpec, generate_problem
+from repro.benchgen.suite import SUITE_SPECS, load_suite, suite_problem
+from repro.benchgen.smartphone import smartphone_problem
+from repro.benchgen.tgff import dump_tgff, load_tgff, parse_tgff, save_tgff
+
+__all__ = [
+    "MultiModeSpec",
+    "SUITE_SPECS",
+    "generate_problem",
+    "load_suite",
+    "random_task_graph",
+    "smartphone_problem",
+    "suite_problem",
+    "dump_tgff",
+    "load_tgff",
+    "parse_tgff",
+    "save_tgff",
+]

@@ -1,0 +1,375 @@
+"""Generation of complete multi-mode co-synthesis instances.
+
+:func:`generate_problem` turns a :class:`MultiModeSpec` — the structural
+parameters the paper states for its automatically generated examples —
+into a fully specified :class:`~repro.problem.Problem`: operational
+modes with skewed execution probabilities, a heterogeneous architecture
+(at least one GPP, a mix of ASIPs/ASICs/FPGAs, bus links), and a
+technology library in which hardware implementations are 5–100× faster
+and orders of magnitude more energy-efficient than software, at an area
+price that prevents mapping everything into hardware.
+
+Everything is derived deterministically from the spec's seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.architecture.communication_link import CommunicationLink
+from repro.architecture.platform import Architecture
+from repro.architecture.processing_element import PEKind, ProcessingElement
+from repro.architecture.technology import TaskImplementation, TechnologyLibrary
+from repro.benchgen.random_graphs import random_task_graph
+from repro.problem import Problem
+from repro.scheduling.mobility import critical_path_length
+from repro.specification.mode import Mode
+from repro.specification.omsm import OMSM, ModeTransition
+from repro.specification.task_graph import TaskGraph
+
+#: Discrete supply voltages of DVS-enabled components (volts).
+DVS_LEVELS: Tuple[float, ...] = (1.2, 1.8, 2.4, 3.3)
+
+#: Device threshold voltage used by the delay model (volts).
+THRESHOLD_VOLTAGE = 0.4
+
+
+@dataclass(frozen=True)
+class MultiModeSpec:
+    """Structural parameters of one generated instance.
+
+    Mirrors the ranges stated in the paper's experimental section:
+    3–5 modes of 8–32 tasks, 2–4 heterogeneous PEs, 1–3 links.
+    """
+
+    name: str
+    seed: int
+    mode_tasks: Tuple[int, ...]
+    pe_count: int = 3
+    cl_count: int = 1
+    dvs_sw: bool = True
+    dvs_hw_probability: float = 0.5
+    period_slack: Tuple[float, float] = (1.4, 2.4)
+    dominant_probability: Tuple[float, float] = (0.55, 0.85)
+    dominant_assignment: str = "random"  # 'smallest'|'largest'|'random'
+    dominant_period_stretch: Tuple[float, float] = (1.0, 1.0)
+    shared_type_fraction: float = 0.25
+    type_pool_fraction: float = 0.5
+    hw_support_probability: float = 0.75
+    hw_area_fraction: Tuple[float, float] = (0.22, 0.45)
+
+    @property
+    def mode_count(self) -> int:
+        return len(self.mode_tasks)
+
+    def __post_init__(self) -> None:
+        if not self.mode_tasks:
+            raise ValueError("need at least one mode")
+        if any(count < 1 for count in self.mode_tasks):
+            raise ValueError("every mode needs at least one task")
+        if self.pe_count < 1:
+            raise ValueError("need at least one PE")
+        if self.cl_count < 1:
+            raise ValueError("need at least one link")
+
+
+def generate_problem(spec: MultiModeSpec) -> Problem:
+    """Build the complete, validated problem instance for a spec."""
+    rng = random.Random(spec.seed)
+    graphs, type_pool = _make_task_graphs(spec, rng)
+    architecture = _make_architecture(spec, rng)
+    technology = _make_technology(spec, rng, type_pool, architecture)
+    modes = _make_modes(spec, rng, graphs, technology, architecture)
+    transitions = _make_transitions(spec, rng, modes)
+    omsm = OMSM(spec.name, modes, transitions)
+    return Problem(omsm, architecture, technology)
+
+
+# ----------------------------------------------------------------------
+# Specification
+# ----------------------------------------------------------------------
+
+
+def _make_task_graphs(
+    spec: MultiModeSpec, rng: random.Random
+) -> Tuple[List[TaskGraph], List[str]]:
+    """Per-mode graphs with controlled cross-mode type intersection.
+
+    Each mode owns a private type sub-pool; a task draws a *shared*
+    type (enabling cross-mode resource sharing) with probability
+    ``shared_type_fraction`` and a private one otherwise.  Private
+    types make the modes compete for hardware area — the situation in
+    which mode execution probabilities matter most.
+    """
+    shared_size = max(
+        2, int(max(spec.mode_tasks) * spec.type_pool_fraction * 0.75)
+    )
+    shared_pool = [f"S{i:02d}" for i in range(shared_size)]
+    all_types = list(shared_pool)
+    graphs: List[TaskGraph] = []
+    for index, task_count in enumerate(spec.mode_tasks):
+        private_size = max(
+            2, int(task_count * spec.type_pool_fraction)
+        )
+        private_pool = [f"M{index}T{i:02d}" for i in range(private_size)]
+        all_types.extend(private_pool)
+        task_types = [
+            rng.choice(shared_pool)
+            if rng.random() < spec.shared_type_fraction
+            else rng.choice(private_pool)
+            for _ in range(task_count)
+        ]
+        graphs.append(
+            random_task_graph(
+                name=f"{spec.name}_mode{index}",
+                rng=rng,
+                task_count=task_count,
+                type_pool=(),
+                max_width=min(4, max(2, task_count // 3)),
+                task_prefix=f"m{index}_t",
+                task_types=task_types,
+            )
+        )
+    used = {
+        task.task_type for graph in graphs for task in graph
+    }
+    return graphs, [t for t in all_types if t in used]
+
+
+def _skewed_probabilities(
+    spec: MultiModeSpec,
+    rng: random.Random,
+    graphs: Sequence[TaskGraph],
+) -> List[float]:
+    """One dominant mode, the rest sharing the remainder randomly.
+
+    Captures the paper's key observation that devices spend uneven
+    amounts of time in their modes (e.g. 74 % in RLC for the phone).
+    Like the phone — where the dominant radio-link-control mode is a
+    small monitoring loop while the rare MP3/photo modes are heavy —
+    the dominant probability is attached to the *smallest* mode.
+    """
+    count = len(graphs)
+    if count == 1:
+        return [1.0]
+    dominant = rng.uniform(*spec.dominant_probability)
+    weights = [rng.uniform(0.2, 1.0) for _ in range(count - 1)]
+    scale = (1.0 - dominant) / sum(weights)
+    rest = [w * scale for w in weights]
+    rng.shuffle(rest)
+    if spec.dominant_assignment == "smallest":
+        chosen = min(range(count), key=lambda i: len(graphs[i]))
+    elif spec.dominant_assignment == "largest":
+        chosen = max(range(count), key=lambda i: len(graphs[i]))
+    else:
+        chosen = rng.randrange(count)
+    probabilities = []
+    for index in range(count):
+        if index == chosen:
+            probabilities.append(dominant)
+        else:
+            probabilities.append(rest.pop())
+    return probabilities
+
+
+def _make_modes(
+    spec: MultiModeSpec,
+    rng: random.Random,
+    graphs: Sequence[TaskGraph],
+    technology: TechnologyLibrary,
+    architecture: Architecture,
+) -> List[Mode]:
+    probabilities = _skewed_probabilities(spec, rng, graphs)
+    software = [pe.name for pe in architecture.software_pes()]
+    dominant_index = max(
+        range(len(graphs)), key=lambda i: probabilities[i]
+    )
+    modes = []
+    for index, graph in enumerate(graphs):
+        # Reference: the critical path when every task uses its fastest
+        # software implementation.  The period leaves a configurable
+        # slack above it so feasible mappings exist but are not free.
+        def sw_time(task_name: str) -> float:
+            task = graph.task(task_name)
+            return min(
+                technology.implementation(task.task_type, pe).exec_time
+                for pe in software
+            )
+
+        reference_mode = Mode(
+            name=f"tmp{index}", task_graph=graph, probability=1.0, period=1e9
+        )
+        critical = critical_path_length(reference_mode, sw_time)
+        period = critical * rng.uniform(*spec.period_slack)
+        if index == dominant_index:
+            # Optionally slow down the dominant mode's iteration rate
+            # (standby-like behaviour); 1.0 keeps its duty cycle high.
+            period *= rng.uniform(*spec.dominant_period_stretch)
+        modes.append(
+            Mode(
+                name=f"mode{index}",
+                task_graph=graph,
+                probability=probabilities[index],
+                period=period,
+            )
+        )
+    return modes
+
+
+def _make_transitions(
+    spec: MultiModeSpec, rng: random.Random, modes: Sequence[Mode]
+) -> List[ModeTransition]:
+    """A ring over all modes plus a few random chords."""
+    names = [mode.name for mode in modes]
+    transitions: Dict[Tuple[str, str], ModeTransition] = {}
+
+    def add(src: str, dst: str) -> None:
+        if src != dst and (src, dst) not in transitions:
+            transitions[(src, dst)] = ModeTransition(
+                src=src,
+                dst=dst,
+                max_time=rng.uniform(5e-3, 50e-3),
+            )
+
+    for src, dst in zip(names, names[1:] + names[:1]):
+        add(src, dst)
+        add(dst, src)
+    for _ in range(len(names)):
+        add(rng.choice(names), rng.choice(names))
+    return list(transitions.values())
+
+
+# ----------------------------------------------------------------------
+# Architecture and technology
+# ----------------------------------------------------------------------
+
+
+def _make_architecture(
+    spec: MultiModeSpec, rng: random.Random
+) -> Architecture:
+    pes: List[ProcessingElement] = []
+    # The first PE is always a general-purpose processor so every task
+    # type has a guaranteed software implementation.
+    pes.append(
+        ProcessingElement(
+            name="GPP0",
+            kind=PEKind.GPP,
+            static_power=rng.uniform(2e-3, 8e-3),
+            voltage_levels=DVS_LEVELS if spec.dvs_sw else None,
+            threshold_voltage=THRESHOLD_VOLTAGE,
+        )
+    )
+    for index in range(1, spec.pe_count):
+        roll = rng.random()
+        dvs = rng.random() < spec.dvs_hw_probability
+        if index == 1:
+            # Guarantee at least one hardware component: a multi-mode
+            # co-design instance without ASICs/FPGAs has no core
+            # allocation or sharing decisions to make.
+            roll = rng.uniform(0.4, 1.0)
+        if roll < 0.4:
+            pes.append(
+                ProcessingElement(
+                    name=f"ASIP{index}",
+                    kind=PEKind.ASIP,
+                    static_power=rng.uniform(2e-3, 8e-3),
+                    voltage_levels=DVS_LEVELS if spec.dvs_sw else None,
+                    threshold_voltage=THRESHOLD_VOLTAGE,
+                )
+            )
+        elif roll < 0.8:
+            pes.append(
+                ProcessingElement(
+                    name=f"ASIC{index}",
+                    kind=PEKind.ASIC,
+                    area=1.0,  # sized later by technology generation
+                    static_power=rng.uniform(2e-3, 7e-3),
+                    voltage_levels=DVS_LEVELS if dvs else None,
+                    threshold_voltage=THRESHOLD_VOLTAGE,
+                )
+            )
+        else:
+            pes.append(
+                ProcessingElement(
+                    name=f"FPGA{index}",
+                    kind=PEKind.FPGA,
+                    area=1.0,  # sized later by technology generation
+                    static_power=rng.uniform(3e-3, 9e-3),
+                    voltage_levels=DVS_LEVELS if dvs else None,
+                    threshold_voltage=THRESHOLD_VOLTAGE,
+                    reconfig_time_per_cell=rng.uniform(4e-6, 1.2e-5),
+                )
+            )
+    links = [
+        CommunicationLink(
+            name=f"CL{index}",
+            connects=[pe.name for pe in pes],
+            bandwidth_bps=rng.uniform(2e6, 2e7),
+            comm_power=rng.uniform(1e-3, 5e-3),
+            static_power=rng.uniform(5e-4, 2e-3),
+        )
+        for index in range(spec.cl_count)
+    ]
+    return Architecture(f"{spec.name}_arch", pes, links)
+
+
+def _make_technology(
+    spec: MultiModeSpec,
+    rng: random.Random,
+    type_pool: Sequence[str],
+    architecture: Architecture,
+) -> TechnologyLibrary:
+    entries: List[TaskImplementation] = []
+    software = architecture.software_pes()
+    hardware = architecture.hardware_pes()
+
+    base_time: Dict[str, float] = {}
+    base_power: Dict[str, float] = {}
+    for task_type in type_pool:
+        base_time[task_type] = rng.uniform(4e-3, 30e-3)
+        base_power[task_type] = rng.uniform(0.05, 0.25)
+
+    for task_type in type_pool:
+        for pe in software:
+            speed = 1.0 if pe.kind is PEKind.GPP else rng.uniform(0.6, 1.6)
+            entries.append(
+                TaskImplementation(
+                    task_type=task_type,
+                    pe=pe.name,
+                    exec_time=base_time[task_type] * speed,
+                    power=base_power[task_type] * rng.uniform(0.8, 1.2),
+                )
+            )
+
+    hw_area_demand: Dict[str, float] = {pe.name: 0.0 for pe in hardware}
+    for task_type in type_pool:
+        for pe in hardware:
+            if rng.random() >= spec.hw_support_probability:
+                continue
+            # Hardware runs 5-100x faster at a tiny fraction of the
+            # software energy (the paper's stated assumption).
+            speedup = rng.uniform(5.0, 100.0)
+            exec_time = base_time[task_type] / speedup
+            sw_energy = base_time[task_type] * base_power[task_type]
+            hw_energy = sw_energy * rng.uniform(1e-3, 1e-2)
+            area = rng.uniform(150.0, 400.0)
+            entries.append(
+                TaskImplementation(
+                    task_type=task_type,
+                    pe=pe.name,
+                    exec_time=exec_time,
+                    power=hw_energy / exec_time,
+                    area=area,
+                )
+            )
+            hw_area_demand[pe.name] += area
+
+    # Size each hardware component to hold only part of what could be
+    # mapped onto it: area pressure forces real trade-offs.
+    for pe in hardware:
+        demand = hw_area_demand[pe.name]
+        pe.area = max(400.0, demand * rng.uniform(*spec.hw_area_fraction))
+
+    return TechnologyLibrary(entries)

@@ -1,0 +1,109 @@
+"""Random task-graph generation (TGFF-style layered DAGs).
+
+The generator emulates the structure of TGFF-produced graphs, which the
+co-synthesis literature (including this paper's "automatically generated
+examples") uses throughout: tasks are arranged in layers, every
+non-entry task consumes data from at least one task of an earlier layer
+and additional edges are sprinkled with a configurable probability.
+Task types are drawn from a shared pool so that the same type recurs
+within and across modes — the resource-sharing opportunity multi-mode
+synthesis exploits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.specification.task_graph import CommEdge, Task, TaskGraph
+
+
+def random_task_graph(
+    name: str,
+    rng: random.Random,
+    task_count: int,
+    type_pool: Sequence[str],
+    max_width: int = 4,
+    extra_edge_probability: float = 0.25,
+    data_bits_range: Tuple[float, float] = (256.0, 8192.0),
+    task_prefix: str = "t",
+    task_types: Optional[Sequence[str]] = None,
+) -> TaskGraph:
+    """Generate one layered random DAG.
+
+    Parameters
+    ----------
+    name:
+        Graph name.
+    rng:
+        Seeded random source; the graph is a pure function of it.
+    task_count:
+        Number of tasks (≥ 1).
+    type_pool:
+        Task types to draw from (with replacement) — sharing the pool
+        across modes produces the cross-mode type intersections of
+        multi-mode systems.
+    max_width:
+        Maximal number of tasks per layer.
+    extra_edge_probability:
+        Probability of adding a second (transitive-ish) edge per task.
+    data_bits_range:
+        Uniform range of the payload size on each edge.
+    task_prefix:
+        Prefix of generated task names (kept unique per graph).
+    task_types:
+        Optional explicit type per task (length ``task_count``);
+        overrides the pool draw.  Used by the multi-mode generator to
+        control how much the type sets of different modes intersect.
+    """
+    if task_count < 1:
+        raise ValueError("task_count must be at least 1")
+    if not type_pool and task_types is None:
+        raise ValueError("type pool must not be empty")
+    if task_types is not None and len(task_types) != task_count:
+        raise ValueError(
+            f"task_types has {len(task_types)} entries for "
+            f"{task_count} tasks"
+        )
+
+    # Partition tasks into layers of random width.
+    layers: List[List[str]] = []
+    created = 0
+    while created < task_count:
+        width = min(rng.randint(1, max_width), task_count - created)
+        layer = [
+            f"{task_prefix}{created + offset}" for offset in range(width)
+        ]
+        created += width
+        layers.append(layer)
+
+    flat_names = [task_name for layer in layers for task_name in layer]
+    if task_types is None:
+        chosen_types = [rng.choice(list(type_pool)) for _ in flat_names]
+    else:
+        chosen_types = list(task_types)
+    tasks = [
+        Task(name=task_name, task_type=task_type)
+        for task_name, task_type in zip(flat_names, chosen_types)
+    ]
+
+    edges: List[CommEdge] = []
+    seen = set()
+
+    def add_edge(src: str, dst: str) -> None:
+        if (src, dst) in seen:
+            return
+        seen.add((src, dst))
+        bits = rng.uniform(*data_bits_range)
+        edges.append(CommEdge(src=src, dst=dst, data_bits=bits))
+
+    for level in range(1, len(layers)):
+        for task_name in layers[level]:
+            # Mandatory parent in the directly preceding layer keeps the
+            # graph connected and genuinely layered.
+            add_edge(rng.choice(layers[level - 1]), task_name)
+            if rng.random() < extra_edge_probability and level >= 2:
+                source_level = rng.randrange(0, level)
+                add_edge(rng.choice(layers[source_level]), task_name)
+
+    return TaskGraph(name=name, tasks=tasks, edges=edges)

@@ -1,0 +1,65 @@
+"""The mul1–mul12 benchmark suite.
+
+Twelve generated instances matching the paper's stated structural
+parameters (Table 1, column 1 gives the mode counts): 3–5 operational
+modes of 8–32 tasks each, mapped onto 2–4 heterogeneous PEs connected
+by 1–3 communication links.  The exact instances the paper generated
+are unpublished; these specs re-create the stated structure with fixed
+seeds so every run of this library sees identical problems.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.benchgen.multimode import MultiModeSpec, generate_problem
+from repro.problem import Problem
+
+#: The twelve suite specs.  Mode counts follow Table 1 of the paper.
+SUITE_SPECS: Tuple[MultiModeSpec, ...] = (
+    MultiModeSpec(name="mul1", seed=101, mode_tasks=(12, 16, 10, 14),
+                  pe_count=3, cl_count=1),
+    MultiModeSpec(name="mul2", seed=102, mode_tasks=(8, 12, 9, 11),
+                  pe_count=2, cl_count=1),
+    MultiModeSpec(name="mul3", seed=103, mode_tasks=(20, 24, 16, 18, 22),
+                  pe_count=4, cl_count=2),
+    MultiModeSpec(name="mul4", seed=104, mode_tasks=(14, 18, 12, 16, 10),
+                  pe_count=3, cl_count=2),
+    MultiModeSpec(name="mul5", seed=105, mode_tasks=(10, 14, 12),
+                  pe_count=3, cl_count=1),
+    MultiModeSpec(name="mul6", seed=106, mode_tasks=(9, 13, 11, 8),
+                  pe_count=2, cl_count=1),
+    MultiModeSpec(name="mul7", seed=107, mode_tasks=(16, 12, 20, 14),
+                  pe_count=4, cl_count=3),
+    MultiModeSpec(name="mul8", seed=108, mode_tasks=(28, 32, 24, 30),
+                  pe_count=4, cl_count=2),
+    MultiModeSpec(name="mul9", seed=109, mode_tasks=(8, 10, 9, 8),
+                  pe_count=2, cl_count=1),
+    MultiModeSpec(name="mul10", seed=110, mode_tasks=(22, 18, 26, 20, 24),
+                  pe_count=4, cl_count=2),
+    MultiModeSpec(name="mul11", seed=111, mode_tasks=(9, 12, 10),
+                  pe_count=3, cl_count=1),
+    MultiModeSpec(name="mul12", seed=112, mode_tasks=(18, 22, 16, 20),
+                  pe_count=3, cl_count=2),
+)
+
+_SPEC_BY_NAME: Dict[str, MultiModeSpec] = {
+    spec.name: spec for spec in SUITE_SPECS
+}
+
+
+def suite_problem(name: str) -> Problem:
+    """Generate one suite instance by name (``mul1`` .. ``mul12``)."""
+    try:
+        spec = _SPEC_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown suite instance {name!r}; choose from "
+            f"{sorted(_SPEC_BY_NAME)}"
+        ) from None
+    return generate_problem(spec)
+
+
+def load_suite() -> List[Problem]:
+    """Generate all twelve suite instances, in order."""
+    return [generate_problem(spec) for spec in SUITE_SPECS]

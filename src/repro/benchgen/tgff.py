@@ -1,0 +1,228 @@
+"""Reading and writing task graphs in TGFF-style format.
+
+TGFF ("Task Graphs For Free", Dick/Rhodes/Wolf) is the de-facto
+interchange format of the co-synthesis literature — the paper's
+generated examples follow its conventions.  This module implements the
+task-graph subset of the format:
+
+* ``@TASK_GRAPH <n> { ... }`` blocks with ``PERIOD``, ``TASK`` and
+  ``ARC`` statements::
+
+      @TASK_GRAPH 0 {
+        PERIOD 0.025
+        TASK t0_0  TYPE 2
+        TASK t0_1  TYPE 7
+        ARC a0_0   FROM t0_0 TO t0_1 TYPE 1
+      }
+
+  ``TASK ... TYPE k`` declares a task of type ``k``; ``ARC ... TYPE k``
+  declares a dependency whose type indexes a message size.
+* an optional ``@MSG_SIZES`` table mapping arc types to bit counts, and
+* comments starting with ``#``.
+
+Reading produces plain :class:`~repro.specification.task_graph.TaskGraph`
+objects (task types are rendered as ``"T<k>"``); writing emits the same
+dialect, so external TGFF tooling and this library can exchange graphs.
+Mode probabilities, architectures and technology tables are outside the
+TGFF core format and stay in this library's JSON schema (`repro.io`).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+import pathlib
+
+from repro.errors import SpecificationError
+from repro.specification.task_graph import CommEdge, Task, TaskGraph
+
+_GRAPH_RE = re.compile(r"@TASK_GRAPH\s+(\d+)\s*\{")
+_MSG_RE = re.compile(r"@MSG_SIZES\s*\{")
+_TASK_RE = re.compile(
+    r"^\s*TASK\s+(\S+)\s+TYPE\s+(\d+)\s*$", re.IGNORECASE
+)
+_ARC_RE = re.compile(
+    r"^\s*ARC\s+(\S+)\s+FROM\s+(\S+)\s+TO\s+(\S+)\s+TYPE\s+(\d+)\s*$",
+    re.IGNORECASE,
+)
+_PERIOD_RE = re.compile(
+    r"^\s*PERIOD\s+([0-9.eE+-]+)\s*$", re.IGNORECASE
+)
+_MSG_ENTRY_RE = re.compile(r"^\s*(\d+)\s+([0-9.eE+-]+)\s*$")
+
+
+def _strip_comment(line: str) -> str:
+    position = line.find("#")
+    return line if position < 0 else line[:position]
+
+
+def parse_tgff(
+    text: str, default_message_bits: float = 1024.0
+) -> List[Tuple[TaskGraph, Optional[float]]]:
+    """Parse TGFF text into ``(task graph, period)`` pairs.
+
+    Periods are ``None`` when the block declares none.  Raises
+    :class:`SpecificationError` on malformed blocks (unknown endpoints,
+    unbalanced braces, duplicate graphs).
+    """
+    lines = text.splitlines()
+    message_sizes: Dict[int, float] = {}
+    graphs: List[Tuple[TaskGraph, Optional[float]]] = []
+    index = 0
+    seen_ids = set()
+    while index < len(lines):
+        line = _strip_comment(lines[index])
+        graph_match = _GRAPH_RE.search(line)
+        msg_match = _MSG_RE.search(line)
+        if msg_match:
+            index += 1
+            while index < len(lines):
+                entry = _strip_comment(lines[index]).strip()
+                if entry.startswith("}"):
+                    break
+                matched = _MSG_ENTRY_RE.match(entry)
+                if matched:
+                    message_sizes[int(matched.group(1))] = float(
+                        matched.group(2)
+                    )
+                elif entry:
+                    raise SpecificationError(
+                        f"malformed @MSG_SIZES entry: {entry!r}"
+                    )
+                index += 1
+            else:
+                raise SpecificationError(
+                    "unterminated @MSG_SIZES block"
+                )
+        elif graph_match:
+            graph_id = int(graph_match.group(1))
+            if graph_id in seen_ids:
+                raise SpecificationError(
+                    f"duplicate @TASK_GRAPH id {graph_id}"
+                )
+            seen_ids.add(graph_id)
+            tasks: List[Task] = []
+            arcs: List[Tuple[str, str, int]] = []
+            period: Optional[float] = None
+            index += 1
+            while index < len(lines):
+                entry = _strip_comment(lines[index]).strip()
+                if entry.startswith("}"):
+                    break
+                if not entry:
+                    index += 1
+                    continue
+                task_match = _TASK_RE.match(entry)
+                arc_match = _ARC_RE.match(entry)
+                period_match = _PERIOD_RE.match(entry)
+                if task_match:
+                    tasks.append(
+                        Task(
+                            name=task_match.group(1),
+                            task_type=f"T{int(task_match.group(2))}",
+                        )
+                    )
+                elif arc_match:
+                    arcs.append(
+                        (
+                            arc_match.group(2),
+                            arc_match.group(3),
+                            int(arc_match.group(4)),
+                        )
+                    )
+                elif period_match:
+                    period = float(period_match.group(1))
+                else:
+                    raise SpecificationError(
+                        f"unrecognised TGFF statement: {entry!r}"
+                    )
+                index += 1
+            else:
+                raise SpecificationError(
+                    f"unterminated @TASK_GRAPH {graph_id} block"
+                )
+            edges = [
+                CommEdge(
+                    src=src,
+                    dst=dst,
+                    data_bits=message_sizes.get(
+                        arc_type, default_message_bits
+                    ),
+                )
+                for src, dst, arc_type in arcs
+            ]
+            graphs.append(
+                (
+                    TaskGraph(f"tgff_{graph_id}", tasks, edges),
+                    period,
+                )
+            )
+        index += 1
+    return graphs
+
+
+def load_tgff(
+    path: Union[str, pathlib.Path],
+    default_message_bits: float = 1024.0,
+) -> List[Tuple[TaskGraph, Optional[float]]]:
+    """Parse a ``.tgff`` file from disk."""
+    return parse_tgff(
+        pathlib.Path(path).read_text(), default_message_bits
+    )
+
+
+def dump_tgff(
+    graphs: Sequence[Tuple[TaskGraph, Optional[float]]],
+) -> str:
+    """Render task graphs in the TGFF dialect parsed by this module.
+
+    Arc message sizes are emitted exactly through a generated
+    ``@MSG_SIZES`` table (one arc type per distinct payload size), so
+    ``parse_tgff(dump_tgff(gs))`` round-trips graphs losslessly up to
+    the task-type naming convention (types must look like ``T<k>``).
+    """
+    sizes: List[float] = []
+    size_index: Dict[float, int] = {}
+    for graph, _ in graphs:
+        for edge in graph.edges:
+            if edge.data_bits not in size_index:
+                size_index[edge.data_bits] = len(sizes)
+                sizes.append(edge.data_bits)
+
+    lines: List[str] = ["# generated by repro.benchgen.tgff", ""]
+    if sizes:
+        lines.append("@MSG_SIZES {")
+        for arc_type, bits in enumerate(sizes):
+            lines.append(f"  {arc_type} {bits:g}")
+        lines.append("}")
+        lines.append("")
+
+    for number, (graph, period) in enumerate(graphs):
+        lines.append(f"@TASK_GRAPH {number} {{")
+        if period is not None:
+            lines.append(f"  PERIOD {period:g}")
+        for task in graph:
+            if not re.fullmatch(r"T\d+", task.task_type):
+                raise SpecificationError(
+                    f"TGFF export requires numeric task types "
+                    f"('T<k>'), got {task.task_type!r}"
+                )
+            lines.append(
+                f"  TASK {task.name}  TYPE {task.task_type[1:]}"
+            )
+        for arc_number, edge in enumerate(graph.edges):
+            lines.append(
+                f"  ARC a{number}_{arc_number}  FROM {edge.src} "
+                f"TO {edge.dst} TYPE {size_index[edge.data_bits]}"
+            )
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def save_tgff(
+    graphs: Sequence[Tuple[TaskGraph, Optional[float]]],
+    path: Union[str, pathlib.Path],
+) -> None:
+    """Write task graphs to a ``.tgff`` file."""
+    pathlib.Path(path).write_text(dump_tgff(graphs))

@@ -1,0 +1,328 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    repro-mm table1                      # Table 1 (no DVS), all instances
+    repro-mm table2 --runs 3 --only mul6 mul7
+    repro-mm table3 --runs 2             # smart phone, both rows
+    repro-mm synthesize mul5 --dvs gradient --probabilities
+    repro-mm inspect smartphone          # print a problem's structure
+
+The module is also runnable as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.experiments import (
+    run_smartphone_experiment,
+    run_suite_experiment,
+)
+from repro.analysis.paper_data import TABLE1, TABLE2
+from repro.analysis.reporting import (
+    format_comparison_table,
+    format_paper_comparison,
+    format_smartphone_table,
+)
+from repro.benchgen.smartphone import smartphone_problem
+from repro.benchgen.suite import SUITE_SPECS, suite_problem
+from repro.problem import Problem
+from repro.synthesis.config import DvsMethod, SynthesisConfig
+from repro.synthesis.cosynthesis import MultiModeSynthesizer
+
+
+def _load_problem(name: str) -> Problem:
+    if name == "smartphone":
+        return smartphone_problem()
+    return suite_problem(name)
+
+
+def _config_from_args(args: argparse.Namespace) -> SynthesisConfig:
+    return SynthesisConfig(
+        use_probabilities=getattr(args, "probabilities", True),
+        dvs=DvsMethod(getattr(args, "dvs", "none")),
+        population_size=args.population,
+        max_generations=args.generations,
+        convergence_generations=args.convergence,
+        seed=args.seed,
+    )
+
+
+def _add_ga_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--population", type=int, default=40, help="GA population size"
+    )
+    parser.add_argument(
+        "--generations", type=int, default=120, help="generation limit"
+    )
+    parser.add_argument(
+        "--convergence",
+        type=int,
+        default=20,
+        help="stop after this many generations without improvement",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+
+
+def _cmd_table(args: argparse.Namespace, dvs: DvsMethod) -> int:
+    config = SynthesisConfig(
+        population_size=args.population,
+        max_generations=args.generations,
+        convergence_generations=args.convergence,
+    )
+    results = run_suite_experiment(
+        dvs=dvs,
+        runs=args.runs,
+        config=config,
+        examples=args.only or None,
+        base_seed=args.seed,
+    )
+    table_number = "1" if dvs is DvsMethod.NONE else "2"
+    title = (
+        f"Table {table_number}: Considering Execution Probabilities "
+        f"({'w/o' if dvs is DvsMethod.NONE else 'with'} DVS, "
+        f"{args.runs} runs averaged)"
+    )
+    print(format_comparison_table(results, title))
+    paper = TABLE1 if dvs is DvsMethod.NONE else TABLE2
+    print()
+    print(
+        format_paper_comparison(
+            results,
+            {row.example: row for row in paper},
+            title=f"Table {table_number} vs paper",
+        )
+    )
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    config = SynthesisConfig(
+        population_size=args.population,
+        max_generations=args.generations,
+        convergence_generations=args.convergence,
+    )
+    results = run_smartphone_experiment(
+        runs=args.runs, config=config, base_seed=args.seed
+    )
+    print(
+        format_smartphone_table(
+            results,
+            title=(
+                f"Table 3: Results of Smart Phone Experiments "
+                f"({args.runs} runs averaged)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    problem = _load_problem(args.problem)
+    config = _config_from_args(args)
+    result = MultiModeSynthesizer(problem, config).run()
+    print(result.best.summary())
+    print(
+        f"  generations: {result.generations}, evaluations: "
+        f"{result.evaluations}, cpu time: {result.cpu_time:.1f} s"
+    )
+    if args.gantt:
+        from repro.analysis.gantt import render_all_modes
+
+        print()
+        print(
+            render_all_modes(
+                result.best.schedules, problem.architecture
+            )
+        )
+    if args.save_mapping:
+        import json
+
+        from repro.io import mapping_to_dict
+
+        with open(args.save_mapping, "w") as handle:
+            json.dump(
+                mapping_to_dict(result.best.mapping),
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+        print(f"  mapping written to {args.save_mapping}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    problem = _load_problem(args.problem)
+    omsm = problem.omsm
+    print(f"problem {problem.name!r}")
+    print(f"  modes: {len(omsm)}, genes: {problem.genome_length()}")
+    for mode in omsm.modes:
+        graph = mode.task_graph
+        print(
+            f"    {mode.name}: Ψ={mode.probability:.3f} "
+            f"φ={mode.period * 1e3:.1f} ms, {len(graph)} tasks, "
+            f"{len(graph.edges)} edges, {len(graph.task_types())} types"
+        )
+    print(f"  shared task types: {sorted(omsm.shared_task_types())}")
+    print("  architecture:")
+    for pe in problem.architecture.pes:
+        dvs = (
+            f", DVS {pe.voltage_levels}" if pe.dvs_enabled else ""
+        )
+        area = f", area {pe.area:.0f}" if pe.is_hardware else ""
+        print(
+            f"    {pe.name}: {pe.kind.value}{area}, "
+            f"P_stat {pe.static_power * 1e3:.2f} mW{dvs}"
+        )
+    for link in problem.architecture.links:
+        print(
+            f"    {link.name}: links {sorted(link.connects)}, "
+            f"{link.bandwidth_bps / 1e6:.1f} Mbit/s"
+        )
+    print(f"  transitions: {len(omsm.transitions)}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulation.executor import simulate as run_simulation
+
+    problem = _load_problem(args.problem)
+    config = _config_from_args(args)
+    result = MultiModeSynthesizer(problem, config).run()
+    print(result.best.summary())
+    print()
+    report = run_simulation(
+        result.best, horizon=args.horizon, seed=args.seed
+    )
+    print(report.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mm",
+        description=(
+            "Multi-mode co-synthesis experiments (DATE 2003 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for table, dvs in (("table1", DvsMethod.NONE), ("table2", None)):
+        table_parser = sub.add_parser(
+            table,
+            help=f"reproduce {table} "
+            + ("(no DVS)" if table == "table1" else "(with DVS)"),
+        )
+        table_parser.add_argument(
+            "--runs", type=int, default=5, help="optimisation runs averaged"
+        )
+        table_parser.add_argument(
+            "--only",
+            nargs="*",
+            choices=[spec.name for spec in SUITE_SPECS],
+            help="restrict to these instances",
+        )
+        _add_ga_options(table_parser)
+
+    table3 = sub.add_parser("table3", help="reproduce Table 3 (smart phone)")
+    table3.add_argument("--runs", type=int, default=3)
+    _add_ga_options(table3)
+
+    synth = sub.add_parser("synthesize", help="synthesise one instance")
+    synth.add_argument(
+        "problem",
+        help="instance name: mul1..mul12 or 'smartphone'",
+    )
+    synth.add_argument(
+        "--dvs",
+        choices=[m.value for m in DvsMethod],
+        default="none",
+        help="voltage scaling method",
+    )
+    synth.add_argument(
+        "--probabilities",
+        action="store_true",
+        default=True,
+        help="use true mode probabilities in the fitness (default)",
+    )
+    synth.add_argument(
+        "--no-probabilities",
+        dest="probabilities",
+        action="store_false",
+        help="probability-neglecting baseline",
+    )
+    synth.add_argument(
+        "--gantt",
+        action="store_true",
+        help="print an ASCII Gantt chart of every mode's schedule",
+    )
+    synth.add_argument(
+        "--save-mapping",
+        metavar="FILE",
+        default=None,
+        help="write the best mapping to a JSON file",
+    )
+    _add_ga_options(synth)
+
+    inspect = sub.add_parser("inspect", help="print a problem's structure")
+    inspect.add_argument(
+        "problem", help="instance name: mul1..mul12 or 'smartphone'"
+    )
+
+    simulate = sub.add_parser(
+        "simulate",
+        help=(
+            "synthesise an instance, then validate Equation (1) by "
+            "trace-driven simulation"
+        ),
+    )
+    simulate.add_argument(
+        "problem", help="instance name: mul1..mul12 or 'smartphone'"
+    )
+    simulate.add_argument(
+        "--horizon",
+        type=float,
+        default=500.0,
+        help="simulated operational time in seconds",
+    )
+    simulate.add_argument(
+        "--dvs",
+        choices=[m.value for m in DvsMethod],
+        default="none",
+    )
+    simulate.add_argument(
+        "--probabilities",
+        action="store_true",
+        default=True,
+    )
+    simulate.add_argument(
+        "--no-probabilities",
+        dest="probabilities",
+        action="store_false",
+    )
+    _add_ga_options(simulate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table(args, DvsMethod.NONE)
+    if args.command == "table2":
+        return _cmd_table(args, DvsMethod.GRADIENT)
+    if args.command == "table3":
+        return _cmd_table3(args)
+    if args.command == "synthesize":
+        return _cmd_synthesize(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

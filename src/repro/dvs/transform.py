@@ -1,0 +1,130 @@
+"""The Fig. 5 transformation: parallel hardware tasks → sequential profile.
+
+All cores on one hardware component share a single supply rail (a
+dedicated DC/DC converter per core would cost area and power), so
+scaling the voltage affects every core simultaneously.  To compute a
+voltage schedule with the machinery built for sequential (software)
+execution, the component's timeline is cut at every task start/end into
+*segments* during which the set of concurrently running tasks — and
+therefore the total power drawn — is constant.  Each segment behaves
+like one sequential task with the combined power of its active cores;
+the chain of segments is energy- and makespan-equivalent to the parallel
+execution at nominal voltage.
+
+The transformation is *virtual*: it exists only to compute scaled
+supply voltages (paper Section 4.2) and is mapped back onto the real
+parallel tasks afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import VoltageScalingError
+from repro.scheduling.schedule import TIME_EPS, ScheduledTask
+
+
+@dataclass(frozen=True)
+class VirtualSegment:
+    """One constant-power slice of a hardware component's timeline.
+
+    ``portions`` maps each active task to the nominal time it spends
+    inside this segment (equal to the segment duration for every active
+    task, since segments are cut at task boundaries — kept explicit for
+    back-mapping).
+    """
+
+    index: int
+    start: float
+    end: float
+    power: float
+    active: Tuple[str, ...]
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def energy(self) -> float:
+        """Nominal dynamic energy of the slice: combined power × time."""
+        return self.power * self.duration
+
+
+def transform_parallel_tasks(
+    tasks: Sequence[ScheduledTask],
+) -> Tuple[VirtualSegment, ...]:
+    """Cut a component's task set into constant-activity segments.
+
+    Parameters
+    ----------
+    tasks:
+        The scheduled tasks of *one* hardware component in *one* mode.
+
+    Returns
+    -------
+    tuple of :class:`VirtualSegment`
+        Ordered by time; idle gaps between tasks produce no segment.
+        The sum of segment energies equals the sum of task energies and
+        the last segment ends at the latest task end (the equivalence
+        the paper's transformation relies on).
+    """
+    if not tasks:
+        return ()
+    breakpoints = sorted(
+        {t.start for t in tasks} | {t.end for t in tasks}
+    )
+    segments: List[VirtualSegment] = []
+    for left, right in zip(breakpoints, breakpoints[1:]):
+        if right - left <= TIME_EPS:
+            continue
+        active = tuple(
+            sorted(
+                t.name
+                for t in tasks
+                if t.start <= left + TIME_EPS and t.end >= right - TIME_EPS
+            )
+        )
+        if not active:
+            continue
+        power = sum(t.power for t in tasks if t.name in active)
+        segments.append(
+            VirtualSegment(
+                index=len(segments),
+                start=left,
+                end=right,
+                power=power,
+                active=active,
+            )
+        )
+    _check_equivalence(tasks, segments)
+    return tuple(segments)
+
+
+def segments_of_task(
+    segments: Sequence[VirtualSegment], task_name: str
+) -> Tuple[VirtualSegment, ...]:
+    """The segments a given task is active in, in time order."""
+    return tuple(s for s in segments if task_name in s.active)
+
+
+def _check_equivalence(
+    tasks: Sequence[ScheduledTask], segments: Sequence[VirtualSegment]
+) -> None:
+    """Internal sanity check of the transformation invariants."""
+    task_energy = sum(t.power * t.duration for t in tasks)
+    segment_energy = sum(s.energy for s in segments)
+    scale = max(task_energy, 1.0)
+    if abs(task_energy - segment_energy) > 1e-9 * scale:
+        raise VoltageScalingError(
+            f"transformation broke energy equivalence: tasks "
+            f"{task_energy}, segments {segment_energy}"
+        )
+    nonzero = [t for t in tasks if t.duration > TIME_EPS]
+    if nonzero and segments:
+        latest_task = max(t.end for t in nonzero)
+        latest_segment = max(s.end for s in segments)
+        if abs(latest_task - latest_segment) > TIME_EPS:
+            raise VoltageScalingError(
+                "transformation broke makespan equivalence"
+            )

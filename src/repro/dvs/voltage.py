@@ -1,0 +1,107 @@
+"""Supply-voltage dependence of delay and energy.
+
+Delay follows the alpha-power law with ``α = 2``: the achievable clock
+frequency is proportional to ``(V_dd − V_t)² / V_dd``, so execution time
+scales inversely.  Dynamic energy per task follows the paper's
+Section 3 formula ``E = P_max · t_min · V_dd² / V_max²`` — it depends
+only on the voltage (switched capacitance times V²), not on how long
+the stretched execution takes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import VoltageScalingError
+
+
+def speed_factor(vdd: float, vt: float) -> float:
+    """Relative processing speed at supply ``vdd`` (alpha-power, α=2).
+
+    Unnormalised: callers compare speeds at two voltages of the same
+    component, so the constant factors cancel.
+    """
+    if vdd <= vt:
+        raise VoltageScalingError(
+            f"supply voltage {vdd} must exceed threshold {vt}"
+        )
+    return (vdd - vt) ** 2 / vdd
+
+
+def scaled_duration(
+    nominal_duration: float, vdd: float, vmax: float, vt: float
+) -> float:
+    """Execution time at supply ``vdd``, given time at ``vmax``.
+
+    Monotonically decreasing in ``vdd``; equals ``nominal_duration`` at
+    ``vdd == vmax``.
+    """
+    if nominal_duration < 0:
+        raise VoltageScalingError(
+            f"nominal duration must be non-negative, got {nominal_duration}"
+        )
+    if vdd > vmax:
+        raise VoltageScalingError(
+            f"supply voltage {vdd} exceeds nominal {vmax}"
+        )
+    return nominal_duration * speed_factor(vmax, vt) / speed_factor(vdd, vt)
+
+
+def scaled_energy(nominal_energy: float, vdd: float, vmax: float) -> float:
+    """Dynamic energy at supply ``vdd``, given energy at ``vmax``.
+
+    The paper's DVS energy term: ``E · (V_dd / V_max)²``.
+    """
+    if nominal_energy < 0:
+        raise VoltageScalingError(
+            f"nominal energy must be non-negative, got {nominal_energy}"
+        )
+    if vdd > vmax:
+        raise VoltageScalingError(
+            f"supply voltage {vdd} exceeds nominal {vmax}"
+        )
+    return nominal_energy * (vdd / vmax) ** 2
+
+
+def duration_energy_tables(
+    nominal_duration: float,
+    nominal_energy: float,
+    levels: Sequence[float],
+    vt: float,
+) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    """Per-level (ascending voltage) duration and energy tables.
+
+    ``levels`` must be the component's sorted discrete supply voltages;
+    the last entry is the nominal ``V_max``.
+    """
+    if not levels:
+        raise VoltageScalingError("need at least one voltage level")
+    vmax = levels[-1]
+    durations = tuple(
+        scaled_duration(nominal_duration, v, vmax, vt) for v in levels
+    )
+    energies = tuple(
+        scaled_energy(nominal_energy, v, vmax) for v in levels
+    )
+    return durations, energies
+
+
+def minimum_feasible_level(
+    nominal_duration: float,
+    budget: float,
+    levels: Sequence[float],
+    vt: float,
+) -> int:
+    """Index of the lowest voltage level finishing within ``budget``.
+
+    Used by the naive uniform-slack baseline.  Raises when even the
+    nominal voltage misses the budget.
+    """
+    vmax = levels[-1]
+    for index, level in enumerate(levels):
+        if scaled_duration(nominal_duration, level, vmax, vt) <= budget:
+            return index
+    raise VoltageScalingError(
+        f"duration {nominal_duration} cannot meet budget {budget} even at "
+        f"nominal voltage"
+    )

@@ -1,0 +1,239 @@
+"""JSON (de)serialisation of problems and synthesis results.
+
+Lets users keep multi-mode specifications under version control,
+exchange generated benchmark instances, and archive the mapping the
+synthesis produced::
+
+    from repro.io import problem_to_dict, problem_from_dict, save_problem
+
+    save_problem(problem, "phone.json")
+    problem = load_problem("phone.json")
+
+The schema is versioned; loading validates through the normal model
+constructors, so a tampered file fails with the library's usual
+exceptions rather than producing an inconsistent instance.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Any, Dict, Union
+
+from repro.architecture.communication_link import CommunicationLink
+from repro.architecture.platform import Architecture
+from repro.architecture.processing_element import PEKind, ProcessingElement
+from repro.architecture.technology import TaskImplementation, TechnologyLibrary
+from repro.errors import SpecificationError
+from repro.mapping.encoding import MappingString
+from repro.problem import Problem
+from repro.specification.mode import Mode
+from repro.specification.omsm import OMSM, ModeTransition
+from repro.specification.task_graph import CommEdge, Task, TaskGraph
+
+#: Format identifier written into every file.
+SCHEMA_VERSION = 1
+
+
+def problem_to_dict(problem: Problem) -> Dict[str, Any]:
+    """Serialise a complete problem instance to plain data."""
+    omsm = problem.omsm
+    architecture = problem.architecture
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": omsm.name,
+        "modes": [
+            {
+                "name": mode.name,
+                "probability": mode.probability,
+                "period": mode.period,
+                "tasks": [
+                    {
+                        "name": task.name,
+                        "type": task.task_type,
+                        "deadline": task.deadline,
+                    }
+                    for task in mode.task_graph
+                ],
+                "edges": [
+                    {
+                        "src": edge.src,
+                        "dst": edge.dst,
+                        "data_bits": edge.data_bits,
+                    }
+                    for edge in mode.task_graph.edges
+                ],
+            }
+            for mode in omsm.modes
+        ],
+        "transitions": [
+            {
+                "src": transition.src,
+                "dst": transition.dst,
+                "max_time": (
+                    None
+                    if math.isinf(transition.max_time)
+                    else transition.max_time
+                ),
+            }
+            for transition in omsm.transitions
+        ],
+        "pes": [
+            {
+                "name": pe.name,
+                "kind": pe.kind.value,
+                "area": pe.area,
+                "static_power": pe.static_power,
+                "voltage_levels": list(pe.voltage_levels),
+                "threshold_voltage": pe.threshold_voltage,
+                "reconfig_time_per_cell": pe.reconfig_time_per_cell,
+            }
+            for pe in architecture.pes
+        ],
+        "links": [
+            {
+                "name": link.name,
+                "connects": sorted(link.connects),
+                "bandwidth_bps": link.bandwidth_bps,
+                "comm_power": link.comm_power,
+                "static_power": link.static_power,
+            }
+            for link in architecture.links
+        ],
+        "technology": [
+            {
+                "type": entry.task_type,
+                "pe": entry.pe,
+                "exec_time": entry.exec_time,
+                "power": entry.power,
+                "area": entry.area,
+            }
+            for entry in problem.technology
+        ],
+    }
+
+
+def problem_from_dict(data: Dict[str, Any]) -> Problem:
+    """Rebuild a problem instance from :func:`problem_to_dict` data."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise SpecificationError(
+            f"unsupported schema version {data.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    modes = []
+    for entry in data["modes"]:
+        graph = TaskGraph(
+            f"{entry['name']}_graph",
+            [
+                Task(
+                    name=t["name"],
+                    task_type=t["type"],
+                    deadline=t.get("deadline"),
+                )
+                for t in entry["tasks"]
+            ],
+            [
+                CommEdge(
+                    src=e["src"],
+                    dst=e["dst"],
+                    data_bits=e.get("data_bits", 0.0),
+                )
+                for e in entry["edges"]
+            ],
+        )
+        modes.append(
+            Mode(
+                name=entry["name"],
+                task_graph=graph,
+                probability=entry["probability"],
+                period=entry["period"],
+            )
+        )
+    transitions = [
+        ModeTransition(
+            src=t["src"],
+            dst=t["dst"],
+            max_time=(
+                math.inf if t.get("max_time") is None else t["max_time"]
+            ),
+        )
+        for t in data.get("transitions", [])
+    ]
+    omsm = OMSM(data["name"], modes, transitions)
+
+    pes = [
+        ProcessingElement(
+            name=p["name"],
+            kind=PEKind(p["kind"]),
+            area=p.get("area", 0.0),
+            static_power=p.get("static_power", 0.0),
+            voltage_levels=p.get("voltage_levels") or None,
+            threshold_voltage=p.get("threshold_voltage", 0.4),
+            reconfig_time_per_cell=p.get("reconfig_time_per_cell", 0.0),
+        )
+        for p in data["pes"]
+    ]
+    links = [
+        CommunicationLink(
+            name=l["name"],
+            connects=l["connects"],
+            bandwidth_bps=l["bandwidth_bps"],
+            comm_power=l.get("comm_power", 0.0),
+            static_power=l.get("static_power", 0.0),
+        )
+        for l in data.get("links", [])
+    ]
+    architecture = Architecture(f"{data['name']}_arch", pes, links)
+    technology = TechnologyLibrary(
+        TaskImplementation(
+            task_type=t["type"],
+            pe=t["pe"],
+            exec_time=t["exec_time"],
+            power=t["power"],
+            area=t.get("area", 0.0),
+        )
+        for t in data["technology"]
+    )
+    return Problem(omsm, architecture, technology)
+
+
+def save_problem(
+    problem: Problem, path: Union[str, pathlib.Path]
+) -> None:
+    """Write a problem instance to a JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(problem_to_dict(problem), indent=2, sort_keys=True)
+    )
+
+
+def load_problem(path: Union[str, pathlib.Path]) -> Problem:
+    """Read a problem instance from a JSON file."""
+    return problem_from_dict(
+        json.loads(pathlib.Path(path).read_text())
+    )
+
+
+def mapping_to_dict(mapping: MappingString) -> Dict[str, Any]:
+    """Serialise a mapping string (per-mode task → PE assignments)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "problem": mapping.problem.name,
+        "mapping": mapping.full_mapping(),
+    }
+
+
+def mapping_from_dict(
+    problem: Problem, data: Dict[str, Any]
+) -> MappingString:
+    """Rebuild a mapping string against an existing problem."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise SpecificationError(
+            f"unsupported schema version {data.get('schema')!r}"
+        )
+    if data.get("problem") != problem.name:
+        raise SpecificationError(
+            f"mapping was saved for problem {data.get('problem')!r}, "
+            f"not {problem.name!r}"
+        )
+    return MappingString.from_mapping(problem, data["mapping"])

@@ -1,0 +1,21 @@
+"""Mapping: genome encoding, core allocation and implementation results.
+
+The outer synthesis loop searches over *multi-mode mapping strings*
+(paper Fig. 2b/2c): one gene per (mode, task) pair selecting the
+processing element that executes the task in that mode.  Decoding a
+string yields per-mode task mappings, from which the core allocator
+derives the hardware core sets (with mobility-guided duplication), area
+usage and FPGA reconfiguration times.
+"""
+
+from repro.mapping.encoding import MappingString
+from repro.mapping.cores import CoreAllocation, allocate_cores
+from repro.mapping.implementation import Implementation, ImplementationMetrics
+
+__all__ = [
+    "CoreAllocation",
+    "Implementation",
+    "ImplementationMetrics",
+    "MappingString",
+    "allocate_cores",
+]

@@ -1,0 +1,107 @@
+"""Fully evaluated implementation candidates.
+
+An implementation (paper Section 2.2) is the tuple of functions
+``(M_τ^O, M_γ^O, S_ε^O, V_τ^O)`` for every mode, together with the
+derived quality metrics: probability-weighted average power (Equation 1),
+per-mode power breakdown, and the three feasibility dimensions (timing,
+area, mode-transition time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.mapping.cores import CoreAllocation
+from repro.mapping.encoding import MappingString
+from repro.problem import Problem
+from repro.scheduling.schedule import ModeSchedule
+
+
+@dataclass(frozen=True)
+class ImplementationMetrics:
+    """Quality figures of one implementation candidate.
+
+    All powers are in watts, times in seconds.  ``average_power`` is the
+    paper's Equation (1) under the *true* mode execution probabilities,
+    regardless of which probabilities guided the optimisation.
+    """
+
+    average_power: float
+    dynamic_power: Dict[str, float]
+    static_power: Dict[str, float]
+    timing_violation: Dict[str, Dict[str, float]]
+    area_violation: Dict[str, float]
+    transition_violation: Dict[Tuple[str, str], float]
+    fitness: float
+
+    @property
+    def is_timing_feasible(self) -> bool:
+        return not self.timing_violation
+
+    @property
+    def is_area_feasible(self) -> bool:
+        return not self.area_violation
+
+    @property
+    def is_transition_feasible(self) -> bool:
+        return not self.transition_violation
+
+    @property
+    def is_feasible(self) -> bool:
+        """True when no constraint of Section 3 is violated."""
+        return (
+            self.is_timing_feasible
+            and self.is_area_feasible
+            and self.is_transition_feasible
+        )
+
+    def mode_power(self, mode_name: str) -> float:
+        """Dynamic + static power of one mode (unweighted)."""
+        return self.dynamic_power[mode_name] + self.static_power[mode_name]
+
+
+@dataclass(frozen=True)
+class Implementation:
+    """A decoded, scheduled and voltage-scaled mapping candidate."""
+
+    problem: Problem
+    mapping: MappingString
+    cores: CoreAllocation
+    schedules: Dict[str, ModeSchedule]
+    metrics: ImplementationMetrics
+
+    def schedule(self, mode_name: str) -> ModeSchedule:
+        return self.schedules[mode_name]
+
+    def active_components(self, mode_name: str) -> Tuple[str, ...]:
+        """Components powered during a mode (PEs then links, sorted)."""
+        schedule = self.schedules[mode_name]
+        return schedule.active_pes() + schedule.active_links()
+
+    def shut_down_components(self, mode_name: str) -> Tuple[str, ...]:
+        """Components that can be switched off during a mode."""
+        active = set(self.active_components(mode_name))
+        names = list(self.problem.architecture.pe_names) + list(
+            self.problem.architecture.link_names
+        )
+        return tuple(n for n in names if n not in active)
+
+    def summary(self) -> str:
+        """A short human-readable report of the candidate."""
+        lines = [
+            f"implementation of {self.problem.name!r}:",
+            f"  average power: {self.metrics.average_power * 1e3:.4f} mW",
+            f"  feasible: {self.metrics.is_feasible}",
+        ]
+        for mode in self.problem.omsm.modes:
+            schedule = self.schedules[mode.name]
+            shut = ", ".join(self.shut_down_components(mode.name)) or "none"
+            lines.append(
+                f"  mode {mode.name} (Ψ={mode.probability:.2f}): "
+                f"P_dyn={self.metrics.dynamic_power[mode.name] * 1e3:.4f} mW, "
+                f"P_stat={self.metrics.static_power[mode.name] * 1e3:.4f} mW, "
+                f"makespan={schedule.makespan * 1e3:.3f} ms, "
+                f"off: {shut}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Power estimation: dynamic/static power per mode and Equation (1).
+
+The average power of an implementation is the probability-weighted sum
+over modes of dynamic power (per-iteration energy divided by the mode's
+hyper-period) and static power (sum over the components that remain
+powered — components with no activity in a mode are shut down).
+"""
+
+from repro.power.shutdown import active_components, mode_static_power
+from repro.power.energy_model import (
+    average_power,
+    mode_dynamic_power,
+    power_breakdown,
+)
+
+__all__ = [
+    "active_components",
+    "average_power",
+    "mode_dynamic_power",
+    "mode_static_power",
+    "power_breakdown",
+]

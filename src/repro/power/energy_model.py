@@ -1,0 +1,86 @@
+"""Average power of an implementation — the paper's Equation (1).
+
+``p̄ = Σ_O (p̄_dyn(O) + p̄_stat(O)) · Ψ_O`` where
+
+* ``p̄_dyn(O)`` is the dynamic energy of one task-graph iteration
+  (tasks at their — possibly scaled — voltages, plus communications)
+  divided by the mode's hyper-period, and
+* ``p̄_stat(O)`` is the static power of the components left powered
+  during the mode.
+
+The probability vector is a parameter: the proposed synthesis evaluates
+it with the true execution probabilities, the baseline "probability
+neglecting" synthesis with a uniform vector — while *reported* results
+are always under the true probabilities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import SpecificationError
+from repro.power.shutdown import mode_static_power
+from repro.problem import Problem
+from repro.scheduling.schedule import ModeSchedule
+
+
+def mode_dynamic_power(
+    problem: Problem, mode_name: str, schedule: ModeSchedule
+) -> float:
+    """Average dynamic power of one mode: iteration energy / hyper-period."""
+    mode = problem.omsm.mode(mode_name)
+    return schedule.total_dynamic_energy() / mode.period
+
+
+def power_breakdown(
+    problem: Problem, schedules: Mapping[str, ModeSchedule]
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Per-mode (dynamic, static) power dictionaries, in watts."""
+    dynamic: Dict[str, float] = {}
+    static: Dict[str, float] = {}
+    for mode in problem.omsm.modes:
+        try:
+            schedule = schedules[mode.name]
+        except KeyError:
+            raise SpecificationError(
+                f"no schedule provided for mode {mode.name!r}"
+            ) from None
+        dynamic[mode.name] = mode_dynamic_power(
+            problem, mode.name, schedule
+        )
+        static[mode.name] = mode_static_power(problem, schedule)
+    return dynamic, static
+
+
+def average_power(
+    problem: Problem,
+    schedules: Mapping[str, ModeSchedule],
+    probabilities: Optional[Mapping[str, float]] = None,
+) -> float:
+    """Equation (1): probability-weighted average power, in watts.
+
+    Parameters
+    ----------
+    problem:
+        The co-synthesis instance.
+    schedules:
+        One (possibly voltage-scaled) schedule per mode.
+    probabilities:
+        Mode-probability vector ``Ψ``.  Defaults to the true execution
+        probabilities of the OMSM; pass
+        :meth:`~repro.specification.omsm.OMSM.uniform_probability_vector`
+        to evaluate the way a probability-neglecting synthesis does.
+    """
+    if probabilities is None:
+        probabilities = problem.omsm.probability_vector()
+    dynamic, static = power_breakdown(problem, schedules)
+    total = 0.0
+    for mode in problem.omsm.modes:
+        try:
+            weight = probabilities[mode.name]
+        except KeyError:
+            raise SpecificationError(
+                f"probability vector misses mode {mode.name!r}"
+            ) from None
+        total += (dynamic[mode.name] + static[mode.name]) * weight
+    return total

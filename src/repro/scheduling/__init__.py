@@ -1,0 +1,30 @@
+"""Per-mode communication mapping and scheduling (the inner loop).
+
+Given a task mapping for one operational mode, the list scheduler
+(following the LOPOCOS technique, paper ref. [12]) chooses a link for
+every inter-PE message and constructs a static schedule: tasks on
+software processors are serialised, tasks on hardware components run in
+parallel across cores but are serialised on each core, and bus transfers
+are serialised per link.  Mobility analysis (ASAP/ALAP) provides both
+the scheduling priorities and the parallelism hints used by the core
+allocator.
+"""
+
+from repro.scheduling.mobility import MobilityInfo, compute_mobilities
+from repro.scheduling.schedule import (
+    ModeSchedule,
+    ResourceTimeline,
+    ScheduledComm,
+    ScheduledTask,
+)
+from repro.scheduling.list_scheduler import schedule_mode
+
+__all__ = [
+    "MobilityInfo",
+    "ModeSchedule",
+    "ResourceTimeline",
+    "ScheduledComm",
+    "ScheduledTask",
+    "compute_mobilities",
+    "schedule_mode",
+]

@@ -1,0 +1,252 @@
+"""Mobility-driven list scheduling with greedy communication mapping.
+
+This is the inner optimisation loop of the co-synthesis (paper Fig. 4,
+line 10, following the LOPOCOS technique of ref. [12]).  For one
+operational mode and a fixed task mapping it:
+
+* chooses, for every inter-PE message, the attached link that delivers
+  the data earliest (communication mapping ``M_γ``), and
+* constructs a static schedule ``S_ε`` by processing tasks in ALAP
+  (urgency) order, booking software processors, hardware core instances
+  and links as serial resources with earliest-gap insertion.
+
+Since modes are mutually exclusive, each mode is scheduled independently
+with a single-mode technique — exactly the argument the paper makes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.problem import Problem
+from repro.scheduling.mobility import MobilityInfo, compute_mobilities
+from repro.scheduling.schedule import (
+    ModeSchedule,
+    ResourceTimeline,
+    ScheduledComm,
+    ScheduledTask,
+)
+from repro.specification.mode import Mode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mapping.cores import CoreAllocation
+
+
+def schedule_mode(
+    problem: Problem,
+    mode: Mode,
+    task_mapping: Mapping[str, str],
+    cores: "CoreAllocation",
+    mobilities: Optional[Mapping[str, MobilityInfo]] = None,
+) -> ModeSchedule:
+    """Construct the static schedule of one mode under a task mapping.
+
+    Parameters
+    ----------
+    problem:
+        The co-synthesis instance (architecture + technology).
+    mode:
+        The operational mode to schedule.
+    task_mapping:
+        ``{task name: PE name}`` for every task of the mode.
+    cores:
+        Core allocation; bounds how many same-type hardware tasks can
+        run in parallel on each component.
+    mobilities:
+        Optional precomputed mobility table for priority computation.
+
+    Raises
+    ------
+    SchedulingError
+        If a message must travel between two PEs that share no link
+        (communication-infeasible mapping), or if the mapping misses a
+        task.
+    """
+    graph = mode.task_graph
+    technology = problem.technology
+    architecture = problem.architecture
+
+    exec_times: Dict[str, float] = {}
+    powers: Dict[str, float] = {}
+    for task in graph:
+        try:
+            pe_name = task_mapping[task.name]
+        except KeyError:
+            raise SchedulingError(
+                f"mode {mode.name!r}: no mapping for task {task.name!r}"
+            ) from None
+        entry = technology.implementation(task.task_type, pe_name)
+        exec_times[task.name] = entry.exec_time
+        powers[task.name] = entry.power
+
+    if mobilities is None:
+        mobilities = compute_mobilities(mode, lambda name: exec_times[name])
+
+    pe_timelines: Dict[str, ResourceTimeline] = {}
+    core_timelines: Dict[Tuple[str, str, int], ResourceTimeline] = {}
+    link_timelines: Dict[str, ResourceTimeline] = {
+        link.name: ResourceTimeline(link.name)
+        for link in architecture.links
+    }
+
+    scheduled_tasks: Dict[str, ScheduledTask] = {}
+    scheduled_comms: Dict[Tuple[str, str], ScheduledComm] = {}
+
+    pending_preds = {
+        name: len(graph.predecessors(name)) for name in graph.task_names
+    }
+    # Priority queue: most urgent (lowest ALAP) ready task first; ties
+    # broken by graph order for determinism.
+    graph_rank = {name: i for i, name in enumerate(graph.task_names)}
+    ready: List[Tuple[float, int, str]] = []
+    for name in graph.task_names:
+        if pending_preds[name] == 0:
+            heapq.heappush(
+                ready, (mobilities[name].alap, graph_rank[name], name)
+            )
+
+    processed = 0
+    while ready:
+        _, _, current = heapq.heappop(ready)
+        processed += 1
+        pe_name = task_mapping[current]
+        pe = architecture.pe(pe_name)
+
+        # ------------------------------------------------------------
+        # Communication mapping: route every incoming edge, earliest
+        # arrival wins (greedy link choice with contention awareness).
+        # ------------------------------------------------------------
+        data_ready = 0.0
+        for edge in graph.in_edges(current):
+            producer = scheduled_tasks[edge.src]
+            if producer.pe == pe_name:
+                message = ScheduledComm(
+                    src=edge.src,
+                    dst=edge.dst,
+                    link=None,
+                    start=producer.end,
+                    end=producer.end,
+                    energy=0.0,
+                )
+            else:
+                message = _route_message(
+                    architecture,
+                    link_timelines,
+                    edge.src,
+                    edge.dst,
+                    producer.pe,
+                    pe_name,
+                    producer.end,
+                    edge.data_bits,
+                    mode.name,
+                )
+                link_timelines[message.link].book(
+                    message.start, message.duration
+                )
+            scheduled_comms[edge.key] = message
+            data_ready = max(data_ready, message.end)
+
+        # ------------------------------------------------------------
+        # Task placement on the execution resource.
+        # ------------------------------------------------------------
+        duration = exec_times[current]
+        task_type = graph.task(current).task_type
+        if pe.is_software:
+            timeline = pe_timelines.setdefault(
+                pe_name, ResourceTimeline(pe_name)
+            )
+            start = timeline.earliest_slot(data_ready, duration)
+            timeline.book(start, duration)
+            core_index: Optional[int] = None
+        else:
+            available = max(
+                1, cores.available_cores(pe_name, mode.name, task_type)
+            )
+            best_start = None
+            best_core = 0
+            for core in range(available):
+                timeline = core_timelines.setdefault(
+                    (pe_name, task_type, core),
+                    ResourceTimeline(f"{pe_name}/{task_type}#{core}"),
+                )
+                slot = timeline.earliest_slot(data_ready, duration)
+                if best_start is None or slot < best_start:
+                    best_start = slot
+                    best_core = core
+            start = best_start if best_start is not None else data_ready
+            core_timelines[(pe_name, task_type, best_core)].book(
+                start, duration
+            )
+            core_index = best_core
+
+        scheduled_tasks[current] = ScheduledTask(
+            name=current,
+            task_type=task_type,
+            pe=pe_name,
+            start=start,
+            end=start + duration,
+            energy=powers[current] * duration,
+            power=powers[current],
+            core_index=core_index,
+        )
+
+        for succ in graph.successors(current):
+            pending_preds[succ] -= 1
+            if pending_preds[succ] == 0:
+                heapq.heappush(
+                    ready,
+                    (mobilities[succ].alap, graph_rank[succ], succ),
+                )
+
+    if processed != len(graph):
+        # Cannot happen for a validated (acyclic) task graph, but guards
+        # against future model changes.
+        raise SchedulingError(
+            f"mode {mode.name!r}: scheduler processed {processed} of "
+            f"{len(graph)} tasks"
+        )
+
+    return ModeSchedule(
+        mode.name, scheduled_tasks.values(), scheduled_comms.values()
+    )
+
+
+def _route_message(
+    architecture,
+    link_timelines: Dict[str, ResourceTimeline],
+    src_task: str,
+    dst_task: str,
+    src_pe: str,
+    dst_pe: str,
+    ready: float,
+    data_bits: float,
+    mode_name: str,
+) -> ScheduledComm:
+    """Pick the link delivering the message earliest and build the entry."""
+    candidates = architecture.links_between(src_pe, dst_pe)
+    if not candidates:
+        raise SchedulingError(
+            f"mode {mode_name!r}: no communication link between "
+            f"{src_pe!r} and {dst_pe!r} for message "
+            f"{src_task!r}->{dst_task!r}"
+        )
+    best: Optional[Tuple[float, float, str, float]] = None
+    for link in candidates:
+        duration = link.transfer_time(data_bits)
+        slot = link_timelines[link.name].earliest_slot(ready, duration)
+        arrival = slot + duration
+        key = (arrival, slot, link.name, duration)
+        if best is None or key < best:
+            best = key
+    arrival, slot, link_name, duration = best
+    link = architecture.link(link_name)
+    return ScheduledComm(
+        src=src_task,
+        dst=dst_task,
+        link=link_name,
+        start=slot,
+        end=arrival,
+        energy=link.comm_power * duration,
+    )

@@ -1,0 +1,384 @@
+"""Schedule containers and the serial-resource timeline.
+
+A :class:`ModeSchedule` is the inner loop's product for one operational
+mode: start/end times for every task (with its core assignment on
+hardware components) and for every inter-PE communication (with its link
+choice).  :meth:`ModeSchedule.validate` re-checks all scheduling
+invariants — precedence, data arrival, mutual exclusion per serial
+resource — and is used heavily by the test suite.
+
+:class:`ResourceTimeline` models one serial resource (a software
+processor, one hardware core, one bus) as a set of booked intervals with
+earliest-gap insertion.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulingError
+from repro.architecture.platform import Architecture
+from repro.specification.mode import Mode
+
+#: Numerical tolerance for overlap/precedence checks (seconds).
+TIME_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One task instance placed in time on a resource.
+
+    ``core_index`` identifies the core instance on hardware components
+    (``None`` on software processors).  ``energy`` is the dynamic energy
+    of this execution — nominal ``P_max · t_min`` before voltage scaling,
+    the voltage-scaled value afterwards.  ``pieces`` records, for
+    voltage-scaled executions, the ``(duration, voltage)`` segments the
+    task runs through; hardware tasks on a shared rail may span several
+    segments at different voltages.
+    """
+
+    name: str
+    task_type: str
+    pe: str
+    start: float
+    end: float
+    energy: float
+    power: float
+    core_index: Optional[int] = None
+    pieces: Tuple[Tuple[float, float], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.end < self.start - TIME_EPS:
+            raise SchedulingError(
+                f"task {self.name!r}: end {self.end} before start {self.start}"
+            )
+        if self.energy < 0 or self.power < 0:
+            raise SchedulingError(
+                f"task {self.name!r}: negative energy or power"
+            )
+
+
+@dataclass(frozen=True)
+class ScheduledComm:
+    """One inter-PE message placed on a communication link.
+
+    ``link`` is ``None`` for internal transfers (both endpoints on the
+    same PE), which take zero time and energy.
+    """
+
+    src: str
+    dst: str
+    link: Optional[str]
+    start: float
+    end: float
+    energy: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.src, self.dst)
+
+    def __post_init__(self) -> None:
+        if self.end < self.start - TIME_EPS:
+            raise SchedulingError(
+                f"comm {self.src!r}->{self.dst!r}: end before start"
+            )
+        if self.link is None and self.duration > TIME_EPS:
+            raise SchedulingError(
+                f"comm {self.src!r}->{self.dst!r}: internal transfer must "
+                f"take zero time"
+            )
+
+
+class ResourceTimeline:
+    """Booked intervals of one serial resource, with gap insertion.
+
+    Bookings never overlap; :meth:`earliest_slot` returns the earliest
+    start time ``>= ready`` at which an interval of the given duration
+    fits, considering gaps between existing bookings.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._starts: List[float] = []
+        self._ends: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    @property
+    def intervals(self) -> Tuple[Tuple[float, float], ...]:
+        return tuple(zip(self._starts, self._ends))
+
+    def earliest_slot(self, ready: float, duration: float) -> float:
+        """Earliest feasible start ``>= ready`` for ``duration`` seconds."""
+        if duration < 0:
+            raise SchedulingError(
+                f"resource {self.name!r}: negative duration {duration}"
+            )
+        candidate = ready
+        # Find the first booking that could interfere with `candidate`.
+        index = bisect.bisect_left(self._ends, candidate + TIME_EPS)
+        while index < len(self._starts):
+            gap_end = self._starts[index]
+            if candidate + duration <= gap_end + TIME_EPS:
+                return candidate
+            candidate = max(candidate, self._ends[index])
+            index += 1
+        return candidate
+
+    def book(self, start: float, duration: float) -> None:
+        """Reserve ``[start, start+duration)``; must not overlap."""
+        end = start + duration
+        index = bisect.bisect_left(self._starts, start)
+        if index > 0 and self._ends[index - 1] > start + TIME_EPS:
+            raise SchedulingError(
+                f"resource {self.name!r}: booking [{start}, {end}) overlaps "
+                f"existing interval"
+            )
+        if index < len(self._starts) and self._starts[index] < end - TIME_EPS:
+            raise SchedulingError(
+                f"resource {self.name!r}: booking [{start}, {end}) overlaps "
+                f"existing interval"
+            )
+        self._starts.insert(index, start)
+        self._ends.insert(index, end)
+
+    def next_free(self) -> float:
+        """End of the last booking (0 if the resource is idle)."""
+        return self._ends[-1] if self._ends else 0.0
+
+
+class ModeSchedule:
+    """The complete static schedule of one operational mode."""
+
+    def __init__(
+        self,
+        mode_name: str,
+        tasks: Iterable[ScheduledTask],
+        comms: Iterable[ScheduledComm],
+    ) -> None:
+        self.mode_name = mode_name
+        self._tasks: Dict[str, ScheduledTask] = {}
+        for entry in tasks:
+            if entry.name in self._tasks:
+                raise SchedulingError(
+                    f"schedule {mode_name!r}: task {entry.name!r} scheduled "
+                    f"twice"
+                )
+            self._tasks[entry.name] = entry
+        self._comms: Dict[Tuple[str, str], ScheduledComm] = {}
+        for entry in comms:
+            if entry.key in self._comms:
+                raise SchedulingError(
+                    f"schedule {mode_name!r}: comm {entry.key} scheduled twice"
+                )
+            self._comms[entry.key] = entry
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def tasks(self) -> Tuple[ScheduledTask, ...]:
+        return tuple(self._tasks.values())
+
+    @property
+    def comms(self) -> Tuple[ScheduledComm, ...]:
+        return tuple(self._comms.values())
+
+    def task(self, name: str) -> ScheduledTask:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise SchedulingError(
+                f"schedule {self.mode_name!r}: task {name!r} not scheduled"
+            ) from None
+
+    def comm(self, src: str, dst: str) -> ScheduledComm:
+        try:
+            return self._comms[(src, dst)]
+        except KeyError:
+            raise SchedulingError(
+                f"schedule {self.mode_name!r}: comm {src!r}->{dst!r} not "
+                f"scheduled"
+            ) from None
+
+    def tasks_on(self, pe_name: str) -> Tuple[ScheduledTask, ...]:
+        """Tasks placed on a given processing element, by start time."""
+        placed = [t for t in self._tasks.values() if t.pe == pe_name]
+        placed.sort(key=lambda t: (t.start, t.name))
+        return tuple(placed)
+
+    def comms_on(self, link_name: str) -> Tuple[ScheduledComm, ...]:
+        """Messages carried by a given link, by start time."""
+        placed = [c for c in self._comms.values() if c.link == link_name]
+        placed.sort(key=lambda c: (c.start, c.key))
+        return tuple(placed)
+
+    @property
+    def makespan(self) -> float:
+        """Latest finish time over all activities."""
+        latest = 0.0
+        for task in self._tasks.values():
+            latest = max(latest, task.end)
+        for comm in self._comms.values():
+            latest = max(latest, comm.end)
+        return latest
+
+    def total_dynamic_energy(self) -> float:
+        """Sum of task and communication dynamic energies, in joules."""
+        return sum(t.energy for t in self._tasks.values()) + sum(
+            c.energy for c in self._comms.values()
+        )
+
+    def active_pes(self) -> Tuple[str, ...]:
+        """PEs executing at least one task in this mode (sorted)."""
+        return tuple(sorted({t.pe for t in self._tasks.values()}))
+
+    def active_links(self) -> Tuple[str, ...]:
+        """Links carrying at least one message in this mode (sorted)."""
+        return tuple(
+            sorted(
+                {c.link for c in self._comms.values() if c.link is not None}
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Invariant checking
+    # ------------------------------------------------------------------
+
+    def validate(self, mode: Mode, architecture: Architecture) -> None:
+        """Re-check every scheduling invariant; raise on violation.
+
+        Checked invariants:
+
+        * every task and every edge of the mode is scheduled exactly once;
+        * precedence with data arrival: a task starts no earlier than the
+          arrival of each incoming message, which itself starts no
+          earlier than its producer finishes;
+        * internal messages only between co-mapped tasks, external
+          messages on a link that attaches both endpoint PEs;
+        * mutual exclusion on software processors, per hardware core and
+          per link.
+
+        Deadline satisfaction is *not* an invariant here — infeasible
+        schedules are legal objects (the GA penalises them); use
+        :meth:`timing_violations` for deadline checks.
+        """
+        graph = mode.task_graph
+        for task in graph:
+            self.task(task.name)
+        if len(self._tasks) != len(graph):
+            extra = set(self._tasks) - set(graph.task_names)
+            raise SchedulingError(
+                f"schedule {self.mode_name!r}: unknown tasks {sorted(extra)}"
+            )
+        for edge in graph.edges:
+            self.comm(edge.src, edge.dst)
+        if len(self._comms) != len(graph.edges):
+            extra = set(self._comms) - {e.key for e in graph.edges}
+            raise SchedulingError(
+                f"schedule {self.mode_name!r}: unknown comms {sorted(extra)}"
+            )
+
+        for edge in graph.edges:
+            producer = self.task(edge.src)
+            consumer = self.task(edge.dst)
+            message = self.comm(edge.src, edge.dst)
+            if message.start < producer.end - TIME_EPS:
+                raise SchedulingError(
+                    f"schedule {self.mode_name!r}: comm {edge.key} starts "
+                    f"before producer finishes"
+                )
+            if consumer.start < message.end - TIME_EPS:
+                raise SchedulingError(
+                    f"schedule {self.mode_name!r}: task {edge.dst!r} starts "
+                    f"before data arrival from {edge.src!r}"
+                )
+            if message.link is None:
+                if producer.pe != consumer.pe:
+                    raise SchedulingError(
+                        f"schedule {self.mode_name!r}: comm {edge.key} marked "
+                        f"internal but endpoints on {producer.pe!r} and "
+                        f"{consumer.pe!r}"
+                    )
+            else:
+                link = architecture.link(message.link)
+                if not link.links_pair(producer.pe, consumer.pe):
+                    raise SchedulingError(
+                        f"schedule {self.mode_name!r}: comm {edge.key} uses "
+                        f"link {message.link!r} that does not connect "
+                        f"{producer.pe!r} and {consumer.pe!r}"
+                    )
+
+        for pe in architecture.pes:
+            placed = self.tasks_on(pe.name)
+            if not placed:
+                continue
+            if pe.is_software:
+                _check_serial(placed, f"software PE {pe.name!r}")
+            else:
+                groups: Dict[Tuple[str, Optional[int]], List[ScheduledTask]]
+                groups = {}
+                for task in placed:
+                    if task.core_index is None:
+                        raise SchedulingError(
+                            f"schedule {self.mode_name!r}: hardware task "
+                            f"{task.name!r} lacks a core index"
+                        )
+                    groups.setdefault(
+                        (task.task_type, task.core_index), []
+                    ).append(task)
+                for (task_type, core), tasks in groups.items():
+                    _check_serial(
+                        tasks,
+                        f"core {task_type}#{core} on {pe.name!r}",
+                    )
+        for link in architecture.links:
+            _check_serial(
+                list(self.comms_on(link.name)), f"link {link.name!r}"
+            )
+
+    def timing_violations(self, mode: Mode) -> Dict[str, float]:
+        """Per-task deadline overshoot in seconds (only violating tasks)."""
+        violations: Dict[str, float] = {}
+        for task in mode.task_graph:
+            scheduled = self.task(task.name)
+            deadline = mode.effective_deadline(task.name)
+            overshoot = scheduled.end - deadline
+            if overshoot > TIME_EPS:
+                violations[task.name] = overshoot
+        return violations
+
+    def is_timing_feasible(self, mode: Mode) -> bool:
+        """True if no task misses its effective deadline."""
+        return not self.timing_violations(mode)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ModeSchedule({self.mode_name!r}, tasks={len(self._tasks)}, "
+            f"comms={len(self._comms)}, makespan={self.makespan:.6g})"
+        )
+
+
+def _check_serial(activities: Sequence, resource: str) -> None:
+    """Raise if any two activities on one serial resource overlap."""
+    ordered = sorted(activities, key=lambda a: a.start)
+    for earlier, later in zip(ordered, ordered[1:]):
+        if later.start < earlier.end - TIME_EPS:
+            raise SchedulingError(
+                f"overlap on {resource}: [{earlier.start}, {earlier.end}) "
+                f"and [{later.start}, {later.end})"
+            )

@@ -1,0 +1,27 @@
+"""Trace-driven simulation of multi-mode systems.
+
+The synthesis estimates average power analytically (Equation 1) from
+the mode execution probabilities.  This package provides the dynamic
+counterpart: a semi-Markov *mode process* whose long-run time fractions
+match the specified Ψ vector (:mod:`repro.simulation.markov`), a trace
+generator (:mod:`repro.simulation.trace`) and an executor that replays
+an implementation over a trace, accounting iteration energies, static
+power, mode-change reconfiguration and partially completed iterations
+(:mod:`repro.simulation.executor`).
+
+The headline property — simulated average power converges to the
+Equation-(1) estimate as the horizon grows — is exercised by the test
+suite and doubles as an end-to-end validation of the power model.
+"""
+
+from repro.simulation.markov import ModeProcess
+from repro.simulation.trace import ModeVisit, generate_trace
+from repro.simulation.executor import SimulationReport, simulate
+
+__all__ = [
+    "ModeProcess",
+    "ModeVisit",
+    "SimulationReport",
+    "generate_trace",
+    "simulate",
+]

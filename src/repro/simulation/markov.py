@@ -1,0 +1,316 @@
+"""A semi-Markov mode process consistent with the OMSM.
+
+The OMSM specifies *which* mode changes are possible and *what fraction
+of time* the system spends in each mode (Ψ), but not the dynamics.
+:class:`ModeProcess` fills the gap with the least additional structure:
+
+* each visit to mode ``O`` dwells for an exponentially distributed time
+  with a configurable mean ``d_O``;
+* successive modes follow a Markov jump chain over the OMSM's
+  transition graph (self-loops allowed — a self-loop simply extends the
+  stay), built by Metropolis–Hastings so that its stationary visit
+  distribution is ``π_O ∝ Ψ_O / d_O``.
+
+The time-stationary distribution of such a semi-Markov process is
+``π_O · d_O / Σ π · d = Ψ`` — i.e. long traces reproduce the specified
+mode execution probabilities, whatever dwell times are chosen.
+
+Two constructions are used.  When every probable mode has a *two-way*
+neighbour, a pure-Python Metropolis–Hastings walk over the symmetric
+part of the transition graph suffices.  State machines with one-way
+transitions (the smart phone's ``take photo → show photo`` edge, for
+example) fall back to a linear program (via :mod:`scipy`): find row
+distributions supported on the OMSM's edges (plus self-loops) whose
+stationary distribution equals the target, minimising the self-loop
+mass so the chain actually moves.  If no such chain exists (the
+digraph does not connect the probable modes), construction fails
+loudly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SpecificationError
+from repro.specification.omsm import OMSM
+
+
+class ModeProcess:
+    """Markov jump chain + exponential dwells matching the Ψ vector.
+
+    Parameters
+    ----------
+    omsm:
+        The application whose mode dynamics to model.
+    mean_dwell:
+        Mean dwell time per visit, per mode (seconds).  Defaults to
+        ``50 × period`` for every mode — long enough that mode-change
+        overheads are rare events, as in real devices.
+    """
+
+    def __init__(
+        self,
+        omsm: OMSM,
+        mean_dwell: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.omsm = omsm
+        if mean_dwell is None:
+            mean_dwell = {
+                mode.name: 50.0 * mode.period for mode in omsm.modes
+            }
+        for mode in omsm.modes:
+            if mode.name not in mean_dwell:
+                raise SpecificationError(
+                    f"mean dwell time missing for mode {mode.name!r}"
+                )
+            if mean_dwell[mode.name] <= 0:
+                raise SpecificationError(
+                    f"mean dwell time of mode {mode.name!r} must be "
+                    f"positive"
+                )
+        self.mean_dwell: Dict[str, float] = dict(mean_dwell)
+        self._names = list(omsm.mode_names)
+        self._jump_target = self._target_jump_distribution()
+        self._neighbours = self._symmetric_neighbours()
+        self._transition_matrix = self._build_transition_matrix()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _target_jump_distribution(self) -> Dict[str, float]:
+        """``π_O ∝ Ψ_O / d_O`` — the visit frequencies to aim for."""
+        weights = {}
+        for mode in self.omsm.modes:
+            weights[mode.name] = (
+                mode.probability / self.mean_dwell[mode.name]
+            )
+        total = sum(weights.values())
+        if total <= 0:
+            raise SpecificationError(
+                "cannot build a mode process: all probabilities zero"
+            )
+        return {name: w / total for name, w in weights.items()}
+
+    def _symmetric_neighbours(self) -> Dict[str, List[str]]:
+        """Per mode: neighbours reachable in *both* directions."""
+        neighbours: Dict[str, List[str]] = {
+            name: [] for name in self._names
+        }
+        for transition in self.omsm.transitions:
+            if self.omsm.has_transition(transition.dst, transition.src):
+                if transition.dst not in neighbours[transition.src]:
+                    neighbours[transition.src].append(transition.dst)
+        return neighbours
+
+    def _symmetric_graph_suffices(self) -> bool:
+        """True when Metropolis–Hastings can serve every probable mode."""
+        if len(self._names) == 1:
+            return True
+        return all(
+            self._neighbours[name]
+            for name in self._names
+            if self._jump_target.get(name, 0.0) > 0
+        )
+
+    def _build_transition_matrix(self) -> Dict[str, Dict[str, float]]:
+        if self._symmetric_graph_suffices():
+            return self._metropolis_hastings_matrix()
+        return self._linear_program_matrix()
+
+    def _metropolis_hastings_matrix(
+        self,
+    ) -> Dict[str, Dict[str, float]]:
+        """Metropolis–Hastings over the symmetric transition graph."""
+        matrix: Dict[str, Dict[str, float]] = {}
+        target = self._jump_target
+        for src in self._names:
+            adjacent = self._neighbours[src]
+            row: Dict[str, float] = {}
+            stay = 1.0
+            if adjacent:
+                proposal = 1.0 / len(adjacent)
+                for dst in adjacent:
+                    reverse_proposal = 1.0 / len(self._neighbours[dst])
+                    acceptance = min(
+                        1.0,
+                        (target[dst] * reverse_proposal)
+                        / (target[src] * proposal)
+                        if target[src] > 0
+                        else 1.0,
+                    )
+                    probability = proposal * acceptance
+                    row[dst] = probability
+                    stay -= probability
+            row[src] = max(0.0, stay)
+            matrix[src] = row
+        return matrix
+
+    def _linear_program_matrix(self) -> Dict[str, Dict[str, float]]:
+        """General digraphs: stationary-consistent rows via an LP.
+
+        Variables are the probabilities of every OMSM transition plus
+        one self-loop per mode.  Constraints: rows sum to one and the
+        target jump distribution is stationary.  The objective
+        minimises the probability-weighted self-loop mass so the chain
+        moves as much as the graph allows.
+        """
+        try:
+            from scipy.optimize import linprog
+        except ImportError as error:  # pragma: no cover
+            raise SpecificationError(
+                "the OMSM has one-way transitions; building a mode "
+                "process for it requires scipy"
+            ) from error
+
+        names = self._names
+        index = {name: i for i, name in enumerate(names)}
+        target = [self._jump_target[name] for name in names]
+
+        edges: List[Tuple[int, int]] = [
+            (i, i) for i in range(len(names))
+        ]
+        for transition in self.omsm.transitions:
+            edges.append(
+                (index[transition.src], index[transition.dst])
+            )
+        variable = {edge: k for k, edge in enumerate(edges)}
+        count = len(edges)
+
+        # Row sums: for each i, sum_j p_ij = 1.
+        a_eq: List[List[float]] = []
+        b_eq: List[float] = []
+        for i in range(len(names)):
+            row = [0.0] * count
+            for (src, dst), k in variable.items():
+                if src == i:
+                    row[k] = 1.0
+            a_eq.append(row)
+            b_eq.append(1.0)
+        # Stationarity: for each j, sum_i target_i p_ij = target_j.
+        for j in range(len(names)):
+            row = [0.0] * count
+            for (src, dst), k in variable.items():
+                if dst == j:
+                    row[k] = target[src]
+            a_eq.append(row)
+            b_eq.append(target[j])
+
+        # Objective: minimise weighted self-loop mass.
+        objective = [0.0] * count
+        for i in range(len(names)):
+            objective[variable[(i, i)]] = target[i]
+
+        # A small lower bound on every *real* transition keeps the
+        # chain irreducible (given a strongly connected OMSM), so the
+        # target is its unique stationary distribution; self-loops may
+        # vanish.  Degenerate state machines (a mode that cannot be
+        # left) become LP-infeasible and are rejected below.
+        epsilon = 1e-4
+        bounds = []
+        for (src, dst), _ in sorted(
+            variable.items(), key=lambda item: item[1]
+        ):
+            if src == dst:
+                bounds.append((0.0, 1.0))
+            else:
+                bounds.append((epsilon, 1.0))
+
+        solution = linprog(
+            objective,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            method="highs",
+        )
+        if not solution.success:
+            raise SpecificationError(
+                "no Markov jump chain over the OMSM's transitions can "
+                "realise the specified mode probabilities (the modes "
+                "are not connected strongly enough)"
+            )
+        matrix: Dict[str, Dict[str, float]] = {
+            name: {} for name in names
+        }
+        for (src, dst), k in variable.items():
+            probability = max(0.0, float(solution.x[k]))
+            if probability > 1e-12 or src == dst:
+                matrix[names[src]][names[dst]] = probability
+        # Normalise away numerical residue.
+        for name, row in matrix.items():
+            total = sum(row.values())
+            matrix[name] = {
+                dst: probability / total
+                for dst, probability in row.items()
+            }
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def transition_matrix(self) -> Dict[str, Dict[str, float]]:
+        """The jump-chain matrix: ``{src: {dst: probability}}``."""
+        return {
+            src: dict(row) for src, row in self._transition_matrix.items()
+        }
+
+    def stationary_jump_distribution(self) -> Dict[str, float]:
+        """Stationary distribution of the jump chain (exact solve).
+
+        Solves ``π (P − I) = 0`` with ``Σ π = 1`` by least squares —
+        robust even for slowly mixing chains where power iteration
+        would need millions of steps.
+        """
+        import numpy
+
+        names = self._names
+        size = len(names)
+        matrix = numpy.zeros((size, size))
+        index = {name: i for i, name in enumerate(names)}
+        for src, row in self._transition_matrix.items():
+            for dst, probability in row.items():
+                matrix[index[src], index[dst]] = probability
+        # Transposed balance equations plus the normalisation row.
+        system = numpy.vstack(
+            [matrix.T - numpy.eye(size), numpy.ones((1, size))]
+        )
+        rhs = numpy.zeros(size + 1)
+        rhs[-1] = 1.0
+        solution, *_ = numpy.linalg.lstsq(system, rhs, rcond=None)
+        solution = numpy.clip(solution, 0.0, None)
+        solution = solution / solution.sum()
+        return {name: float(solution[index[name]]) for name in names}
+
+    def stationary_time_fractions(self) -> Dict[str, float]:
+        """Long-run fraction of time per mode (should equal Ψ)."""
+        jump = self.stationary_jump_distribution()
+        weighted = {
+            name: jump[name] * self.mean_dwell[name]
+            for name in self._names
+        }
+        total = sum(weighted.values())
+        return {name: value / total for name, value in weighted.items()}
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def initial_mode(self, rng: random.Random) -> str:
+        """Draw the first mode from the target jump distribution."""
+        names = self._names
+        weights = [self._jump_target[name] for name in names]
+        return rng.choices(names, weights=weights, k=1)[0]
+
+    def next_mode(self, current: str, rng: random.Random) -> str:
+        """Draw the successor mode (may equal ``current``)."""
+        row = self._transition_matrix[current]
+        names = list(row)
+        weights = [row[name] for name in names]
+        return rng.choices(names, weights=weights, k=1)[0]
+
+    def sample_dwell(self, mode_name: str, rng: random.Random) -> float:
+        """Draw one exponential dwell time for a mode visit."""
+        return rng.expovariate(1.0 / self.mean_dwell[mode_name])

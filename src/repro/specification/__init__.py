@@ -1,0 +1,25 @@
+"""Application specification model.
+
+A multi-mode application is captured as an *operational mode state
+machine* (OMSM, paper Section 2.1): a top-level finite state machine
+whose states are operational :class:`~repro.specification.mode.Mode`
+objects and whose edges are :class:`~repro.specification.omsm.ModeTransition`
+objects carrying maximal transition times.  The functionality of each
+mode is a :class:`~repro.specification.task_graph.TaskGraph` whose nodes
+are typed :class:`~repro.specification.task_graph.Task` objects and whose
+edges are :class:`~repro.specification.task_graph.CommEdge` data
+dependencies.
+"""
+
+from repro.specification.task_graph import CommEdge, Task, TaskGraph
+from repro.specification.mode import Mode
+from repro.specification.omsm import OMSM, ModeTransition
+
+__all__ = [
+    "CommEdge",
+    "Mode",
+    "ModeTransition",
+    "OMSM",
+    "Task",
+    "TaskGraph",
+]

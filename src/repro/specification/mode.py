@@ -1,0 +1,77 @@
+"""Operational modes: a task graph plus timing and probability attributes.
+
+Each mode ``O`` of the OMSM carries its functional specification (a
+:class:`~repro.specification.task_graph.TaskGraph`), its repetition
+period ``φ`` (the *hyper-period* over which average dynamic power is
+computed) and its execution probability ``Ψ_O`` — the fraction of the
+device's operational lifetime spent in this mode (paper Section 2.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SpecificationError
+from repro.specification.task_graph import TaskGraph
+
+
+class Mode:
+    """One operational mode of a multi-mode application.
+
+    Parameters
+    ----------
+    name:
+        Mode identifier, unique within the OMSM.
+    task_graph:
+        Functional specification of the mode.
+    probability:
+        Execution probability ``Ψ_O`` in ``[0, 1]``.  The probabilities
+        of all modes of an OMSM must sum to one (validated by
+        :class:`~repro.specification.omsm.OMSM`).
+    period:
+        Repetition period ``φ`` of the task graph in seconds.  Acts both
+        as an implicit deadline on every task and as the hyper-period
+        used to convert per-iteration energy into average power.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        task_graph: TaskGraph,
+        probability: float,
+        period: float,
+    ) -> None:
+        if not name:
+            raise SpecificationError("mode name must be non-empty")
+        if not 0.0 <= probability <= 1.0:
+            raise SpecificationError(
+                f"mode {name!r}: probability must lie in [0, 1], "
+                f"got {probability}"
+            )
+        if period <= 0:
+            raise SpecificationError(
+                f"mode {name!r}: period must be positive, got {period}"
+            )
+        for task in task_graph:
+            if task.deadline is not None and task.deadline > period:
+                raise SpecificationError(
+                    f"mode {name!r}: task {task.name!r} deadline "
+                    f"{task.deadline} exceeds mode period {period}"
+                )
+        self.name = name
+        self.task_graph = task_graph
+        self.probability = probability
+        self.period = period
+
+    def effective_deadline(self, task_name: str) -> float:
+        """``min(θ_τ, φ)`` — the binding latest-finish time of a task."""
+        task = self.task_graph.task(task_name)
+        if task.deadline is None:
+            return self.period
+        return min(task.deadline, self.period)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Mode({self.name!r}, Ψ={self.probability}, φ={self.period}, "
+            f"tasks={len(self.task_graph)})"
+        )

@@ -1,0 +1,304 @@
+"""Task graphs: the functional specification of a single operational mode.
+
+A task graph ``G_S(T, C)`` (paper Section 2.1.2) is a directed acyclic
+graph.  Nodes are :class:`Task` objects — atomic, non-preemptable units of
+functionality at a coarse granularity (an FFT, a Huffman decoder, an
+IDCT, ...).  Each task carries a *task type*; tasks of identical type can
+share a hardware core, which is the central resource-sharing lever of
+multi-mode synthesis.  Edges are :class:`CommEdge` objects expressing
+precedence constraints together with the amount of data transferred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class Task:
+    """An atomic unit of functionality inside one operational mode.
+
+    Parameters
+    ----------
+    name:
+        Identifier, unique within the task graph.
+    task_type:
+        The functional type (``η`` in the paper).  Tasks of the same type
+        — within one mode or across modes — may share one hardware core.
+    deadline:
+        Optional individual deadline ``θ_τ`` in seconds, measured from the
+        start of the task-graph iteration.  ``None`` means the task is
+        only constrained by the graph repetition period.
+    """
+
+    name: str
+    task_type: str
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("task name must be non-empty")
+        if not self.task_type:
+            raise SpecificationError(
+                f"task {self.name!r}: task type must be non-empty"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise SpecificationError(
+                f"task {self.name!r}: deadline must be positive, "
+                f"got {self.deadline}"
+            )
+
+
+@dataclass(frozen=True)
+class CommEdge:
+    """A data dependency ``γ = (τ_i, τ_j)`` with payload size.
+
+    The source task must finish and transfer ``data_bits`` before the
+    destination task may start.  When both tasks are mapped to the same
+    processing element the transfer is considered internal (zero time and
+    energy, as usual in distributed co-synthesis models).
+    """
+
+    src: str
+    dst: str
+    data_bits: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise SpecificationError(
+                f"communication edge may not be a self-loop ({self.src!r})"
+            )
+        if self.data_bits < 0:
+            raise SpecificationError(
+                f"edge {self.src!r}->{self.dst!r}: negative data size"
+            )
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """The ``(src, dst)`` pair identifying this edge."""
+        return (self.src, self.dst)
+
+
+class TaskGraph:
+    """A directed acyclic graph of tasks and communication edges.
+
+    The graph is immutable after construction and validated eagerly:
+    duplicate task names, dangling edge endpoints, duplicate edges and
+    cycles all raise :class:`~repro.errors.SpecificationError`.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the graph (usually the mode name).
+    tasks:
+        The task set ``T``.
+    edges:
+        The communication/precedence set ``C``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tasks: Sequence[Task],
+        edges: Sequence[CommEdge] = (),
+    ) -> None:
+        if not name:
+            raise SpecificationError("task graph name must be non-empty")
+        self.name = name
+        self._tasks: Dict[str, Task] = {}
+        for task in tasks:
+            if task.name in self._tasks:
+                raise SpecificationError(
+                    f"graph {name!r}: duplicate task name {task.name!r}"
+                )
+            self._tasks[task.name] = task
+        self._edges: Dict[Tuple[str, str], CommEdge] = {}
+        self._succ: Dict[str, List[str]] = {t: [] for t in self._tasks}
+        self._pred: Dict[str, List[str]] = {t: [] for t in self._tasks}
+        for edge in edges:
+            for endpoint in edge.key:
+                if endpoint not in self._tasks:
+                    raise SpecificationError(
+                        f"graph {name!r}: edge references unknown task "
+                        f"{endpoint!r}"
+                    )
+            if edge.key in self._edges:
+                raise SpecificationError(
+                    f"graph {name!r}: duplicate edge {edge.src!r}->{edge.dst!r}"
+                )
+            self._edges[edge.key] = edge
+            self._succ[edge.src].append(edge.dst)
+            self._pred[edge.dst].append(edge.src)
+        self._topo_order = self._compute_topological_order()
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def tasks(self) -> Tuple[Task, ...]:
+        """All tasks, in insertion order."""
+        return tuple(self._tasks.values())
+
+    @property
+    def edges(self) -> Tuple[CommEdge, ...]:
+        """All communication edges, in insertion order."""
+        return tuple(self._edges.values())
+
+    @property
+    def task_names(self) -> Tuple[str, ...]:
+        return tuple(self._tasks)
+
+    def task(self, name: str) -> Task:
+        """Return the task called ``name`` or raise ``SpecificationError``."""
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise SpecificationError(
+                f"graph {self.name!r}: no task named {name!r}"
+            ) from None
+
+    def edge(self, src: str, dst: str) -> CommEdge:
+        """Return the edge ``src -> dst`` or raise ``SpecificationError``."""
+        try:
+            return self._edges[(src, dst)]
+        except KeyError:
+            raise SpecificationError(
+                f"graph {self.name!r}: no edge {src!r}->{dst!r}"
+            ) from None
+
+    def has_edge(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._edges
+
+    def successors(self, name: str) -> Tuple[str, ...]:
+        """Names of the direct successors of task ``name``."""
+        self.task(name)
+        return tuple(self._succ[name])
+
+    def predecessors(self, name: str) -> Tuple[str, ...]:
+        """Names of the direct predecessors of task ``name``."""
+        self.task(name)
+        return tuple(self._pred[name])
+
+    def in_edges(self, name: str) -> Tuple[CommEdge, ...]:
+        """Edges entering task ``name``."""
+        return tuple(self._edges[(p, name)] for p in self.predecessors(name))
+
+    def out_edges(self, name: str) -> Tuple[CommEdge, ...]:
+        """Edges leaving task ``name``."""
+        return tuple(self._edges[(name, s)] for s in self.successors(name))
+
+    def sources(self) -> Tuple[str, ...]:
+        """Tasks with no predecessors (entry tasks)."""
+        return tuple(t for t in self._tasks if not self._pred[t])
+
+    def sinks(self) -> Tuple[str, ...]:
+        """Tasks with no successors (exit tasks)."""
+        return tuple(t for t in self._tasks if not self._succ[t])
+
+    def task_types(self) -> Set[str]:
+        """The task-type set ``Γ`` of this graph."""
+        return {task.task_type for task in self._tasks.values()}
+
+    def tasks_of_type(self, task_type: str) -> Tuple[Task, ...]:
+        """All tasks whose type equals ``task_type``."""
+        return tuple(
+            t for t in self._tasks.values() if t.task_type == task_type
+        )
+
+    def topological_order(self) -> Tuple[str, ...]:
+        """A fixed topological ordering of task names."""
+        return self._topo_order
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tasks
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaskGraph({self.name!r}, tasks={len(self._tasks)}, "
+            f"edges={len(self._edges)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def _compute_topological_order(self) -> Tuple[str, ...]:
+        """Kahn's algorithm; raises on cycles.
+
+        Ties are broken by insertion order so the result is deterministic
+        for a given construction sequence.
+        """
+        in_degree = {name: len(self._pred[name]) for name in self._tasks}
+        ready = [name for name in self._tasks if in_degree[name] == 0]
+        order: List[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for succ in self._succ[current]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._tasks):
+            stuck = sorted(n for n, d in in_degree.items() if d > 0)
+            raise SpecificationError(
+                f"graph {self.name!r}: cycle detected involving {stuck}"
+            )
+        return tuple(order)
+
+    def depth(self) -> int:
+        """Length (in tasks) of the longest path through the graph."""
+        longest: Dict[str, int] = {}
+        for name in self._topo_order:
+            preds = self._pred[name]
+            longest[name] = 1 + max(
+                (longest[p] for p in preds), default=0
+            )
+        return max(longest.values(), default=0)
+
+    def ancestors(self, name: str) -> Set[str]:
+        """All transitive predecessors of ``name`` (excluding itself)."""
+        self.task(name)
+        seen: Set[str] = set()
+        stack = list(self._pred[name])
+        while stack:
+            current = stack.pop()
+            if current not in seen:
+                seen.add(current)
+                stack.extend(self._pred[current])
+        return seen
+
+    def descendants(self, name: str) -> Set[str]:
+        """All transitive successors of ``name`` (excluding itself)."""
+        self.task(name)
+        seen: Set[str] = set()
+        stack = list(self._succ[name])
+        while stack:
+            current = stack.pop()
+            if current not in seen:
+                seen.add(current)
+                stack.extend(self._succ[current])
+        return seen
+
+    def independent(self, first: str, second: str) -> bool:
+        """True if neither task transitively precedes the other.
+
+        Independent tasks may execute in parallel on hardware resources;
+        this predicate drives the mobility-guided extra-core allocation
+        of the outer synthesis loop.
+        """
+        if first == second:
+            return False
+        return (
+            second not in self.descendants(first)
+            and second not in self.ancestors(first)
+        )

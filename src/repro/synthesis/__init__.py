@@ -1,0 +1,30 @@
+"""Co-synthesis of energy-efficient multi-mode systems (the outer loop).
+
+The outer loop (paper Fig. 4) is a genetic algorithm over multi-mode
+mapping strings.  Each candidate is decoded by the
+:mod:`~repro.synthesis.evaluator`: mobility analysis, core allocation,
+per-mode communication mapping + scheduling (the inner loop), optional
+dynamic voltage scaling, and finally the power/penalty fitness of
+:mod:`~repro.synthesis.fitness`.  Four problem-specific improvement
+mutations (:mod:`~repro.synthesis.mutations`) steer the search toward
+component shut-down and away from area/timing/transition infeasibility.
+"""
+
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.cosynthesis import (
+    MultiModeSynthesizer,
+    SynthesisResult,
+    synthesize,
+)
+from repro.synthesis.evaluator import evaluate_mapping
+from repro.synthesis.fitness import FitnessWeights, mapping_fitness
+
+__all__ = [
+    "FitnessWeights",
+    "MultiModeSynthesizer",
+    "SynthesisConfig",
+    "SynthesisResult",
+    "evaluate_mapping",
+    "mapping_fitness",
+    "synthesize",
+]

@@ -1,0 +1,601 @@
+"""The multi-mode co-synthesis driver (paper Fig. 4, complete loop).
+
+:class:`MultiModeSynthesizer` runs the genetic algorithm over multi-mode
+mapping strings: random initial population, per-candidate evaluation
+(mobilities → cores → per-mode scheduling → optional DVS → fitness),
+linear-scaling ranking, tournament selection, two-point crossover,
+offspring insertion with elitism, and the four improvement mutations.
+The run terminates on convergence (no improvement of the best fitness
+for a configured number of generations) or at the generation limit.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SynthesisError
+from repro.mapping.encoding import MappingString
+from repro.mapping.implementation import Implementation
+from repro.problem import Problem
+from repro.synthesis import ga
+from repro.synthesis import mutations
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.evaluator import evaluate_mapping
+
+
+@dataclass(frozen=True)
+class _EvalRecord:
+    """Lightweight per-genome evaluation cache entry."""
+
+    fitness: float
+    area_violating_pes: Tuple[str, ...] = ()
+    timing_violating_modes: Tuple[str, ...] = ()
+    transition_violating: bool = False
+    feasible: bool = False
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of one synthesis run.
+
+    ``best`` is the fully decoded best implementation found; ``history``
+    records the best fitness after every generation; ``cpu_time`` is the
+    wall-clock optimisation time in seconds (the quantity the paper's
+    "CPU time" columns report).
+    """
+
+    best: Implementation
+    generations: int
+    evaluations: int
+    cpu_time: float
+    history: List[float] = field(default_factory=list)
+
+    @property
+    def average_power(self) -> float:
+        """True-probability Equation (1) power of the best candidate."""
+        return self.best.metrics.average_power
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.best.metrics.is_feasible
+
+
+class MultiModeSynthesizer:
+    """GA-based co-synthesis of one multi-mode problem instance."""
+
+    def __init__(self, problem: Problem, config: SynthesisConfig) -> None:
+        self.problem = problem
+        self.config = config
+        self._cache: Dict[MappingString, _EvalRecord] = {}
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Evaluation with caching
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, genome: MappingString) -> _EvalRecord:
+        record = self._cache.get(genome)
+        if record is not None:
+            return record
+        self._evaluations += 1
+        implementation = evaluate_mapping(self.problem, genome, self.config)
+        if implementation is None:
+            record = _EvalRecord(fitness=math.inf)
+        else:
+            metrics = implementation.metrics
+            record = _EvalRecord(
+                fitness=metrics.fitness,
+                area_violating_pes=tuple(sorted(metrics.area_violation)),
+                timing_violating_modes=tuple(
+                    sorted(metrics.timing_violation)
+                ),
+                transition_violating=bool(metrics.transition_violation),
+                feasible=metrics.is_feasible,
+            )
+        self._cache[genome] = record
+        return record
+
+    # ------------------------------------------------------------------
+    # The optimisation loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SynthesisResult:
+        """Execute the GA and return the best implementation found."""
+        config = self.config
+        rng = random.Random(config.seed)
+        started = time.perf_counter()
+
+        # Half the initial population is uniformly random, half is
+        # software-biased: on large problems uniform genomes map ~half
+        # of all tasks into hardware and violate every area constraint,
+        # leaving the GA without a feasible foothold.
+        population: List[MappingString] = []
+        for index in range(config.population_size):
+            if index % 2 == 0:
+                population.append(MappingString.random(self.problem, rng))
+            else:
+                population.append(
+                    MappingString.random_software_biased(
+                        self.problem, rng, bias=rng.uniform(0.6, 0.98)
+                    )
+                )
+        mutation_rate = config.per_gene_mutation_rate
+        if mutation_rate is None:
+            mutation_rate = 1.0 / max(1, self.problem.genome_length())
+
+        best_genome: Optional[MappingString] = None
+        best_fitness = math.inf
+        stagnant = 0
+        area_stall = 0
+        timing_stall = 0
+        transition_stall = 0
+        history: List[float] = []
+        generation = 0
+
+        for generation in range(1, config.max_generations + 1):
+            records = [self._evaluate(genome) for genome in population]
+
+            improved = False
+            for genome, record in zip(population, records):
+                if record.fitness < best_fitness - 1e-15:
+                    best_fitness = record.fitness
+                    best_genome = genome
+                    improved = True
+            stagnant = 0 if improved else stagnant + 1
+            history.append(best_fitness)
+
+            if stagnant >= config.convergence_generations:
+                break
+            if (
+                stagnant > 0
+                and stagnant % max(2, config.convergence_generations // 2)
+                == 0
+            ):
+                # Partial restart against premature convergence: the
+                # worst half of the population is replaced with fresh
+                # random/software-biased genomes (elites and the best
+                # are never touched).
+                population = self._partial_restart(
+                    population, records, rng
+                )
+                records = [
+                    self._evaluate(genome) for genome in population
+                ]
+
+            # --- ranking, selection, crossover, insertion --------------
+            ranked = ga.rank_population(
+                list(zip(population, (r.fitness for r in records))),
+                config.selection_pressure,
+            )
+            parents = ga.select_mating_pool(
+                ranked,
+                rng,
+                config.tournament_size,
+                config.population_size - config.elite_count,
+            )
+            offspring = ga.breed(
+                parents, rng, config.crossover_rate, mutation_rate
+            )
+            if config.group_mutation_rate > 0:
+                offspring = [
+                    self._maybe_group_move(child, rng)
+                    for child in offspring
+                ]
+            population = ga.insert_offspring(
+                ranked,
+                offspring,
+                config.elite_count,
+                config.population_size,
+            )
+
+            # --- improvement mutations ---------------------------------
+            area_stall, timing_stall, transition_stall = self._update_stalls(
+                records, area_stall, timing_stall, transition_stall
+            )
+            population = self._apply_improvements(
+                population,
+                records,
+                rng,
+                area_stall,
+                timing_stall,
+                transition_stall,
+                best_genome,
+            )
+            if area_stall >= config.stall_generations:
+                area_stall = 0
+            if timing_stall >= config.stall_generations:
+                timing_stall = 0
+            if transition_stall >= config.stall_generations:
+                transition_stall = 0
+
+        if best_genome is None:
+            raise SynthesisError(
+                "synthesis produced no evaluable candidate (architecture "
+                "may be missing communication links)"
+            )
+        if config.local_search_budget_factor > 0:
+            best_genome = self._local_search(best_genome, rng)
+        best = evaluate_mapping(self.problem, best_genome, self.config)
+        if best is None:  # pragma: no cover - guarded by fitness < inf
+            raise SynthesisError("best candidate became infeasible")
+        elapsed = time.perf_counter() - started
+        return SynthesisResult(
+            best=best,
+            generations=generation,
+            evaluations=self._evaluations,
+            cpu_time=elapsed,
+            history=history,
+        )
+
+    def _maybe_group_move(
+        self, genome: MappingString, rng: random.Random
+    ) -> MappingString:
+        if rng.random() >= self.config.group_mutation_rate:
+            return genome
+        moved = mutations.type_group_move(genome, rng)
+        return moved if moved is not None else genome
+
+    def _exchange_pass(
+        self,
+        current: MappingString,
+        current_fitness: float,
+        budget: int,
+        rng: random.Random,
+    ) -> Tuple[MappingString, float, int, bool]:
+        """One pass of cross-mode type exchanges on hardware components.
+
+        For every hardware PE, tries replacing one resident task type
+        (all its tasks, in every mode, moved to a software PE) with one
+        absent supported type (all its tasks moved in).  Returns the
+        possibly improved genome, its fitness, evaluations spent and
+        whether anything improved.
+        """
+        problem = self.problem
+        software = [
+            pe.name for pe in problem.architecture.software_pes()
+        ]
+        if not software:
+            return current, current_fitness, 0, False
+        spent = 0
+        improved = False
+
+        def cross_mode_replacements(
+            task_type: str,
+            target: str,
+            only_from: Optional[str] = None,
+        ) -> Dict[int, str]:
+            """Gene changes moving a type to ``target`` in every mode.
+
+            With ``only_from`` set, only tasks currently on that PE
+            move — evicting a type from one component must not disturb
+            its placements elsewhere.
+            """
+            changes: Dict[int, str] = {}
+            for mode in problem.omsm.modes:
+                for task in mode.task_graph.tasks_of_type(task_type):
+                    index = current.gene_index(mode.name, task.name)
+                    gene = current.genes[index]
+                    if gene == target:
+                        continue
+                    if only_from is not None and gene != only_from:
+                        continue
+                    changes[index] = target
+            return changes
+
+        for pe in problem.architecture.hardware_pes():
+            resident_types = {
+                task.task_type
+                for mode in problem.omsm.modes
+                for task in mode.task_graph
+                if current.pe_of(mode.name, task.name) == pe.name
+            }
+            resident = sorted(resident_types)
+            supported = [
+                t
+                for t in problem.technology.task_types()
+                if problem.technology.supports(t, pe.name)
+                and t in problem.omsm.all_task_types()
+            ]
+            absent = [t for t in supported if t not in resident]
+            rng.shuffle(resident)
+            rng.shuffle(absent)
+            for type_out in resident:
+                if spent >= budget:
+                    return current, current_fitness, spent, improved
+                out_sw = [
+                    s
+                    for s in software
+                    if problem.technology.supports(type_out, s)
+                ]
+                if not out_sw:
+                    continue
+                for type_in in absent:
+                    if spent >= budget:
+                        return (
+                            current,
+                            current_fitness,
+                            spent,
+                            improved,
+                        )
+                    changes = cross_mode_replacements(
+                        type_out, out_sw[0], only_from=pe.name
+                    )
+                    changes.update(
+                        cross_mode_replacements(type_in, pe.name)
+                    )
+                    if not changes:
+                        continue
+                    candidate = current.with_genes(changes)
+                    record = self._evaluate(candidate)
+                    spent += 1
+                    if record.fitness < current_fitness - 1e-15:
+                        current = candidate
+                        current_fitness = record.fitness
+                        improved = True
+                        break
+        return current, current_fitness, spent, improved
+
+    # ------------------------------------------------------------------
+    # Diversity maintenance
+    # ------------------------------------------------------------------
+
+    def _partial_restart(
+        self,
+        population: List[MappingString],
+        records: Sequence[_EvalRecord],
+        rng: random.Random,
+    ) -> List[MappingString]:
+        """Replace the worst half of the population with fresh genomes."""
+        order = sorted(
+            range(len(population)), key=lambda i: records[i].fitness
+        )
+        keep = order[: max(1, len(population) // 2)]
+        refreshed = [population[i] for i in keep]
+        while len(refreshed) < len(population):
+            if rng.random() < 0.5:
+                refreshed.append(
+                    MappingString.random(self.problem, rng)
+                )
+            else:
+                refreshed.append(
+                    MappingString.random_software_biased(
+                        self.problem, rng, bias=rng.uniform(0.6, 0.98)
+                    )
+                )
+        return refreshed
+
+    # ------------------------------------------------------------------
+    # Final polish
+    # ------------------------------------------------------------------
+
+    def _local_search(
+        self, genome: MappingString, rng: random.Random
+    ) -> MappingString:
+        """First-improvement descent on the best genome, two move kinds.
+
+        Alternates (a) *group moves* — all tasks of one (mode, type)
+        onto one PE, the granularity at which hardware cores are paid
+        for — and (b) single-gene moves.  Improvements are accepted
+        immediately and the pass continues; the search stops when
+        neither move kind improves or the evaluation budget
+        (``local_search_budget_factor × genome length``) is spent.
+        """
+        current = genome
+        current_fitness = self._evaluate(current).fitness
+        spent = 0
+
+        group_moves: List[Tuple[str, str, str]] = []
+        for mode in self.problem.omsm.modes:
+            for task_type in sorted(mode.task_graph.task_types()):
+                for pe in self.problem.technology.candidate_pes(
+                    task_type
+                ):
+                    group_moves.append((mode.name, task_type, pe))
+
+        # The budget scales with the size of the *neighbourhood* (one
+        # full pass over single-gene moves and group moves), not just
+        # the genome length — on small problems the neighbourhood is
+        # several times the gene count and a genome-length budget would
+        # end the search before a single complete pass.
+        single_moves = sum(
+            len(current.candidates_at(index)) - 1
+            for index in range(len(current))
+        )
+        budget = int(
+            self.config.local_search_budget_factor
+            * max(1, single_moves + len(group_moves))
+        )
+
+        improved = True
+        while improved and spent < budget:
+            improved = False
+
+            # Phase 0: knapsack exchanges — swap which task types own
+            # area on a hardware component, across all modes at once.
+            # Area-full components are local optima for every smaller
+            # move kind; only an exchange escapes them.
+            current, current_fitness, used, improved_swap = (
+                self._exchange_pass(
+                    current, current_fitness, budget - spent, rng
+                )
+            )
+            spent += used
+            improved = improved or improved_swap
+
+            # Phase a: coordinated type-group moves.
+            rng.shuffle(group_moves)
+            for mode_name, task_type, pe in group_moves:
+                if spent >= budget:
+                    break
+                graph = self.problem.omsm.mode(mode_name).task_graph
+                replacements = {
+                    current.gene_index(mode_name, task.name): pe
+                    for task in graph.tasks_of_type(task_type)
+                    if current.pe_of(mode_name, task.name) != pe
+                }
+                if not replacements:
+                    continue
+                candidate = current.with_genes(replacements)
+                record = self._evaluate(candidate)
+                spent += 1
+                if record.fitness < current_fitness - 1e-15:
+                    current = candidate
+                    current_fitness = record.fitness
+                    improved = True
+
+            # Phase b: single-gene refinements.
+            order = list(range(len(current)))
+            rng.shuffle(order)
+            for index in order:
+                if spent >= budget:
+                    break
+                gene = current.genes[index]
+                for alternative in current.candidates_at(index):
+                    if alternative == gene:
+                        continue
+                    candidate = current.with_gene(index, alternative)
+                    record = self._evaluate(candidate)
+                    spent += 1
+                    if record.fitness < current_fitness - 1e-15:
+                        current = candidate
+                        current_fitness = record.fitness
+                        improved = True
+                        break
+                    if spent >= budget:
+                        break
+        return current
+
+    # ------------------------------------------------------------------
+    # Improvement strategies
+    # ------------------------------------------------------------------
+
+    def _update_stalls(
+        self,
+        records: Sequence[_EvalRecord],
+        area_stall: int,
+        timing_stall: int,
+        transition_stall: int,
+    ) -> Tuple[int, int, int]:
+        """Streak counters for the repair mutations.
+
+        A constraint class stalls while the generation's *best*
+        candidate violates it — i.e. the search keeps producing
+        solutions whose penalised fitness beats every feasible one.
+        This is the situation the paper's repair strategies target
+        ("if only infeasible mappings have been produced for a certain
+        number of generations").
+        """
+        finite = [r for r in records if math.isfinite(r.fitness)]
+        if not finite:
+            return area_stall + 1, timing_stall + 1, transition_stall + 1
+        best = min(finite, key=lambda r: r.fitness)
+        return (
+            area_stall + 1 if best.area_violating_pes else 0,
+            timing_stall + 1 if best.timing_violating_modes else 0,
+            transition_stall + 1 if best.transition_violating else 0,
+        )
+
+    def _apply_improvements(
+        self,
+        population: List[MappingString],
+        records: Sequence[_EvalRecord],
+        rng: random.Random,
+        area_stall: int,
+        timing_stall: int,
+        transition_stall: int,
+        best_genome: Optional[MappingString] = None,
+    ) -> List[MappingString]:
+        config = self.config
+        elite = config.elite_count
+
+        if config.enable_shutdown_improvement:
+            for index in range(elite, len(population)):
+                if rng.random() < config.shutdown_mutation_rate:
+                    improved = mutations.shutdown_improvement(
+                        population[index],
+                        rng,
+                        config.bias_shutdown_by_probability,
+                    )
+                    if improved is not None:
+                        population[index] = improved
+
+        def repair_indices() -> List[int]:
+            count = max(
+                1, int(config.repair_fraction * (len(population) - elite))
+            )
+            candidates = list(range(elite, len(population)))
+            rng.shuffle(candidates)
+            return candidates[:count]
+
+        if (
+            config.enable_area_improvement
+            and area_stall >= config.stall_generations
+        ):
+            violating = sorted(
+                {
+                    pe
+                    for record in records
+                    for pe in record.area_violating_pes
+                }
+            )
+            targets = repair_indices()
+            for index in targets:
+                improved = mutations.area_improvement(
+                    population[index], rng, violating
+                )
+                if improved is not None:
+                    population[index] = improved
+            # Repairing the current best is the most promising move: it
+            # is the candidate whose penalised fitness dominates the
+            # search despite its violation.
+            if best_genome is not None and targets:
+                # A gentle trim: typically only a few cores overflow.
+                repaired_best = mutations.area_improvement(
+                    best_genome, rng, violating, move_fraction=0.15
+                )
+                if repaired_best is not None:
+                    population[targets[0]] = repaired_best
+
+        if (
+            config.enable_timing_improvement
+            and timing_stall >= config.stall_generations
+        ):
+            violating_modes = sorted(
+                {
+                    mode
+                    for record in records
+                    for mode in record.timing_violating_modes
+                }
+            )
+            for index in repair_indices():
+                improved = mutations.timing_improvement(
+                    population[index], rng, violating_modes
+                )
+                if improved is not None:
+                    population[index] = improved
+
+        if (
+            config.enable_transition_improvement
+            and transition_stall >= config.stall_generations
+        ):
+            for index in repair_indices():
+                improved = mutations.transition_improvement(
+                    population[index], rng, ()
+                )
+                if improved is not None:
+                    population[index] = improved
+
+        return population
+
+
+def synthesize(
+    problem: Problem, config: Optional[SynthesisConfig] = None
+) -> SynthesisResult:
+    """One-call co-synthesis with default (or given) configuration."""
+    if config is None:
+        config = SynthesisConfig()
+    return MultiModeSynthesizer(problem, config).run()

@@ -1,0 +1,142 @@
+"""Decoding and evaluating one mapping candidate (Fig. 4, lines 3–14).
+
+For a given multi-mode mapping string the evaluator performs, in order:
+mobility computation, hardware core allocation, area and transition
+accounting, per-mode communication mapping + list scheduling (the inner
+loop), optional dynamic voltage scaling, power estimation with component
+shut-down, and finally the penalty fitness.  The result is a complete
+:class:`~repro.mapping.implementation.Implementation`.
+
+A mapping can be *communication-infeasible* (two communicating tasks on
+PEs that share no link).  Such candidates evaluate to ``None`` and the
+GA assigns them an infinite fitness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.errors import SchedulingError
+from repro.dvs.pv_dvs import scale_schedule, uniform_scale_schedule
+from repro.mapping.cores import allocate_cores
+from repro.mapping.encoding import MappingString
+from repro.mapping.implementation import Implementation, ImplementationMetrics
+from repro.power.energy_model import average_power, power_breakdown
+from repro.problem import Problem
+from repro.scheduling.list_scheduler import schedule_mode
+from repro.scheduling.mobility import compute_mobilities
+from repro.scheduling.schedule import ModeSchedule
+from repro.synthesis.config import DvsMethod, SynthesisConfig
+from repro.synthesis.fitness import FitnessWeights, mapping_fitness
+
+
+def evaluate_mapping(
+    problem: Problem,
+    mapping: MappingString,
+    config: SynthesisConfig,
+) -> Optional[Implementation]:
+    """Decode, schedule, scale and score one mapping candidate.
+
+    Returns ``None`` for communication-infeasible mappings; otherwise an
+    :class:`Implementation` whose ``metrics.fitness`` reflects the
+    configuration's probability policy while ``metrics.average_power``
+    is always the true-probability Equation (1) value.
+    """
+    technology = problem.technology
+
+    mobilities = {}
+    for mode in problem.omsm.modes:
+        mobilities[mode.name] = compute_mobilities(
+            mode,
+            lambda task, _mode=mode: technology.implementation(
+                _mode.task_graph.task(task).task_type,
+                mapping.pe_of(_mode.name, task),
+            ).exec_time,
+        )
+
+    cores = allocate_cores(problem, mapping, mobilities)
+    area_violations = cores.area_violations()
+    transition_violations = cores.transition_violations()
+
+    schedules: Dict[str, ModeSchedule] = {}
+    timing_violations: Dict[str, Dict[str, float]] = {}
+    for mode in problem.omsm.modes:
+        try:
+            if config.inner_loop_iterations > 0:
+                from repro.scheduling.priority_search import (
+                    refine_schedule,
+                )
+
+                schedule = refine_schedule(
+                    problem,
+                    mode,
+                    mapping.mode_mapping(mode.name),
+                    cores,
+                    iterations=config.inner_loop_iterations,
+                )
+            else:
+                schedule = schedule_mode(
+                    problem,
+                    mode,
+                    mapping.mode_mapping(mode.name),
+                    cores,
+                    mobilities[mode.name],
+                )
+        except SchedulingError:
+            return None
+        if config.dvs is DvsMethod.GRADIENT:
+            schedule = scale_schedule(
+                problem,
+                mode,
+                schedule,
+                shared_rail=config.dvs_shared_rail,
+            )
+        elif config.dvs is DvsMethod.UNIFORM:
+            schedule = uniform_scale_schedule(problem, mode, schedule)
+        schedules[mode.name] = schedule
+        violations = schedule.timing_violations(mode)
+        if violations:
+            timing_violations[mode.name] = violations
+
+    dynamic, static = power_breakdown(problem, schedules)
+    true_power = average_power(problem, schedules)
+    if config.use_probabilities:
+        optimised_power = true_power
+    else:
+        optimised_power = average_power(
+            problem,
+            schedules,
+            problem.omsm.uniform_probability_vector(),
+        )
+
+    weights = FitnessWeights(
+        area=config.area_weight,
+        transition=config.transition_weight,
+        timing=config.timing_weight,
+    )
+    fitness = mapping_fitness(
+        problem,
+        optimised_power,
+        timing_violations,
+        area_violations,
+        transition_violations,
+        weights,
+    )
+
+    metrics = ImplementationMetrics(
+        average_power=true_power,
+        dynamic_power=dynamic,
+        static_power=static,
+        timing_violation=timing_violations,
+        area_violation=area_violations,
+        transition_violation=transition_violations,
+        fitness=fitness,
+    )
+    return Implementation(
+        problem=problem,
+        mapping=mapping,
+        cores=cores,
+        schedules=schedules,
+        metrics=metrics,
+    )

@@ -1,0 +1,110 @@
+"""The mapping fitness ``F_M`` (paper Fig. 4, line 14).
+
+``F_M = p̄ · tp · (1 + w_A · Σ_{π∈P_v} (a_π^U − a_π^max)/(a_π^max · 0.01))
+            · (w_R · Π_{T∈Θ_v} t_T / t_T^max)``
+
+where ``p̄`` is the average power under the *optimisation* probability
+vector, ``tp`` a timing penalty, ``P_v`` the PEs with area violations
+and ``Θ_v`` the transitions exceeding their time limits.  Lower is
+better.  As written in the paper, the last factor would vanish for
+feasible candidates (an empty product times ``w_R``); it is clearly
+meant to apply only when transition violations exist, so this
+implementation uses 1 for feasible candidates and
+``w_R · Π (t_T / t_T^max)`` (each ratio > 1) otherwise — the same
+behaviour the paper's text describes ("a transition time penalty is
+applied for all transitions that exceed their limit").
+
+The timing penalty follows the same pattern: 1 when every deadline is
+met, and ``1 + w_T · Σ overshoot/deadline`` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.problem import Problem
+
+
+@dataclass(frozen=True)
+class FitnessWeights:
+    """Penalty weights of the fitness function."""
+
+    area: float = 20.0
+    transition: float = 10.0
+    timing: float = 20.0
+
+
+def timing_penalty(
+    problem: Problem,
+    timing_violations: Mapping[str, Mapping[str, float]],
+    weight: float,
+) -> float:
+    """``tp``: 1 if all deadlines met, grows with relative overshoot.
+
+    ``timing_violations`` maps mode name → {task: overshoot seconds}.
+    Overshoots are normalised by the task's effective deadline so the
+    penalty is scale-free.
+    """
+    total = 0.0
+    for mode in problem.omsm.modes:
+        violations = timing_violations.get(mode.name, {})
+        for task_name, overshoot in violations.items():
+            deadline = mode.effective_deadline(task_name)
+            total += overshoot / deadline
+    if total <= 0:
+        return 1.0
+    return 1.0 + weight * total
+
+
+def area_penalty_factor(
+    problem: Problem,
+    area_violations: Mapping[str, float],
+    weight: float,
+) -> float:
+    """``1 + w_A · Σ (a^U − a^max)/(a^max · 0.01)`` over violating PEs.
+
+    The division by ``a^max · 0.01`` expresses the overshoot in percent,
+    exactly as in the paper.
+    """
+    total = 0.0
+    for pe_name, overshoot in area_violations.items():
+        limit = problem.architecture.pe(pe_name).area
+        total += overshoot / (limit * 0.01)
+    return 1.0 + weight * total
+
+
+def transition_penalty_factor(
+    transition_violations: Mapping[Tuple[str, str], float],
+    weight: float,
+) -> float:
+    """1 when feasible, else ``w_R · Π (t_T / t_T^max)``.
+
+    ``transition_violations`` maps transition key → ratio
+    ``t_T / t_T^max`` (each > 1).
+    """
+    if not transition_violations:
+        return 1.0
+    product = 1.0
+    for ratio in transition_violations.values():
+        product *= ratio
+    return max(1.0, weight * product)
+
+
+def mapping_fitness(
+    problem: Problem,
+    average_power: float,
+    timing_violations: Mapping[str, Mapping[str, float]],
+    area_violations: Mapping[str, float],
+    transition_violations: Mapping[Tuple[str, str], float],
+    weights: FitnessWeights,
+) -> float:
+    """Combine power and penalties into the scalar fitness (minimise)."""
+    return (
+        average_power
+        * timing_penalty(problem, timing_violations, weights.timing)
+        * area_penalty_factor(problem, area_violations, weights.area)
+        * transition_penalty_factor(
+            transition_violations, weights.transition
+        )
+    )

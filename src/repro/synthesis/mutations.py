@@ -1,0 +1,227 @@
+"""The four problem-specific improvement mutations (Fig. 4, lines 19–22).
+
+Beyond standard gene mutation, the paper introduces four directed
+operators that push the GA out of low-quality or infeasible regions:
+
+* **Shut-down improvement** — pick a mode and a *non-essential* PE
+  (one whose tasks all have alternative implementations elsewhere) and
+  move every task of that mode away from it, enabling the PE to be
+  switched off during the mode.
+* **Area improvement** — after a streak of area-infeasible generations,
+  move hardware tasks onto software processors.
+* **Timing improvement** — after a streak of timing-infeasible
+  generations, move software tasks onto faster hardware.
+* **Transition improvement** — after a streak of transition-violating
+  generations, move tasks away from the FPGAs causing reconfiguration
+  overruns.
+
+All operators return a new genome (or ``None`` when not applicable) and
+never raise on unlucky random picks — the GA simply keeps the original
+individual then.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.architecture.processing_element import PEKind
+from repro.mapping.encoding import MappingString
+from repro.problem import Problem
+
+
+def _pick_mode(
+    problem: Problem, rng: random.Random, bias_by_probability: bool
+) -> str:
+    modes = problem.omsm.modes
+    if bias_by_probability:
+        weights = [max(m.probability, 1e-9) for m in modes]
+        return rng.choices([m.name for m in modes], weights=weights, k=1)[0]
+    return rng.choice([m.name for m in modes])
+
+
+def type_group_move(
+    genome: MappingString,
+    rng: random.Random,
+) -> Optional[MappingString]:
+    """Move *all* tasks of one (mode, task type) onto one PE.
+
+    Hardware cost is paid per allocated core, i.e. per task type — a
+    single re-mapped task carries the full core area while harvesting
+    only its own energy saving.  Profitable moves therefore involve
+    every task of a type at once; this operator proposes exactly such
+    coordinated moves, which single-gene mutation and crossover only
+    assemble slowly.
+    """
+    problem = genome.problem
+    mode = problem.omsm.mode(_pick_mode(problem, rng, False))
+    types = sorted(mode.task_graph.task_types())
+    if not types:
+        return None
+    task_type = rng.choice(types)
+    candidates = problem.technology.candidate_pes(task_type)
+    if len(candidates) < 2:
+        return None
+    target = rng.choice(candidates)
+    replacements: Dict[int, str] = {}
+    for task in mode.task_graph.tasks_of_type(task_type):
+        index = genome.gene_index(mode.name, task.name)
+        if genome.genes[index] != target:
+            replacements[index] = target
+    if not replacements:
+        return None
+    return genome.with_genes(replacements)
+
+
+def shutdown_improvement(
+    genome: MappingString,
+    rng: random.Random,
+    bias_by_probability: bool = True,
+) -> Optional[MappingString]:
+    """Vacate one non-essential PE during one mode (lines 19).
+
+    A PE is non-essential for a mode when every task of the mode mapped
+    onto it has at least one alternative candidate PE.  All such tasks
+    are re-mapped randomly to other candidates, so the PE can be shut
+    down for the whole mode.
+    """
+    problem = genome.problem
+    mode_name = _pick_mode(problem, rng, bias_by_probability)
+    mapping = genome.mode_mapping(mode_name)
+
+    occupied: Dict[str, List[str]] = {}
+    for task, pe in mapping.items():
+        occupied.setdefault(pe, []).append(task)
+
+    non_essential: List[str] = []
+    for pe, tasks in occupied.items():
+        if all(
+            len(
+                [
+                    c
+                    for c in genome.candidates_at(
+                        genome.gene_index(mode_name, task)
+                    )
+                    if c != pe
+                ]
+            )
+            > 0
+            for task in tasks
+        ):
+            non_essential.append(pe)
+    if not non_essential:
+        return None
+    target = rng.choice(sorted(non_essential))
+
+    replacements: Dict[int, str] = {}
+    for task in occupied[target]:
+        index = genome.gene_index(mode_name, task)
+        alternatives = [
+            c for c in genome.candidates_at(index) if c != target
+        ]
+        replacements[index] = rng.choice(alternatives)
+    return genome.with_genes(replacements)
+
+
+def area_improvement(
+    genome: MappingString,
+    rng: random.Random,
+    violating_pes: Sequence[str],
+    move_fraction: float = 0.5,
+) -> Optional[MappingString]:
+    """Move hardware tasks to software processors (line 20)."""
+    problem = genome.problem
+    software = {pe.name for pe in problem.architecture.software_pes()}
+    if not software:
+        return None
+    hardware_targets = set(violating_pes) or {
+        pe.name for pe in problem.architecture.hardware_pes()
+    }
+
+    replacements: Dict[int, str] = {}
+    for index, gene in enumerate(genome.genes):
+        if gene not in hardware_targets:
+            continue
+        if rng.random() >= move_fraction:
+            continue
+        sw_candidates = [
+            c for c in genome.candidates_at(index) if c in software
+        ]
+        if sw_candidates:
+            replacements[index] = rng.choice(sw_candidates)
+    if not replacements:
+        return None
+    return genome.with_genes(replacements)
+
+
+def timing_improvement(
+    genome: MappingString,
+    rng: random.Random,
+    violating_modes: Sequence[str],
+    move_fraction: float = 0.5,
+) -> Optional[MappingString]:
+    """Move software tasks to faster hardware implementations (line 21)."""
+    problem = genome.problem
+    software = {pe.name for pe in problem.architecture.software_pes()}
+    modes = set(violating_modes) or set(problem.omsm.mode_names)
+
+    replacements: Dict[int, str] = {}
+    for mode in problem.omsm.modes:
+        if mode.name not in modes:
+            continue
+        for task in mode.task_graph:
+            index = genome.gene_index(mode.name, task.name)
+            gene = genome.genes[index]
+            if gene not in software:
+                continue
+            if rng.random() >= move_fraction:
+                continue
+            current_time = problem.technology.implementation(
+                task.task_type, gene
+            ).exec_time
+            faster = [
+                c
+                for c in genome.candidates_at(index)
+                if c not in software
+                and problem.technology.implementation(
+                    task.task_type, c
+                ).exec_time
+                < current_time
+            ]
+            if faster:
+                replacements[index] = rng.choice(faster)
+    if not replacements:
+        return None
+    return genome.with_genes(replacements)
+
+
+def transition_improvement(
+    genome: MappingString,
+    rng: random.Random,
+    violating_fpgas: Sequence[str],
+    move_fraction: float = 0.5,
+) -> Optional[MappingString]:
+    """Move tasks away from FPGAs that overrun transition limits (line 22)."""
+    problem = genome.problem
+    fpgas = set(violating_fpgas) or {
+        pe.name
+        for pe in problem.architecture.hardware_pes()
+        if pe.kind is PEKind.FPGA
+    }
+    if not fpgas:
+        return None
+
+    replacements: Dict[int, str] = {}
+    for index, gene in enumerate(genome.genes):
+        if gene not in fpgas:
+            continue
+        if rng.random() >= move_fraction:
+            continue
+        alternatives = [
+            c for c in genome.candidates_at(index) if c not in fpgas
+        ]
+        if alternatives:
+            replacements[index] = rng.choice(alternatives)
+    if not replacements:
+        return None
+    return genome.with_genes(replacements)

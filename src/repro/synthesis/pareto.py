@@ -1,0 +1,136 @@
+"""Area/power design-space exploration.
+
+The paper stresses that its savings come "without a modification of the
+underlying hardware architecture, i.e. the system costs are not
+increased".  This module explores the complementary question a designer
+asks next: *how does the achievable average power move when hardware
+area is bought or cut?*  It sweeps a scale factor over every hardware
+component's area, re-runs the co-synthesis at each point and reports
+the resulting trade-off curve (non-dominated points marked).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.io import problem_from_dict, problem_to_dict
+from repro.problem import Problem
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.cosynthesis import MultiModeSynthesizer
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One evaluated point of the area/power sweep."""
+
+    area_scale: float
+    total_hw_area: float
+    average_power: float
+    feasible_runs: int
+    runs: int
+
+    @property
+    def all_feasible(self) -> bool:
+        return self.feasible_runs == self.runs
+
+
+def scale_hardware_area(problem: Problem, scale: float) -> Problem:
+    """A fresh problem instance with every HW component's area scaled."""
+    if scale <= 0:
+        raise ValueError("area scale must be positive")
+    data = problem_to_dict(problem)
+    for pe in data["pes"]:
+        if pe["kind"] in ("asic", "fpga"):
+            pe["area"] = pe["area"] * scale
+    return problem_from_dict(data)
+
+
+def area_power_tradeoff(
+    problem: Problem,
+    scales: Sequence[float] = (0.5, 0.75, 1.0, 1.5, 2.0),
+    config: Optional[SynthesisConfig] = None,
+    runs: int = 1,
+    base_seed: int = 0,
+) -> List[TradeoffPoint]:
+    """Sweep hardware area and synthesise at every point.
+
+    Powers are averaged over ``runs`` feasible synthesis runs per point
+    (infeasible runs are counted but excluded from the average, unless
+    no run is feasible).
+    """
+    if config is None:
+        config = SynthesisConfig()
+    points: List[TradeoffPoint] = []
+    for scale in scales:
+        scaled = scale_hardware_area(problem, scale)
+        total_area = sum(
+            pe.area for pe in scaled.architecture.hardware_pes()
+        )
+        powers: List[float] = []
+        fallback: List[float] = []
+        feasible_runs = 0
+        for run in range(runs):
+            result = MultiModeSynthesizer(
+                scaled, config.with_updates(seed=base_seed + run)
+            ).run()
+            fallback.append(result.average_power)
+            if result.is_feasible:
+                powers.append(result.average_power)
+                feasible_runs += 1
+        chosen = powers or fallback
+        points.append(
+            TradeoffPoint(
+                area_scale=scale,
+                total_hw_area=total_area,
+                average_power=statistics.mean(chosen),
+                feasible_runs=feasible_runs,
+                runs=runs,
+            )
+        )
+    return points
+
+
+def pareto_front(
+    points: Sequence[TradeoffPoint],
+) -> List[TradeoffPoint]:
+    """The non-dominated subset (less area and less power is better)."""
+    front: List[TradeoffPoint] = []
+    for point in points:
+        dominated = any(
+            other.total_hw_area <= point.total_hw_area
+            and other.average_power <= point.average_power
+            and (
+                other.total_hw_area < point.total_hw_area
+                or other.average_power < point.average_power
+            )
+            for other in points
+        )
+        if not dominated:
+            front.append(point)
+    return sorted(front, key=lambda p: p.total_hw_area)
+
+
+def format_tradeoff(points: Sequence[TradeoffPoint]) -> str:
+    """Human-readable sweep table with Pareto markers."""
+    front = set(
+        (p.area_scale, p.average_power) for p in pareto_front(points)
+    )
+    lines = [
+        f"{'scale':>7}{'HW area':>12}{'power (mW)':>13}"
+        f"{'feasible':>10}{'pareto':>8}",
+        "-" * 50,
+    ]
+    for point in points:
+        marker = (
+            "*"
+            if (point.area_scale, point.average_power) in front
+            else ""
+        )
+        lines.append(
+            f"{point.area_scale:>7.2f}{point.total_hw_area:>12.0f}"
+            f"{point.average_power * 1e3:>13.3f}"
+            f"{point.feasible_runs:>6}/{point.runs:<3}{marker:>8}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""Independent end-to-end validation of implementations.
+
+:func:`validate_implementation` re-derives every claim an
+:class:`~repro.mapping.implementation.Implementation` makes — schedule
+invariants, deadline bookkeeping, core-allocation consistency, area and
+transition accounting, energy/power arithmetic — from first principles
+and raises on any mismatch.  It is deliberately written against the
+*model* rather than the synthesis code paths, so it catches bugs in the
+scheduler, the DVS back-mapping and the power model alike.  The test
+suite and the benchmark harness run it on every synthesis result.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.errors import ReproError
+from repro.mapping.implementation import Implementation
+from repro.power.energy_model import average_power, power_breakdown
+from repro.scheduling.schedule import TIME_EPS
+
+
+class ValidationError(ReproError):
+    """An implementation failed independent re-validation."""
+
+
+def validate_implementation(implementation: Implementation) -> None:
+    """Re-check every invariant of a complete implementation.
+
+    Raises :class:`ValidationError` (with a description of the first
+    failed check) or returns ``None``.
+    """
+    problems: List[str] = []
+    problem = implementation.problem
+    architecture = problem.architecture
+
+    # 1. Schedules: structural invariants per mode.
+    for mode in problem.omsm.modes:
+        schedule = implementation.schedules.get(mode.name)
+        if schedule is None:
+            problems.append(f"mode {mode.name!r} has no schedule")
+            continue
+        try:
+            schedule.validate(mode, architecture)
+        except ReproError as error:
+            problems.append(
+                f"schedule of mode {mode.name!r} invalid: {error}"
+            )
+
+    # 2. Mapping consistency: scheduled placement matches the genome.
+    for mode in problem.omsm.modes:
+        schedule = implementation.schedules.get(mode.name)
+        if schedule is None:
+            continue
+        for task in mode.task_graph:
+            scheduled = schedule.task(task.name)
+            mapped = implementation.mapping.pe_of(mode.name, task.name)
+            if scheduled.pe != mapped:
+                problems.append(
+                    f"task {task.name!r} in mode {mode.name!r} is "
+                    f"scheduled on {scheduled.pe!r} but mapped to "
+                    f"{mapped!r}"
+                )
+
+    # 3. Core usage: concurrent same-type hardware tasks never exceed
+    #    the allocated core count.
+    for mode in problem.omsm.modes:
+        schedule = implementation.schedules.get(mode.name)
+        if schedule is None:
+            continue
+        for pe in architecture.hardware_pes():
+            placed = schedule.tasks_on(pe.name)
+            for task in placed:
+                available = implementation.cores.available_cores(
+                    pe.name, mode.name, task.task_type
+                )
+                if available < 1:
+                    problems.append(
+                        f"task {task.name!r} runs on {pe.name!r} in "
+                        f"mode {mode.name!r} without an allocated "
+                        f"{task.task_type!r} core"
+                    )
+                elif (
+                    task.core_index is not None
+                    and task.core_index >= available
+                ):
+                    problems.append(
+                        f"task {task.name!r} uses core index "
+                        f"{task.core_index} of type {task.task_type!r} "
+                        f"on {pe.name!r}, but only {available} cores "
+                        f"are allocated"
+                    )
+
+    # 4. Timing bookkeeping matches the schedules.
+    for mode in problem.omsm.modes:
+        schedule = implementation.schedules.get(mode.name)
+        if schedule is None:
+            continue
+        actual = schedule.timing_violations(mode)
+        recorded = implementation.metrics.timing_violation.get(
+            mode.name, {}
+        )
+        if set(actual) != set(recorded):
+            problems.append(
+                f"mode {mode.name!r}: recorded timing violations "
+                f"{sorted(recorded)} do not match schedules "
+                f"{sorted(actual)}"
+            )
+
+    # 5. Area accounting matches the allocation and the constraint.
+    for pe in architecture.hardware_pes():
+        used = implementation.cores.area_used.get(pe.name, 0.0)
+        overshoot = max(0.0, used - pe.area)
+        recorded = implementation.metrics.area_violation.get(
+            pe.name, 0.0
+        )
+        if abs(overshoot - recorded) > 1e-9:
+            problems.append(
+                f"PE {pe.name!r}: recorded area violation {recorded} "
+                f"does not match allocation ({overshoot})"
+            )
+
+    # 6. Transition accounting matches the allocation.
+    actual_transition = implementation.cores.transition_violations()
+    recorded_transition = implementation.metrics.transition_violation
+    if set(actual_transition) != set(recorded_transition):
+        problems.append(
+            "recorded transition violations "
+            f"{sorted(recorded_transition)} do not match core "
+            f"allocation {sorted(actual_transition)}"
+        )
+
+    # 7. Power arithmetic: metrics equal the model recomputed.
+    try:
+        dynamic, static = power_breakdown(
+            problem, implementation.schedules
+        )
+    except ReproError as error:
+        problems.append(f"power model cannot be recomputed: {error}")
+        raise ValidationError(
+            f"{len(problems)} validation problem(s); first: "
+            f"{problems[0]}"
+        )
+    for mode in problem.omsm.modes:
+        for label, expected, recorded in (
+            (
+                "dynamic",
+                dynamic[mode.name],
+                implementation.metrics.dynamic_power.get(mode.name),
+            ),
+            (
+                "static",
+                static[mode.name],
+                implementation.metrics.static_power.get(mode.name),
+            ),
+        ):
+            if recorded is None or not math.isclose(
+                expected, recorded, rel_tol=1e-9, abs_tol=1e-15
+            ):
+                problems.append(
+                    f"mode {mode.name!r}: recorded {label} power "
+                    f"{recorded} does not match model ({expected})"
+                )
+    expected_average = average_power(
+        problem, implementation.schedules
+    )
+    if not math.isclose(
+        expected_average,
+        implementation.metrics.average_power,
+        rel_tol=1e-9,
+        abs_tol=1e-15,
+    ):
+        problems.append(
+            f"recorded average power "
+            f"{implementation.metrics.average_power} does not match "
+            f"Equation (1) ({expected_average})"
+        )
+
+    # 8. Task energies are consistent with their voltage pieces.
+    for mode in problem.omsm.modes:
+        schedule = implementation.schedules.get(mode.name)
+        if schedule is None:
+            continue
+        for task in schedule.tasks:
+            if not task.pieces:
+                continue
+            total = sum(duration for duration, _ in task.pieces)
+            if abs(total - task.duration) > max(
+                TIME_EPS, 1e-9 * task.duration
+            ):
+                problems.append(
+                    f"task {task.name!r} in mode {mode.name!r}: "
+                    f"voltage pieces sum to {total}, duration is "
+                    f"{task.duration}"
+                )
+            pe = architecture.pe(task.pe)
+            if pe.dvs_enabled:
+                vmax = pe.nominal_voltage
+                for _, voltage in task.pieces:
+                    if voltage > vmax + 1e-12 or voltage <= 0:
+                        problems.append(
+                            f"task {task.name!r}: piece voltage "
+                            f"{voltage} outside (0, {vmax}]"
+                        )
+
+    if problems:
+        raise ValidationError(
+            f"{len(problems)} validation problem(s); first: "
+            f"{problems[0]}"
+        )

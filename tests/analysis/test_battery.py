@@ -1,0 +1,82 @@
+"""Tests for battery lifetime estimation."""
+
+import pytest
+
+from repro.analysis.battery import Battery
+from repro.errors import SpecificationError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        battery = Battery(capacity_mah=1000.0)
+        assert battery.voltage == 3.7
+        assert battery.peukert_exponent == 1.05
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(capacity_mah=0.0),
+            dict(capacity_mah=100.0, voltage=0.0),
+            dict(capacity_mah=100.0, peukert_exponent=0.9),
+            dict(capacity_mah=100.0, rated_hours=0.0),
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(SpecificationError):
+            Battery(**kwargs)
+
+
+class TestIdealModel:
+    def test_energy(self):
+        battery = Battery(capacity_mah=1000.0, voltage=3.7)
+        # 1 Ah * 3.7 V = 3.7 Wh = 13320 J
+        assert battery.energy_joules == pytest.approx(13_320.0)
+
+    def test_lifetime(self):
+        battery = Battery(capacity_mah=1000.0, voltage=3.7)
+        # 3.7 Wh at 3.7 mW -> 1000 hours.
+        assert battery.lifetime_hours(3.7e-3) == pytest.approx(1000.0)
+
+    def test_lifetime_scales_inversely(self):
+        battery = Battery(capacity_mah=1000.0)
+        assert battery.lifetime_hours(2e-3) == pytest.approx(
+            battery.lifetime_hours(4e-3) * 2
+        )
+
+    def test_non_positive_power_rejected(self):
+        battery = Battery(capacity_mah=1000.0)
+        with pytest.raises(SpecificationError):
+            battery.lifetime_hours(0.0)
+
+
+class TestPeukert:
+    def test_exponent_one_matches_ideal_at_rated_point(self):
+        battery = Battery(
+            capacity_mah=1000.0,
+            voltage=3.7,
+            peukert_exponent=1.0,
+            rated_hours=20.0,
+        )
+        power = battery.energy_joules / (20.0 * 3600.0)
+        assert battery.lifetime_hours_peukert(power) == pytest.approx(
+            battery.lifetime_hours(power)
+        )
+
+    def test_higher_draw_penalised(self):
+        battery = Battery(capacity_mah=1000.0, peukert_exponent=1.2)
+        # Doubling the draw more than halves the Peukert lifetime.
+        slow = battery.lifetime_hours_peukert(2e-3)
+        fast = battery.lifetime_hours_peukert(4e-3)
+        assert fast < slow / 2
+
+    def test_lifetime_gain(self):
+        battery = Battery(capacity_mah=1000.0, peukert_exponent=1.0)
+        # Ideal model: 30 % lower power -> 1/0.7 - 1 lifetime gain.
+        gain = battery.lifetime_gain(1e-2, 0.7e-2)
+        assert gain == pytest.approx(1 / 0.7 - 1, rel=1e-6)
+
+    def test_paper_scale_example(self):
+        # The paper's smart phone: 2.602 mW -> 0.859 mW overall.
+        battery = Battery(capacity_mah=1000.0, voltage=3.7)
+        gain = battery.lifetime_gain(2.602e-3, 0.859e-3)
+        assert gain > 1.5  # more than 2.5x the battery life

@@ -1,0 +1,84 @@
+"""Tests for the experiment drivers (fast, tiny GA budgets)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    compare_policies,
+    run_smartphone_experiment,
+    run_suite_experiment,
+)
+from repro.synthesis.config import DvsMethod, SynthesisConfig
+
+from tests.conftest import make_two_mode_problem
+
+TINY = SynthesisConfig(
+    population_size=10, max_generations=12, convergence_generations=5
+)
+
+
+class TestComparePolicies:
+    def test_structure(self):
+        problem = make_two_mode_problem()
+        result = compare_policies(problem, TINY, runs=2, base_seed=7)
+        assert result.example == "two_mode"
+        assert result.modes == 2
+        assert result.runs == 2
+        assert len(result.without.powers) == 2
+        assert len(result.with_probabilities.powers) == 2
+        assert result.without.mean_power > 0
+        assert result.without.mean_cpu_time > 0
+
+    def test_reduction_formula(self):
+        problem = make_two_mode_problem()
+        result = compare_policies(problem, TINY, runs=1)
+        expected = (
+            100.0
+            * (
+                result.without.mean_power
+                - result.with_probabilities.mean_power
+            )
+            / result.without.mean_power
+        )
+        assert result.reduction_pct == pytest.approx(expected)
+
+    def test_power_stdev(self):
+        problem = make_two_mode_problem()
+        result = compare_policies(problem, TINY, runs=3)
+        assert result.without.power_stdev >= 0.0
+
+
+class TestSuiteExperiment:
+    def test_subset_selection(self):
+        results = run_suite_experiment(
+            dvs=DvsMethod.NONE,
+            runs=1,
+            config=TINY,
+            examples=["mul9"],
+        )
+        assert [r.example for r in results] == ["mul9"]
+
+    def test_dvs_method_is_applied(self):
+        no_dvs = run_suite_experiment(
+            dvs=DvsMethod.NONE, runs=1, config=TINY, examples=["mul9"]
+        )[0]
+        dvs = run_suite_experiment(
+            dvs=DvsMethod.GRADIENT,
+            runs=1,
+            config=TINY,
+            examples=["mul9"],
+        )[0]
+        # DVS cannot hurt: same GA trajectory evaluated with voltage
+        # scaling lands at most at the nominal power.
+        assert (
+            dvs.with_probabilities.mean_power
+            <= no_dvs.with_probabilities.mean_power * 1.05
+        )
+
+
+class TestSmartphoneExperiment:
+    @pytest.mark.slow
+    def test_both_rows_present(self):
+        results = run_smartphone_experiment(runs=1, config=TINY)
+        assert set(results) == {"w/o DVS", "with DVS"}
+        for result in results.values():
+            assert result.modes == 8

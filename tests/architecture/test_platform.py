@@ -1,0 +1,117 @@
+"""Unit tests for the architecture graph."""
+
+import pytest
+
+from repro.architecture import (
+    Architecture,
+    CommunicationLink,
+    PEKind,
+    ProcessingElement,
+)
+from repro.errors import ArchitectureError
+
+
+def pes():
+    return [
+        ProcessingElement("cpu", PEKind.GPP, voltage_levels=[1.2, 3.3]),
+        ProcessingElement("dsp", PEKind.ASIP),
+        ProcessingElement("asic", PEKind.ASIC, area=500.0),
+        ProcessingElement("fpga", PEKind.FPGA, area=800.0),
+    ]
+
+
+def links():
+    return [
+        CommunicationLink("bus0", ["cpu", "dsp", "asic"], bandwidth_bps=1e6),
+        CommunicationLink("bus1", ["cpu", "fpga"], bandwidth_bps=2e6),
+    ]
+
+
+class TestConstruction:
+    def test_basic(self):
+        arch = Architecture("arch", pes(), links())
+        assert arch.pe_names == ("cpu", "dsp", "asic", "fpga")
+        assert arch.link_names == ("bus0", "bus1")
+
+    def test_needs_a_pe(self):
+        with pytest.raises(ArchitectureError):
+            Architecture("arch", [])
+
+    def test_duplicate_pe_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Architecture(
+                "arch",
+                [
+                    ProcessingElement("x", PEKind.GPP),
+                    ProcessingElement("x", PEKind.ASIP),
+                ],
+            )
+
+    def test_link_with_unknown_pe_rejected(self):
+        with pytest.raises(ArchitectureError, match="unknown"):
+            Architecture(
+                "arch",
+                pes()[:2],
+                [CommunicationLink("bus", ["cpu", "ghost"], 1e6)],
+            )
+
+    def test_link_name_colliding_with_pe_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Architecture(
+                "arch",
+                pes()[:2],
+                [CommunicationLink("cpu", ["cpu", "dsp"], 1e6)],
+            )
+
+
+class TestLookups:
+    def test_pe_and_link(self):
+        arch = Architecture("arch", pes(), links())
+        assert arch.pe("asic").area == 500.0
+        assert arch.link("bus1").bandwidth_bps == 2e6
+        with pytest.raises(ArchitectureError):
+            arch.pe("ghost")
+        with pytest.raises(ArchitectureError):
+            arch.link("ghost")
+
+    def test_kind_views(self):
+        arch = Architecture("arch", pes(), links())
+        assert [p.name for p in arch.software_pes()] == ["cpu", "dsp"]
+        assert [p.name for p in arch.hardware_pes()] == ["asic", "fpga"]
+        assert [p.name for p in arch.dvs_pes()] == ["cpu"]
+
+    def test_iteration(self):
+        arch = Architecture("arch", pes(), links())
+        assert [p.name for p in arch] == ["cpu", "dsp", "asic", "fpga"]
+
+
+class TestConnectivity:
+    def test_links_between(self):
+        arch = Architecture("arch", pes(), links())
+        assert [l.name for l in arch.links_between("cpu", "asic")] == [
+            "bus0"
+        ]
+        assert arch.links_between("asic", "fpga") == ()
+
+    def test_links_of(self):
+        arch = Architecture("arch", pes(), links())
+        assert [l.name for l in arch.links_of("cpu")] == ["bus0", "bus1"]
+        assert [l.name for l in arch.links_of("fpga")] == ["bus1"]
+
+    def test_is_fully_connected(self):
+        arch = Architecture("arch", pes(), links())
+        assert not arch.is_fully_connected()
+        full = Architecture(
+            "full",
+            pes(),
+            [
+                CommunicationLink(
+                    "bus", ["cpu", "dsp", "asic", "fpga"], 1e6
+                )
+            ],
+        )
+        assert full.is_fully_connected()
+
+    def test_single_pe_is_fully_connected(self):
+        arch = Architecture("one", [ProcessingElement("cpu", PEKind.GPP)])
+        assert arch.is_fully_connected()

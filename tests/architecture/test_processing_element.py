@@ -1,0 +1,118 @@
+"""Unit tests for processing elements."""
+
+import pytest
+
+from repro.architecture import PEKind, ProcessingElement
+from repro.errors import ArchitectureError
+
+
+class TestPEKind:
+    def test_software_kinds(self):
+        assert PEKind.GPP.is_software
+        assert PEKind.ASIP.is_software
+        assert not PEKind.ASIC.is_software
+        assert not PEKind.FPGA.is_software
+
+    def test_hardware_kinds(self):
+        assert PEKind.ASIC.is_hardware
+        assert PEKind.FPGA.is_hardware
+        assert not PEKind.GPP.is_hardware
+        assert not PEKind.ASIP.is_hardware
+
+
+class TestConstruction:
+    def test_software_pe(self):
+        pe = ProcessingElement("cpu", PEKind.GPP, static_power=1e-3)
+        assert pe.is_software
+        assert not pe.is_hardware
+        assert pe.area == 0.0
+        assert not pe.dvs_enabled
+        assert pe.nominal_voltage is None
+
+    def test_hardware_pe_needs_area(self):
+        with pytest.raises(ArchitectureError, match="area"):
+            ProcessingElement("asic", PEKind.ASIC)
+        with pytest.raises(ArchitectureError, match="area"):
+            ProcessingElement("asic", PEKind.ASIC, area=-5.0)
+
+    def test_hardware_pe(self):
+        pe = ProcessingElement("asic", PEKind.ASIC, area=1000.0)
+        assert pe.is_hardware
+        assert pe.area == 1000.0
+
+    def test_software_area_ignored(self):
+        pe = ProcessingElement("cpu", PEKind.GPP, area=500.0)
+        assert pe.area == 0.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ArchitectureError):
+            ProcessingElement("", PEKind.GPP)
+
+    def test_kind_type_checked(self):
+        with pytest.raises(ArchitectureError):
+            ProcessingElement("x", "gpp")
+
+    def test_negative_static_power_rejected(self):
+        with pytest.raises(ArchitectureError):
+            ProcessingElement("cpu", PEKind.GPP, static_power=-1.0)
+
+
+class TestDvs:
+    def test_voltage_levels_sorted_and_deduplicated(self):
+        pe = ProcessingElement(
+            "cpu", PEKind.GPP, voltage_levels=[3.3, 1.2, 2.4, 1.2]
+        )
+        assert pe.voltage_levels == (1.2, 2.4, 3.3)
+        assert pe.dvs_enabled
+        assert pe.nominal_voltage == 3.3
+
+    def test_single_level_is_not_dvs(self):
+        pe = ProcessingElement("cpu", PEKind.GPP, voltage_levels=[3.3])
+        assert not pe.dvs_enabled
+        assert pe.nominal_voltage == 3.3
+
+    def test_non_positive_level_rejected(self):
+        with pytest.raises(ArchitectureError):
+            ProcessingElement("cpu", PEKind.GPP, voltage_levels=[0.0, 1.2])
+
+    def test_threshold_must_be_below_lowest_level(self):
+        with pytest.raises(ArchitectureError, match="threshold"):
+            ProcessingElement(
+                "cpu",
+                PEKind.GPP,
+                voltage_levels=[1.2, 3.3],
+                threshold_voltage=1.2,
+            )
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ArchitectureError):
+            ProcessingElement("cpu", PEKind.GPP, threshold_voltage=0.0)
+
+
+class TestReconfiguration:
+    def test_only_fpga_reconfigures(self):
+        with pytest.raises(ArchitectureError, match="FPGA"):
+            ProcessingElement(
+                "asic",
+                PEKind.ASIC,
+                area=100.0,
+                reconfig_time_per_cell=1e-6,
+            )
+
+    def test_fpga_reconfig_time(self):
+        pe = ProcessingElement(
+            "fpga",
+            PEKind.FPGA,
+            area=100.0,
+            reconfig_time_per_cell=2e-6,
+        )
+        assert pe.reconfig_time_per_cell == 2e-6
+
+    def test_negative_reconfig_rejected(self):
+        with pytest.raises(ArchitectureError):
+            ProcessingElement(
+                "fpga",
+                PEKind.FPGA,
+                area=100.0,
+                reconfig_time_per_cell=-1e-6,
+            )

@@ -1,0 +1,124 @@
+"""Unit tests for the technology library."""
+
+import pytest
+
+from repro.architecture import (
+    Architecture,
+    PEKind,
+    ProcessingElement,
+    TaskImplementation,
+    TechnologyLibrary,
+)
+from repro.errors import TechnologyError
+
+
+def library():
+    return TechnologyLibrary(
+        [
+            TaskImplementation("FFT", "cpu", exec_time=0.01, power=0.1),
+            TaskImplementation(
+                "FFT", "asic", exec_time=0.001, power=0.01, area=100.0
+            ),
+            TaskImplementation("IDCT", "cpu", exec_time=0.02, power=0.2),
+        ]
+    )
+
+
+class TestTaskImplementation:
+    def test_energy(self):
+        entry = TaskImplementation("FFT", "cpu", exec_time=0.01, power=0.5)
+        assert entry.energy == pytest.approx(0.005)
+
+    @pytest.mark.parametrize("exec_time", [0.0, -1.0])
+    def test_non_positive_time_rejected(self, exec_time):
+        with pytest.raises(TechnologyError):
+            TaskImplementation("FFT", "cpu", exec_time=exec_time, power=0.1)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(TechnologyError):
+            TaskImplementation("FFT", "cpu", exec_time=0.01, power=-0.1)
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(TechnologyError):
+            TaskImplementation(
+                "FFT", "cpu", exec_time=0.01, power=0.1, area=-1.0
+            )
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(TechnologyError):
+            TaskImplementation("", "cpu", exec_time=0.01, power=0.1)
+        with pytest.raises(TechnologyError):
+            TaskImplementation("FFT", "", exec_time=0.01, power=0.1)
+
+
+class TestLibrary:
+    def test_lookup(self):
+        lib = library()
+        assert lib.implementation("FFT", "asic").area == 100.0
+        assert lib.supports("FFT", "cpu")
+        assert not lib.supports("IDCT", "asic")
+
+    def test_missing_entry_raises(self):
+        with pytest.raises(TechnologyError):
+            library().implementation("IDCT", "asic")
+
+    def test_duplicate_entry_rejected(self):
+        with pytest.raises(TechnologyError):
+            TechnologyLibrary(
+                [
+                    TaskImplementation("A", "cpu", exec_time=1, power=1),
+                    TaskImplementation("A", "cpu", exec_time=2, power=2),
+                ]
+            )
+
+    def test_alternatives(self):
+        lib = library()
+        assert {e.pe for e in lib.alternatives("FFT")} == {"cpu", "asic"}
+        assert lib.candidate_pes("IDCT") == ("cpu",)
+        with pytest.raises(TechnologyError):
+            lib.alternatives("GHOST")
+
+    def test_task_types_and_len(self):
+        lib = library()
+        assert set(lib.task_types()) == {"FFT", "IDCT"}
+        assert len(lib) == 3
+        assert len(list(lib)) == 3
+
+
+class TestValidation:
+    def make_arch(self):
+        return Architecture(
+            "arch",
+            [
+                ProcessingElement("cpu", PEKind.GPP),
+                ProcessingElement("asic", PEKind.ASIC, area=500.0),
+            ],
+        )
+
+    def test_valid_library_passes(self):
+        library().validate_against(self.make_arch(), ["FFT", "IDCT"])
+
+    def test_unknown_pe_rejected(self):
+        lib = TechnologyLibrary(
+            [TaskImplementation("A", "ghost", exec_time=1, power=1)]
+        )
+        with pytest.raises(TechnologyError, match="unknown PE"):
+            lib.validate_against(self.make_arch(), ["A"])
+
+    def test_hardware_entry_needs_area(self):
+        lib = TechnologyLibrary(
+            [TaskImplementation("A", "asic", exec_time=1, power=1)]
+        )
+        with pytest.raises(TechnologyError, match="area"):
+            lib.validate_against(self.make_arch(), [])
+
+    def test_software_entry_must_not_have_area(self):
+        lib = TechnologyLibrary(
+            [TaskImplementation("A", "cpu", exec_time=1, power=1, area=10)]
+        )
+        with pytest.raises(TechnologyError, match="area"):
+            lib.validate_against(self.make_arch(), [])
+
+    def test_unimplementable_type_rejected(self):
+        with pytest.raises(TechnologyError, match="no implementation"):
+            library().validate_against(self.make_arch(), ["GHOST"])

@@ -1,0 +1,100 @@
+"""Statistical sanity of the instance generator across many seeds.
+
+Single instances can legitimately be extreme (a mode with no shared
+types, an architecture with one link); these tests check that the
+*distribution* over seeds matches the generator's documented intent.
+"""
+
+import statistics
+
+import pytest
+
+from repro.benchgen.multimode import MultiModeSpec, generate_problem
+
+
+def spec(seed):
+    return MultiModeSpec(
+        name=f"stat{seed}",
+        seed=seed,
+        mode_tasks=(10, 14, 12, 9),
+        pe_count=3,
+        cl_count=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def problems():
+    return [generate_problem(spec(seed)) for seed in range(30)]
+
+
+class TestDistributions:
+    def test_most_instances_share_types_across_modes(self, problems):
+        sharing = sum(
+            1 for p in problems if p.omsm.shared_task_types()
+        )
+        assert sharing >= len(problems) * 0.7
+
+    def test_dominant_probability_distribution(self, problems):
+        dominants = [
+            max(m.probability for m in p.omsm.modes) for p in problems
+        ]
+        assert all(0.55 <= d <= 0.85 for d in dominants)
+        # The draw is uniform over the range: the mean sits mid-range.
+        assert 0.6 < statistics.mean(dominants) < 0.8
+
+    def test_hardware_present_in_every_instance(self, problems):
+        for p in problems:
+            assert p.architecture.hardware_pes()
+
+    def test_dvs_gpp_always(self, problems):
+        for p in problems:
+            assert p.architecture.pe("GPP0").dvs_enabled
+
+    def test_area_pressure_everywhere(self, problems):
+        for p in problems:
+            for pe in p.architecture.hardware_pes():
+                demand = sum(
+                    e.area for e in p.technology if e.pe == pe.name
+                )
+                if demand > 0:
+                    assert pe.area < demand
+
+    def test_speedups_within_stated_band(self, problems):
+        for p in problems:
+            software = {
+                pe.name for pe in p.architecture.software_pes()
+            }
+            for entry in p.technology:
+                if entry.pe in software:
+                    continue
+                gpp = p.technology.implementation(
+                    entry.task_type, "GPP0"
+                )
+                assert (
+                    5.0 - 1e-9
+                    <= gpp.exec_time / entry.exec_time
+                    <= 100.0 + 1e-9
+                )
+
+    def test_hardware_energy_fraction(self, problems):
+        # HW energy is 0.1-1 % of the software energy by construction.
+        for p in problems:
+            software = {
+                pe.name for pe in p.architecture.software_pes()
+            }
+            for entry in p.technology:
+                if entry.pe in software:
+                    continue
+                gpp = p.technology.implementation(
+                    entry.task_type, "GPP0"
+                )
+                # GPP entry power is jittered +-20 % around the base,
+                # so allow a generous band.
+                ratio = entry.energy / gpp.energy
+                assert 5e-4 < ratio < 2e-2
+
+    def test_genome_lengths_match_task_counts(self, problems):
+        for p in problems:
+            assert p.genome_length() == sum(
+                len(m.task_graph) for m in p.omsm.modes
+            )

@@ -1,0 +1,203 @@
+"""Unit tests for the multi-mode instance generator."""
+
+import pytest
+
+from repro.benchgen.multimode import MultiModeSpec, generate_problem
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        name="test",
+        seed=42,
+        mode_tasks=(8, 10, 9),
+        pe_count=3,
+        cl_count=2,
+    )
+    defaults.update(overrides)
+    return MultiModeSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_needs_modes(self):
+        with pytest.raises(ValueError):
+            MultiModeSpec(name="x", seed=0, mode_tasks=())
+
+    def test_needs_tasks(self):
+        with pytest.raises(ValueError):
+            MultiModeSpec(name="x", seed=0, mode_tasks=(5, 0))
+
+    def test_needs_pes_and_links(self):
+        with pytest.raises(ValueError):
+            MultiModeSpec(name="x", seed=0, mode_tasks=(5,), pe_count=0)
+        with pytest.raises(ValueError):
+            MultiModeSpec(name="x", seed=0, mode_tasks=(5,), cl_count=0)
+
+    def test_mode_count(self):
+        assert small_spec().mode_count == 3
+
+
+class TestGeneratedStructure:
+    def test_counts_match_spec(self):
+        problem = generate_problem(small_spec())
+        assert len(problem.omsm) == 3
+        for mode, expected in zip(problem.omsm.modes, (8, 10, 9)):
+            assert len(mode.task_graph) == expected
+        assert len(problem.architecture.pes) == 3
+        assert len(problem.architecture.links) == 2
+
+    def test_probabilities_sum_to_one(self):
+        problem = generate_problem(small_spec())
+        total = sum(m.probability for m in problem.omsm.modes)
+        assert total == pytest.approx(1.0)
+
+    def test_probabilities_are_skewed(self):
+        problem = generate_problem(small_spec())
+        dominant = max(m.probability for m in problem.omsm.modes)
+        assert dominant >= 0.55
+
+    def test_first_pe_is_software(self):
+        problem = generate_problem(small_spec())
+        assert problem.architecture.pes[0].is_software
+
+    def test_at_least_one_hardware_pe(self):
+        for seed in range(20):
+            problem = generate_problem(small_spec(seed=seed))
+            assert problem.architecture.hardware_pes()
+
+    def test_fully_connected(self):
+        problem = generate_problem(small_spec())
+        assert problem.architecture.is_fully_connected()
+
+    def test_every_type_has_software_implementation(self):
+        problem = generate_problem(small_spec())
+        software = {p.name for p in problem.architecture.software_pes()}
+        for task_type in problem.omsm.all_task_types():
+            candidates = set(
+                problem.technology.candidate_pes(task_type)
+            )
+            assert candidates & software
+
+    def test_hardware_faster_and_cheaper(self):
+        problem = generate_problem(small_spec())
+        software = {p.name for p in problem.architecture.software_pes()}
+        for entry in problem.technology:
+            if entry.pe in software:
+                continue
+            gpp = problem.technology.implementation(
+                entry.task_type, "GPP0"
+            )
+            assert entry.exec_time < gpp.exec_time
+            assert entry.energy < gpp.energy
+            assert entry.area > 0
+
+    def test_hw_speedup_in_paper_range(self):
+        problem = generate_problem(small_spec())
+        software = {p.name for p in problem.architecture.software_pes()}
+        for entry in problem.technology:
+            if entry.pe in software:
+                continue
+            gpp = problem.technology.implementation(
+                entry.task_type, "GPP0"
+            )
+            speedup = gpp.exec_time / entry.exec_time
+            assert 5.0 <= speedup <= 100.0 + 1e-9
+
+    def test_area_pressure_exists(self):
+        # HW components must be smaller than total demand: mapping
+        # everything into hardware should be impossible.
+        problem = generate_problem(small_spec())
+        for pe in problem.architecture.hardware_pes():
+            demand = sum(
+                entry.area
+                for entry in problem.technology
+                if entry.pe == pe.name
+            )
+            if demand > 0:
+                assert pe.area < demand
+
+    def test_transitions_cover_ring(self):
+        problem = generate_problem(small_spec())
+        names = problem.omsm.mode_names
+        for src, dst in zip(names, names[1:] + names[:1]):
+            assert problem.omsm.has_transition(src, dst)
+            assert problem.omsm.has_transition(dst, src)
+
+    def test_periods_leave_slack(self):
+        # The fastest-software critical path must fit in the period.
+        from repro.scheduling.mobility import critical_path_length
+
+        problem = generate_problem(small_spec())
+        software = [p.name for p in problem.architecture.software_pes()]
+        for mode in problem.omsm.modes:
+            def best_sw(name, _mode=mode):
+                task = _mode.task_graph.task(name)
+                return min(
+                    problem.technology.implementation(
+                        task.task_type, pe
+                    ).exec_time
+                    for pe in software
+                )
+
+            assert (
+                critical_path_length(mode, best_sw) <= mode.period
+            )
+
+
+class TestDeterminism:
+    def test_same_seed_same_problem(self):
+        a = generate_problem(small_spec())
+        b = generate_problem(small_spec())
+        assert a.omsm.probability_vector() == b.omsm.probability_vector()
+        assert [p.name for p in a.architecture.pes] == [
+            p.name for p in b.architecture.pes
+        ]
+        assert len(a.technology) == len(b.technology)
+        for entry_a, entry_b in zip(a.technology, b.technology):
+            assert entry_a == entry_b
+
+    def test_different_seed_differs(self):
+        a = generate_problem(small_spec(seed=1))
+        b = generate_problem(small_spec(seed=2))
+        assert (
+            a.omsm.probability_vector() != b.omsm.probability_vector()
+        )
+
+
+class TestDominantAssignment:
+    def test_smallest(self):
+        spec = small_spec(dominant_assignment="smallest")
+        problem = generate_problem(spec)
+        sizes = {
+            m.name: len(m.task_graph) for m in problem.omsm.modes
+        }
+        dominant = max(
+            problem.omsm.modes, key=lambda m: m.probability
+        )
+        assert sizes[dominant.name] == min(sizes.values())
+
+    def test_largest(self):
+        spec = small_spec(dominant_assignment="largest")
+        problem = generate_problem(spec)
+        sizes = {
+            m.name: len(m.task_graph) for m in problem.omsm.modes
+        }
+        dominant = max(
+            problem.omsm.modes, key=lambda m: m.probability
+        )
+        assert sizes[dominant.name] == max(sizes.values())
+
+    def test_dominant_period_stretch(self):
+        plain = generate_problem(small_spec())
+        stretched = generate_problem(
+            small_spec(dominant_period_stretch=(3.0, 3.0))
+        )
+        dominant_plain = max(
+            plain.omsm.modes, key=lambda m: m.probability
+        )
+        dominant_stretched = max(
+            stretched.omsm.modes, key=lambda m: m.probability
+        )
+        assert dominant_stretched.name == dominant_plain.name
+        assert (
+            dominant_stretched.period > dominant_plain.period * 2.0
+        )

@@ -1,0 +1,110 @@
+"""Unit tests for the TGFF-style random graph generator."""
+
+import random
+
+import pytest
+
+from repro.benchgen.random_graphs import random_task_graph
+
+
+class TestStructure:
+    def test_task_count(self):
+        graph = random_task_graph(
+            "g", random.Random(0), task_count=20, type_pool=["A", "B"]
+        )
+        assert len(graph) == 20
+
+    def test_acyclic_by_construction(self):
+        for seed in range(10):
+            graph = random_task_graph(
+                "g",
+                random.Random(seed),
+                task_count=30,
+                type_pool=["A", "B", "C"],
+            )
+            # TaskGraph construction validates acyclicity.
+            assert len(graph.topological_order()) == 30
+
+    def test_connected_layers(self):
+        # Every non-source task has at least one predecessor.
+        graph = random_task_graph(
+            "g", random.Random(1), task_count=25, type_pool=["A"]
+        )
+        sources = set(graph.sources())
+        for task in graph:
+            if task.name not in sources:
+                assert graph.predecessors(task.name)
+
+    def test_types_from_pool(self):
+        pool = ["X", "Y", "Z"]
+        graph = random_task_graph(
+            "g", random.Random(2), task_count=15, type_pool=pool
+        )
+        assert graph.task_types() <= set(pool)
+
+    def test_explicit_types(self):
+        types = ["T0", "T1"] * 5
+        graph = random_task_graph(
+            "g",
+            random.Random(3),
+            task_count=10,
+            type_pool=[],
+            task_types=types,
+        )
+        assert [t.task_type for t in graph] == types
+
+    def test_explicit_types_length_checked(self):
+        with pytest.raises(ValueError):
+            random_task_graph(
+                "g",
+                random.Random(3),
+                task_count=10,
+                type_pool=[],
+                task_types=["T0"],
+            )
+
+    def test_width_respected(self):
+        graph = random_task_graph(
+            "g",
+            random.Random(4),
+            task_count=40,
+            type_pool=["A"],
+            max_width=3,
+        )
+        # No topological "layer" wider than 3 at generation time means
+        # at most 3 sources.
+        assert len(graph.sources()) <= 3
+
+    def test_payloads_in_range(self):
+        graph = random_task_graph(
+            "g",
+            random.Random(5),
+            task_count=20,
+            type_pool=["A"],
+            data_bits_range=(100.0, 200.0),
+        )
+        for edge in graph.edges:
+            assert 100.0 <= edge.data_bits <= 200.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = random_task_graph(
+            "g", random.Random(9), task_count=20, type_pool=["A", "B"]
+        )
+        b = random_task_graph(
+            "g", random.Random(9), task_count=20, type_pool=["A", "B"]
+        )
+        assert [t.name for t in a] == [t.name for t in b]
+        assert [t.task_type for t in a] == [t.task_type for t in b]
+        assert [e.key for e in a.edges] == [e.key for e in b.edges]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            random_task_graph(
+                "g", random.Random(0), task_count=0, type_pool=["A"]
+            )
+        with pytest.raises(ValueError):
+            random_task_graph(
+                "g", random.Random(0), task_count=5, type_pool=[]
+            )

@@ -1,0 +1,159 @@
+"""Unit tests for the smart phone benchmark (paper Fig. 1 / Table 3)."""
+
+import pytest
+
+from repro.benchgen.smartphone import (
+    smartphone_architecture,
+    smartphone_problem,
+    smartphone_technology,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return smartphone_problem()
+
+
+class TestOmsmStructure:
+    def test_eight_modes(self, problem):
+        assert len(problem.omsm) == 8
+
+    def test_paper_probabilities(self, problem):
+        vector = problem.omsm.probability_vector()
+        assert vector["rlc"] == pytest.approx(0.74)
+        assert vector["gsm_codec_rlc"] == pytest.approx(0.09)
+        assert vector["mp3_rlc"] == pytest.approx(0.10)
+        assert vector["network_search"] == pytest.approx(0.01)
+        assert sum(vector.values()) == pytest.approx(1.0)
+
+    def test_node_counts_in_paper_range(self, problem):
+        # The paper states 5-88 nodes and 0-137 edges per mode.
+        for mode in problem.omsm.modes:
+            assert 5 <= len(mode.task_graph) <= 88
+            assert 0 <= len(mode.task_graph.edges) <= 137
+
+    def test_rlc_is_smallest_frequent_mode(self, problem):
+        rlc = problem.omsm.mode("rlc")
+        assert len(rlc.task_graph) <= 8
+
+    def test_cross_mode_sharing_exists(self, problem):
+        shared = problem.omsm.shared_task_types()
+        # The codecs share IDCT/Huffman/dequantiser blocks, and RLC
+        # appears in several composite modes.
+        assert "IDCT" in shared
+        assert "HD" in shared
+        assert "MEAS" in shared
+
+    def test_transitions_follow_fig_1a(self, problem):
+        omsm = problem.omsm
+        assert omsm.has_transition("network_search", "rlc")
+        assert omsm.has_transition("rlc", "gsm_codec_rlc")
+        assert omsm.has_transition("rlc", "mp3_rlc")
+        assert omsm.has_transition("take_photo", "photo_rlc")
+        # No direct jump from GSM call to MP3 playback.
+        assert not omsm.has_transition("gsm_codec_rlc", "mp3_rlc")
+
+    def test_mp3_deadlines_from_figure(self, problem):
+        graph = problem.omsm.mode("mp3_rlc").task_graph
+        deq = [t for t in graph if t.task_type == "DEQ"]
+        assert deq and all(t.deadline == 0.025 for t in deq)
+        # Fig. 1b's IDCT θ=15 ms applies to the first granule; the
+        # second granule's output is due with the 25 ms frame period.
+        first_granule = [
+            t
+            for t in graph
+            if t.task_type == "IDCT" and "g0" in t.name
+        ]
+        second_granule = [
+            t
+            for t in graph
+            if t.task_type == "IDCT" and "g1" in t.name
+        ]
+        assert first_granule and all(
+            t.deadline == 0.015 for t in first_granule
+        )
+        assert second_granule and all(
+            t.deadline is None for t in second_granule
+        )
+
+
+class TestArchitecture:
+    def test_paper_architecture(self, problem):
+        arch = problem.architecture
+        assert [pe.name for pe in arch.pes] == ["GPP", "ASIC1", "ASIC2"]
+        assert arch.pe("GPP").dvs_enabled
+        assert not arch.pe("ASIC1").dvs_enabled
+        assert len(arch.links) == 1
+
+    def test_dvs_can_be_disabled(self):
+        fixed = smartphone_problem(dvs_enabled=False)
+        assert not fixed.architecture.pe("GPP").dvs_enabled
+
+    def test_fresh_instances_are_independent(self):
+        a = smartphone_problem(dvs_enabled=False)
+        b = smartphone_problem()
+        assert b.architecture.pe("GPP").dvs_enabled
+
+
+class TestTechnology:
+    def test_hw_speedup_in_stated_range(self):
+        tech = smartphone_technology()
+        arch = smartphone_architecture()
+        software = {p.name for p in arch.software_pes()}
+        for entry in tech:
+            if entry.pe in software:
+                continue
+            gpp = tech.implementation(entry.task_type, "GPP")
+            speedup = gpp.exec_time / entry.exec_time
+            # The paper assumes hardware 5x to 100x faster.
+            assert 5.0 <= speedup <= 100.0
+
+    def test_every_type_runs_on_gpp(self, problem):
+        for task_type in problem.omsm.all_task_types():
+            assert problem.technology.supports(task_type, "GPP")
+
+    def test_control_tasks_are_software_only(self, problem):
+        for task_type in ("RRC", "HDR", "STORE", "PWR"):
+            assert problem.technology.candidate_pes(task_type) == (
+                "GPP",
+            )
+
+    def test_dsp_blocks_have_hardware(self, problem):
+        for task_type in ("FFT", "IDCT", "HD", "DEQ", "STP", "LTP"):
+            candidates = problem.technology.candidate_pes(task_type)
+            assert len(candidates) >= 2
+
+
+class TestFeasibility:
+    def test_all_software_mapping_schedulable(self, problem):
+        # The GPP alone can run every mode (deadlines may be missed,
+        # but scheduling must succeed and validate).
+        from repro.mapping.cores import allocate_cores
+        from repro.mapping.encoding import MappingString
+        from repro.scheduling.list_scheduler import schedule_mode
+
+        genome = MappingString(
+            problem, ["GPP"] * problem.genome_length()
+        )
+        cores = allocate_cores(problem, genome)
+        for mode in problem.omsm.modes:
+            schedule = schedule_mode(
+                problem, mode, genome.mode_mapping(mode.name), cores
+            )
+            schedule.validate(mode, problem.architecture)
+
+    def test_feasible_solution_exists(self, problem):
+        # A moderately sized synthesis run must find a fully feasible
+        # mapping (area within both ASICs, all deadlines met).
+        from repro.synthesis import SynthesisConfig, synthesize
+
+        result = synthesize(
+            problem,
+            SynthesisConfig(
+                seed=0,
+                population_size=30,
+                max_generations=60,
+                convergence_generations=15,
+            ),
+        )
+        assert result.is_feasible

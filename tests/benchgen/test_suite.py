@@ -1,0 +1,56 @@
+"""Unit tests for the mul1-mul12 suite definition."""
+
+import pytest
+
+from repro.analysis.paper_data import TABLE1
+from repro.benchgen.suite import SUITE_SPECS, load_suite, suite_problem
+
+
+class TestSuiteDefinition:
+    def test_twelve_instances(self):
+        assert len(SUITE_SPECS) == 12
+        assert [s.name for s in SUITE_SPECS] == [
+            f"mul{i}" for i in range(1, 13)
+        ]
+
+    def test_mode_counts_match_paper_table(self):
+        paper_modes = {row.example: row.modes for row in TABLE1}
+        for spec in SUITE_SPECS:
+            assert spec.mode_count == paper_modes[spec.name]
+
+    def test_parameters_within_paper_ranges(self):
+        for spec in SUITE_SPECS:
+            assert 3 <= spec.mode_count <= 5
+            assert all(8 <= t <= 32 for t in spec.mode_tasks)
+            assert 2 <= spec.pe_count <= 4
+            assert 1 <= spec.cl_count <= 3
+
+    def test_unique_seeds(self):
+        seeds = [s.seed for s in SUITE_SPECS]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestSuiteLoading:
+    def test_lookup_by_name(self):
+        problem = suite_problem("mul5")
+        assert problem.name == "mul5"
+        assert len(problem.omsm) == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="mul99"):
+            suite_problem("mul99")
+
+    def test_load_all(self):
+        problems = load_suite()
+        assert [p.name for p in problems] == [
+            s.name for s in SUITE_SPECS
+        ]
+
+    def test_regeneration_is_stable(self):
+        first = suite_problem("mul3")
+        second = suite_problem("mul3")
+        assert (
+            first.omsm.probability_vector()
+            == second.omsm.probability_vector()
+        )
+        assert first.genome_length() == second.genome_length()

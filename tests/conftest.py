@@ -1,0 +1,196 @@
+"""Shared fixtures: small hand-built co-synthesis problems."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.architecture import (
+    Architecture,
+    CommunicationLink,
+    PEKind,
+    ProcessingElement,
+    TaskImplementation,
+    TechnologyLibrary,
+)
+from repro.problem import Problem
+from repro.specification import (
+    CommEdge,
+    Mode,
+    ModeTransition,
+    OMSM,
+    Task,
+    TaskGraph,
+)
+
+
+def make_two_mode_problem(
+    dvs_sw: bool = True,
+    dvs_hw: bool = False,
+    asic_area: float = 600.0,
+    period: float = 0.2,
+    hw_kind: PEKind = PEKind.ASIC,
+    reconfig_time_per_cell: float = 0.0,
+    transition_limit: float = 0.05,
+) -> Problem:
+    """A 2-mode, 2-PE problem exercising every model feature.
+
+    Mode O1 (Ψ=0.1): diamond graph t1→{t2,t3}→t4 with a repeated type A.
+    Mode O2 (Ψ=0.9): fork u1→{u2,u3}.
+    Types A..F all run on the GPP and on the hardware component.
+    """
+    graph1 = TaskGraph(
+        "g1",
+        [
+            Task("t1", "A"),
+            Task("t2", "B"),
+            Task("t3", "C"),
+            Task("t4", "A"),
+        ],
+        [
+            CommEdge("t1", "t2", 1000.0),
+            CommEdge("t1", "t3", 500.0),
+            CommEdge("t2", "t4", 100.0),
+            CommEdge("t3", "t4", 100.0),
+        ],
+    )
+    graph2 = TaskGraph(
+        "g2",
+        [Task("u1", "D"), Task("u2", "E"), Task("u3", "F")],
+        [CommEdge("u1", "u2", 100.0), CommEdge("u1", "u3", 100.0)],
+    )
+    omsm = OMSM(
+        "two_mode",
+        [
+            Mode("O1", graph1, probability=0.1, period=period),
+            Mode("O2", graph2, probability=0.9, period=period),
+        ],
+        [
+            ModeTransition("O1", "O2", max_time=transition_limit),
+            ModeTransition("O2", "O1", max_time=transition_limit),
+        ],
+    )
+    levels = (1.2, 1.8, 2.4, 3.3)
+    pe0 = ProcessingElement(
+        "PE0",
+        PEKind.GPP,
+        static_power=5e-3,
+        voltage_levels=levels if dvs_sw else None,
+    )
+    pe1 = ProcessingElement(
+        "PE1",
+        hw_kind,
+        area=asic_area,
+        static_power=2e-3,
+        voltage_levels=levels if dvs_hw else None,
+        reconfig_time_per_cell=reconfig_time_per_cell,
+    )
+    bus = CommunicationLink(
+        "CL0",
+        ["PE0", "PE1"],
+        bandwidth_bps=1e6,
+        comm_power=1e-3,
+        static_power=5e-4,
+    )
+    architecture = Architecture("arch", [pe0, pe1], [bus])
+    entries = []
+    for index, task_type in enumerate("ABCDEF"):
+        entries.append(
+            TaskImplementation(
+                task_type,
+                "PE0",
+                exec_time=0.02 + 0.002 * index,
+                power=0.5,
+            )
+        )
+        entries.append(
+            TaskImplementation(
+                task_type,
+                "PE1",
+                exec_time=0.002,
+                power=0.005,
+                area=250.0,
+            )
+        )
+    return Problem(omsm, architecture, TechnologyLibrary(entries))
+
+
+def make_parallel_hw_problem(
+    dvs_hw: bool = True, period: float = 0.1
+) -> Problem:
+    """One mode with four parallel same-type tasks feeding a join.
+
+    Exercises multi-core allocation and the Fig. 5 DVS transformation
+    (parallel hardware tasks on a shared voltage rail).
+    """
+    graph = TaskGraph(
+        "par",
+        [
+            Task("src", "S"),
+            Task("p0", "P"),
+            Task("p1", "P"),
+            Task("p2", "P"),
+            Task("p3", "P"),
+            Task("join", "J"),
+        ],
+        [
+            CommEdge("src", "p0", 100.0),
+            CommEdge("src", "p1", 100.0),
+            CommEdge("src", "p2", 100.0),
+            CommEdge("src", "p3", 100.0),
+            CommEdge("p0", "join", 100.0),
+            CommEdge("p1", "join", 100.0),
+            CommEdge("p2", "join", 100.0),
+            CommEdge("p3", "join", 100.0),
+        ],
+    )
+    omsm = OMSM(
+        "parallel",
+        [Mode("M", graph, probability=1.0, period=period)],
+    )
+    levels = (1.2, 1.8, 2.4, 3.3)
+    gpp = ProcessingElement(
+        "CPU", PEKind.GPP, static_power=1e-3, voltage_levels=levels
+    )
+    hw = ProcessingElement(
+        "HW",
+        PEKind.ASIC,
+        area=2000.0,
+        static_power=1e-3,
+        voltage_levels=levels if dvs_hw else None,
+    )
+    bus = CommunicationLink(
+        "BUS", ["CPU", "HW"], bandwidth_bps=1e7, comm_power=1e-3
+    )
+    architecture = Architecture("arch", [gpp, hw], [bus])
+    entries = [
+        TaskImplementation("S", "CPU", exec_time=0.004, power=0.2),
+        TaskImplementation("J", "CPU", exec_time=0.004, power=0.2),
+        TaskImplementation("P", "CPU", exec_time=0.02, power=0.3),
+        TaskImplementation(
+            "P", "HW", exec_time=0.004, power=0.05, area=400.0
+        ),
+        TaskImplementation(
+            "S", "HW", exec_time=0.001, power=0.02, area=300.0
+        ),
+        TaskImplementation(
+            "J", "HW", exec_time=0.001, power=0.02, area=300.0
+        ),
+    ]
+    return Problem(omsm, architecture, TechnologyLibrary(entries))
+
+
+@pytest.fixture
+def two_mode_problem() -> Problem:
+    return make_two_mode_problem()
+
+
+@pytest.fixture
+def parallel_hw_problem() -> Problem:
+    return make_parallel_hw_problem()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)

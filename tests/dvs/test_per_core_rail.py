@@ -1,0 +1,110 @@
+"""Tests for the per-core-rail DVS variant (shared_rail=False)."""
+
+import random
+
+import pytest
+
+from repro.dvs.pv_dvs import scale_schedule
+from repro.mapping.cores import allocate_cores
+from repro.mapping.encoding import MappingString
+from repro.scheduling.list_scheduler import schedule_mode
+from repro.synthesis.config import DvsMethod, SynthesisConfig
+from repro.synthesis.evaluator import evaluate_mapping
+
+from tests.conftest import make_parallel_hw_problem
+
+
+def hw_case(period):
+    problem = make_parallel_hw_problem(dvs_hw=True, period=period)
+    genome = MappingString.from_mapping(
+        problem,
+        {
+            "M": {
+                "src": "CPU",
+                "p0": "HW",
+                "p1": "HW",
+                "p2": "HW",
+                "p3": "HW",
+                "join": "CPU",
+            }
+        },
+    )
+    cores = allocate_cores(problem, genome)
+    mode = problem.omsm.mode("M")
+    schedule = schedule_mode(
+        problem, mode, genome.mode_mapping("M"), cores
+    )
+    return problem, mode, schedule, genome
+
+
+class TestPerCoreRail:
+    def test_at_least_as_good_as_shared(self):
+        problem, mode, schedule, _ = hw_case(period=0.03)
+        shared = scale_schedule(
+            problem, mode, schedule, shared_rail=True
+        )
+        per_core = scale_schedule(
+            problem, mode, schedule, shared_rail=False
+        )
+        assert (
+            per_core.total_dynamic_energy()
+            <= shared.total_dynamic_energy() + 1e-12
+        )
+
+    def test_strictly_better_with_overlap(self):
+        # Multi-core overlap with a tight-ish deadline: the shared rail
+        # cannot slow one core independently; per-core rails can.
+        problem, mode, schedule, _ = hw_case(period=0.017)
+        hw_tasks = [t for t in schedule.tasks if t.pe == "HW"]
+        cores_used = {t.core_index for t in hw_tasks}
+        assert len(cores_used) > 1  # the scenario really overlaps
+        shared = scale_schedule(
+            problem, mode, schedule, shared_rail=True
+        )
+        per_core = scale_schedule(
+            problem, mode, schedule, shared_rail=False
+        )
+        assert (
+            per_core.total_dynamic_energy()
+            <= shared.total_dynamic_energy() + 1e-12
+        )
+
+    def test_feasibility_and_validity(self):
+        problem, mode, schedule, _ = hw_case(period=0.03)
+        per_core = scale_schedule(
+            problem, mode, schedule, shared_rail=False
+        )
+        per_core.validate(mode, problem.architecture)
+        assert per_core.is_timing_feasible(mode)
+
+    def test_single_piece_per_task(self):
+        # Per-core rails: every HW task runs at one voltage, so it has
+        # exactly one (duration, voltage) piece.
+        problem, mode, schedule, _ = hw_case(period=0.03)
+        per_core = scale_schedule(
+            problem, mode, schedule, shared_rail=False
+        )
+        for task in per_core.tasks:
+            if task.pe == "HW" and task.pieces:
+                assert len(task.pieces) == 1
+
+    def test_config_plumbs_through_evaluator(self):
+        problem, _, _, genome = hw_case(period=0.03)
+        shared = evaluate_mapping(
+            problem,
+            genome,
+            SynthesisConfig(
+                dvs=DvsMethod.GRADIENT, dvs_shared_rail=True
+            ),
+        )
+        per_core = evaluate_mapping(
+            problem,
+            genome,
+            SynthesisConfig(
+                dvs=DvsMethod.GRADIENT, dvs_shared_rail=False
+            ),
+        )
+        assert (
+            per_core.metrics.average_power
+            <= shared.metrics.average_power + 1e-12
+        )

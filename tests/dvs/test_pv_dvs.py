@@ -1,0 +1,202 @@
+"""Tests for the energy-gradient voltage selection (PV-DVS)."""
+
+import random
+
+import pytest
+
+from repro.dvs.pv_dvs import scale_schedule, uniform_scale_schedule
+from repro.mapping.cores import allocate_cores
+from repro.mapping.encoding import MappingString
+from repro.scheduling.list_scheduler import schedule_mode
+
+from tests.conftest import make_parallel_hw_problem, make_two_mode_problem
+
+
+def nominal_schedule(problem, mode_name, genome):
+    cores = allocate_cores(problem, genome)
+    mode = problem.omsm.mode(mode_name)
+    return mode, schedule_mode(
+        problem, mode, genome.mode_mapping(mode_name), cores
+    )
+
+
+def sw_genome(problem):
+    return MappingString(problem, ["PE0"] * problem.genome_length())
+
+
+class TestSoftwareDvs:
+    def test_energy_reduced_with_slack(self):
+        problem = make_two_mode_problem(period=0.5)
+        mode, schedule = nominal_schedule(problem, "O1", sw_genome(problem))
+        scaled = scale_schedule(problem, mode, schedule)
+        assert scaled.total_dynamic_energy() < schedule.total_dynamic_energy()
+        scaled.validate(mode, problem.architecture)
+        assert scaled.is_timing_feasible(mode)
+
+    def test_deadlines_still_met(self):
+        problem = make_two_mode_problem(period=0.12)
+        mode, schedule = nominal_schedule(problem, "O1", sw_genome(problem))
+        assert schedule.is_timing_feasible(mode)
+        scaled = scale_schedule(problem, mode, schedule)
+        assert scaled.is_timing_feasible(mode)
+
+    def test_no_slack_no_change(self):
+        # Period equal to the serial makespan: no slack to distribute.
+        problem = make_two_mode_problem(period=0.2)
+        mode, schedule = nominal_schedule(problem, "O1", sw_genome(problem))
+        tight = make_two_mode_problem(period=schedule.makespan)
+        mode_t, schedule_t = nominal_schedule(
+            tight, "O1", sw_genome(tight)
+        )
+        scaled = scale_schedule(tight, mode_t, schedule_t)
+        assert scaled.total_dynamic_energy() == pytest.approx(
+            schedule_t.total_dynamic_energy()
+        )
+        assert scaled.makespan == pytest.approx(schedule_t.makespan)
+
+    def test_voltage_pieces_recorded(self):
+        problem = make_two_mode_problem(period=0.5)
+        mode, schedule = nominal_schedule(problem, "O1", sw_genome(problem))
+        scaled = scale_schedule(problem, mode, schedule)
+        lowered = [
+            t
+            for t in scaled.tasks
+            if t.pieces and t.pieces[0][1] < 3.3
+        ]
+        assert lowered  # plenty of slack: someone must scale down
+
+    def test_non_dvs_pe_untouched(self):
+        problem = make_two_mode_problem(dvs_sw=False, period=0.5)
+        mode, schedule = nominal_schedule(problem, "O1", sw_genome(problem))
+        scaled = scale_schedule(problem, mode, schedule)
+        assert scaled.total_dynamic_energy() == pytest.approx(
+            schedule.total_dynamic_energy()
+        )
+        for entry in scaled.tasks:
+            assert entry.pieces == ()
+
+    def test_infeasible_schedule_left_at_nominal(self):
+        # Period far below the critical path: nothing can be scaled.
+        problem = make_two_mode_problem(period=0.01)
+        mode, schedule = nominal_schedule(problem, "O1", sw_genome(problem))
+        assert not schedule.is_timing_feasible(mode)
+        scaled = scale_schedule(problem, mode, schedule)
+        assert scaled.total_dynamic_energy() == pytest.approx(
+            schedule.total_dynamic_energy()
+        )
+
+
+class TestHardwareSharedRail:
+    def hw_genome(self, problem):
+        return MappingString.from_mapping(
+            problem,
+            {
+                "M": {
+                    "src": "CPU",
+                    "p0": "HW",
+                    "p1": "HW",
+                    "p2": "HW",
+                    "p3": "HW",
+                    "join": "CPU",
+                }
+            },
+        )
+
+    def test_hw_component_scales(self):
+        problem = make_parallel_hw_problem(dvs_hw=True, period=0.2)
+        genome = self.hw_genome(problem)
+        mode, schedule = nominal_schedule(problem, "M", genome)
+        scaled = scale_schedule(problem, mode, schedule)
+        scaled.validate(mode, problem.architecture)
+        assert scaled.total_dynamic_energy() < schedule.total_dynamic_energy()
+        assert scaled.is_timing_feasible(mode)
+
+    def test_overlapping_tasks_share_voltage(self):
+        # Tasks overlapping in time on the shared rail must agree on
+        # the voltage of the shared portion: their pieces partition the
+        # component timeline consistently.
+        problem = make_parallel_hw_problem(dvs_hw=True, period=0.05)
+        genome = self.hw_genome(problem)
+        mode, schedule = nominal_schedule(problem, "M", genome)
+        scaled = scale_schedule(problem, mode, schedule)
+        hw_tasks = [t for t in scaled.tasks if t.pe == "HW"]
+        assert hw_tasks
+        for entry in hw_tasks:
+            assert entry.pieces
+            total = sum(duration for duration, _ in entry.pieces)
+            assert total == pytest.approx(entry.duration)
+
+    def test_non_dvs_hw_untouched(self):
+        problem = make_parallel_hw_problem(dvs_hw=False, period=0.2)
+        genome = self.hw_genome(problem)
+        mode, schedule = nominal_schedule(problem, "M", genome)
+        scaled = scale_schedule(problem, mode, schedule)
+        hw_energy_before = sum(
+            t.energy for t in schedule.tasks if t.pe == "HW"
+        )
+        hw_energy_after = sum(
+            t.energy for t in scaled.tasks if t.pe == "HW"
+        )
+        assert hw_energy_after == pytest.approx(hw_energy_before)
+
+
+class TestUniformBaseline:
+    def test_never_worse_than_nominal(self):
+        problem = make_two_mode_problem(period=0.5)
+        mode, schedule = nominal_schedule(problem, "O1", sw_genome(problem))
+        uniform = uniform_scale_schedule(problem, mode, schedule)
+        assert (
+            uniform.total_dynamic_energy()
+            <= schedule.total_dynamic_energy() + 1e-15
+        )
+        uniform.validate(mode, problem.architecture)
+        assert uniform.is_timing_feasible(mode)
+
+    def test_gradient_at_least_as_good_generally(self):
+        # Across a set of random mappings the gradient approach should
+        # never lose by more than numerical noise, and usually win.
+        problem = make_two_mode_problem(period=0.3, dvs_hw=True)
+        wins = 0
+        for seed in range(10):
+            genome = MappingString.random(problem, random.Random(seed))
+            for mode in problem.omsm.modes:
+                cores = allocate_cores(problem, genome)
+                schedule = schedule_mode(
+                    problem, mode, genome.mode_mapping(mode.name), cores
+                )
+                gradient = scale_schedule(problem, mode, schedule)
+                uniform = uniform_scale_schedule(problem, mode, schedule)
+                if (
+                    gradient.total_dynamic_energy()
+                    < uniform.total_dynamic_energy() - 1e-12
+                ):
+                    wins += 1
+        assert wins >= 1
+
+    def test_infeasible_left_at_nominal(self):
+        problem = make_two_mode_problem(period=0.01)
+        mode, schedule = nominal_schedule(problem, "O1", sw_genome(problem))
+        uniform = uniform_scale_schedule(problem, mode, schedule)
+        assert uniform.total_dynamic_energy() == pytest.approx(
+            schedule.total_dynamic_energy()
+        )
+
+
+class TestRandomisedInvariants:
+    def test_many_random_mappings(self):
+        problem = make_two_mode_problem(period=0.3, dvs_hw=True)
+        for seed in range(25):
+            genome = MappingString.random(problem, random.Random(seed))
+            cores = allocate_cores(problem, genome)
+            for mode in problem.omsm.modes:
+                schedule = schedule_mode(
+                    problem, mode, genome.mode_mapping(mode.name), cores
+                )
+                scaled = scale_schedule(problem, mode, schedule)
+                scaled.validate(mode, problem.architecture)
+                assert (
+                    scaled.total_dynamic_energy()
+                    <= schedule.total_dynamic_energy() + 1e-12
+                )
+                if schedule.is_timing_feasible(mode):
+                    assert scaled.is_timing_feasible(mode)

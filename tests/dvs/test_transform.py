@@ -1,0 +1,129 @@
+"""Unit tests for the Fig. 5 parallel-to-sequential transformation."""
+
+import pytest
+
+from repro.dvs.transform import segments_of_task, transform_parallel_tasks
+from repro.scheduling.schedule import ScheduledTask
+
+
+def hw_task(name, start, end, core=0, power=1.0, task_type="T"):
+    return ScheduledTask(
+        name=name,
+        task_type=task_type,
+        pe="HW",
+        start=start,
+        end=end,
+        energy=power * (end - start),
+        power=power,
+        core_index=core,
+    )
+
+
+class TestFig5Example:
+    """The paper's Fig. 5: 5 tasks on 2 cores → 3 sequential tasks.
+
+    Core 0 runs τ0 then τ1; core 1 runs τ2, τ3, τ4.  The figure's
+    structure arises when the activity set changes twice: a prefix
+    where both cores work, a middle stretch, and a tail.
+    """
+
+    def test_two_core_overlap(self):
+        tasks = [
+            hw_task("t0", 0.0, 2.0, core=0, power=1.0),
+            hw_task("t1", 2.0, 5.0, core=0, power=2.0),
+            hw_task("t2", 0.0, 2.0, core=1, power=3.0, task_type="U"),
+            hw_task("t3", 2.0, 3.0, core=1, power=1.0, task_type="U"),
+            hw_task("t4", 3.0, 5.0, core=1, power=4.0, task_type="U"),
+        ]
+        segments = transform_parallel_tasks(tasks)
+        assert [s.active for s in segments] == [
+            ("t0", "t2"),
+            ("t1", "t3"),
+            ("t1", "t4"),
+        ]
+        assert [s.power for s in segments] == [4.0, 3.0, 6.0]
+        assert [(s.start, s.end) for s in segments] == [
+            (0.0, 2.0),
+            (2.0, 3.0),
+            (3.0, 5.0),
+        ]
+
+    def test_energy_equivalence(self):
+        tasks = [
+            hw_task("a", 0.0, 3.0, core=0, power=0.5),
+            hw_task("b", 1.0, 4.0, core=1, power=0.25, task_type="U"),
+        ]
+        segments = transform_parallel_tasks(tasks)
+        assert sum(s.energy for s in segments) == pytest.approx(
+            sum(t.energy for t in tasks)
+        )
+
+    def test_makespan_equivalence(self):
+        tasks = [
+            hw_task("a", 0.0, 3.0),
+            hw_task("b", 5.0, 8.0, core=1),
+        ]
+        segments = transform_parallel_tasks(tasks)
+        assert segments[-1].end == 8.0
+
+
+class TestSegmentation:
+    def test_empty_input(self):
+        assert transform_parallel_tasks([]) == ()
+
+    def test_single_task_single_segment(self):
+        segments = transform_parallel_tasks([hw_task("a", 1.0, 4.0)])
+        assert len(segments) == 1
+        assert segments[0].active == ("a",)
+        assert segments[0].duration == pytest.approx(3.0)
+
+    def test_idle_gap_produces_no_segment(self):
+        tasks = [
+            hw_task("a", 0.0, 1.0),
+            hw_task("b", 3.0, 4.0),
+        ]
+        segments = transform_parallel_tasks(tasks)
+        assert len(segments) == 2
+        assert segments[0].end == 1.0
+        assert segments[1].start == 3.0
+
+    def test_indices_sequential(self):
+        tasks = [
+            hw_task("a", 0.0, 2.0),
+            hw_task("b", 1.0, 3.0, core=1),
+            hw_task("c", 2.5, 4.0, core=2),
+        ]
+        segments = transform_parallel_tasks(tasks)
+        assert [s.index for s in segments] == list(range(len(segments)))
+
+    def test_power_sums_active_cores(self):
+        tasks = [
+            hw_task("a", 0.0, 2.0, core=0, power=1.5),
+            hw_task("b", 0.0, 2.0, core=1, power=2.5),
+        ]
+        segments = transform_parallel_tasks(tasks)
+        assert len(segments) == 1
+        assert segments[0].power == pytest.approx(4.0)
+
+    def test_segments_of_task(self):
+        tasks = [
+            hw_task("long", 0.0, 6.0, core=0),
+            hw_task("mid", 2.0, 4.0, core=1),
+        ]
+        segments = transform_parallel_tasks(tasks)
+        own = segments_of_task(segments, "long")
+        assert len(own) == 3
+        assert sum(s.duration for s in own) == pytest.approx(6.0)
+        mid = segments_of_task(segments, "mid")
+        assert len(mid) == 1
+        assert mid[0].duration == pytest.approx(2.0)
+
+    def test_zero_duration_task_ignored(self):
+        tasks = [
+            hw_task("instant", 1.0, 1.0),
+            hw_task("real", 0.0, 2.0, core=1),
+        ]
+        segments = transform_parallel_tasks(tasks)
+        assert sum(s.energy for s in segments) == pytest.approx(
+            2.0
+        )  # only the real task carries energy

@@ -1,0 +1,107 @@
+"""Unit tests for the voltage/delay/energy model."""
+
+import pytest
+
+from repro.dvs.voltage import (
+    duration_energy_tables,
+    minimum_feasible_level,
+    scaled_duration,
+    scaled_energy,
+    speed_factor,
+)
+from repro.errors import VoltageScalingError
+
+LEVELS = (1.2, 1.8, 2.4, 3.3)
+VT = 0.4
+
+
+class TestSpeedFactor:
+    def test_monotonically_increasing(self):
+        speeds = [speed_factor(v, VT) for v in LEVELS]
+        assert speeds == sorted(speeds)
+        assert speeds[0] < speeds[-1]
+
+    def test_below_threshold_rejected(self):
+        with pytest.raises(VoltageScalingError):
+            speed_factor(0.4, VT)
+        with pytest.raises(VoltageScalingError):
+            speed_factor(0.1, VT)
+
+
+class TestScaledDuration:
+    def test_identity_at_nominal(self):
+        assert scaled_duration(0.01, 3.3, 3.3, VT) == pytest.approx(0.01)
+
+    def test_longer_at_lower_voltage(self):
+        durations = [
+            scaled_duration(0.01, v, 3.3, VT) for v in LEVELS
+        ]
+        assert durations == sorted(durations, reverse=True)
+        assert durations[0] > 0.01
+
+    def test_zero_duration_stays_zero(self):
+        assert scaled_duration(0.0, 1.2, 3.3, VT) == 0.0
+
+    def test_above_nominal_rejected(self):
+        with pytest.raises(VoltageScalingError):
+            scaled_duration(0.01, 3.5, 3.3, VT)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(VoltageScalingError):
+            scaled_duration(-0.01, 1.2, 3.3, VT)
+
+
+class TestScaledEnergy:
+    def test_identity_at_nominal(self):
+        assert scaled_energy(1.0, 3.3, 3.3) == pytest.approx(1.0)
+
+    def test_quadratic_law(self):
+        # E(V) = E_nom * (V / Vmax)^2 -- the paper's Section 3 formula.
+        assert scaled_energy(1.0, 1.65, 3.3) == pytest.approx(0.25)
+        assert scaled_energy(2.0, 1.2, 3.3) == pytest.approx(
+            2.0 * (1.2 / 3.3) ** 2
+        )
+
+    def test_above_nominal_rejected(self):
+        with pytest.raises(VoltageScalingError):
+            scaled_energy(1.0, 3.4, 3.3)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(VoltageScalingError):
+            scaled_energy(-1.0, 1.2, 3.3)
+
+
+class TestTables:
+    def test_shapes_and_order(self):
+        durations, energies = duration_energy_tables(
+            0.01, 0.5, LEVELS, VT
+        )
+        assert len(durations) == len(LEVELS)
+        assert len(energies) == len(LEVELS)
+        # Ascending voltage: durations fall, energies rise.
+        assert list(durations) == sorted(durations, reverse=True)
+        assert list(energies) == sorted(energies)
+        assert durations[-1] == pytest.approx(0.01)
+        assert energies[-1] == pytest.approx(0.5)
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(VoltageScalingError):
+            duration_energy_tables(0.01, 0.5, (), VT)
+
+
+class TestMinimumFeasibleLevel:
+    def test_nominal_needed(self):
+        index = minimum_feasible_level(0.01, 0.01, LEVELS, VT)
+        assert index == len(LEVELS) - 1
+
+    def test_lowest_possible(self):
+        index = minimum_feasible_level(0.01, 10.0, LEVELS, VT)
+        assert index == 0
+
+    def test_intermediate(self):
+        budget = scaled_duration(0.01, 1.8, 3.3, VT)
+        assert minimum_feasible_level(0.01, budget, LEVELS, VT) == 1
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(VoltageScalingError):
+            minimum_feasible_level(0.01, 0.001, LEVELS, VT)

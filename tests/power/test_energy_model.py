@@ -1,0 +1,113 @@
+"""Unit tests for Equation (1) — the average power model."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.mapping.cores import allocate_cores
+from repro.mapping.encoding import MappingString
+from repro.power.energy_model import (
+    average_power,
+    mode_dynamic_power,
+    power_breakdown,
+)
+from repro.scheduling.list_scheduler import schedule_mode
+
+from tests.conftest import make_two_mode_problem
+
+
+def schedules_for(problem, mapping):
+    genome = MappingString.from_mapping(problem, mapping)
+    cores = allocate_cores(problem, genome)
+    return {
+        mode.name: schedule_mode(
+            problem, mode, genome.mode_mapping(mode.name), cores
+        )
+        for mode in problem.omsm.modes
+    }
+
+
+ALL_SW = {
+    "O1": {"t1": "PE0", "t2": "PE0", "t3": "PE0", "t4": "PE0"},
+    "O2": {"u1": "PE0", "u2": "PE0", "u3": "PE0"},
+}
+
+
+class TestModeDynamicPower:
+    def test_energy_over_period(self):
+        problem = make_two_mode_problem(period=0.2)
+        schedules = schedules_for(problem, ALL_SW)
+        expected = schedules["O1"].total_dynamic_energy() / 0.2
+        assert mode_dynamic_power(
+            problem, "O1", schedules["O1"]
+        ) == pytest.approx(expected)
+
+    def test_period_normalisation(self):
+        # Same schedule energy, double period -> half the power.
+        short = make_two_mode_problem(period=0.2)
+        longer = make_two_mode_problem(period=0.4)
+        p_short = mode_dynamic_power(
+            short, "O1", schedules_for(short, ALL_SW)["O1"]
+        )
+        p_long = mode_dynamic_power(
+            longer, "O1", schedules_for(longer, ALL_SW)["O1"]
+        )
+        assert p_long == pytest.approx(p_short / 2)
+
+
+class TestPowerBreakdown:
+    def test_all_modes_present(self):
+        problem = make_two_mode_problem()
+        dynamic, static = power_breakdown(
+            problem, schedules_for(problem, ALL_SW)
+        )
+        assert set(dynamic) == {"O1", "O2"}
+        assert set(static) == {"O1", "O2"}
+        assert all(v >= 0 for v in dynamic.values())
+
+    def test_missing_mode_raises(self):
+        problem = make_two_mode_problem()
+        schedules = schedules_for(problem, ALL_SW)
+        del schedules["O2"]
+        with pytest.raises(SpecificationError, match="no schedule"):
+            power_breakdown(problem, schedules)
+
+
+class TestAveragePower:
+    def test_equation_1(self):
+        problem = make_two_mode_problem()
+        schedules = schedules_for(problem, ALL_SW)
+        dynamic, static = power_breakdown(problem, schedules)
+        expected = 0.1 * (dynamic["O1"] + static["O1"]) + 0.9 * (
+            dynamic["O2"] + static["O2"]
+        )
+        assert average_power(problem, schedules) == pytest.approx(expected)
+
+    def test_uniform_vector(self):
+        problem = make_two_mode_problem()
+        schedules = schedules_for(problem, ALL_SW)
+        dynamic, static = power_breakdown(problem, schedules)
+        expected = 0.5 * (dynamic["O1"] + static["O1"]) + 0.5 * (
+            dynamic["O2"] + static["O2"]
+        )
+        uniform = problem.omsm.uniform_probability_vector()
+        assert average_power(
+            problem, schedules, uniform
+        ) == pytest.approx(expected)
+
+    def test_linearity_in_probabilities(self):
+        problem = make_two_mode_problem()
+        schedules = schedules_for(problem, ALL_SW)
+        p_o1 = average_power(problem, schedules, {"O1": 1.0, "O2": 0.0})
+        p_o2 = average_power(problem, schedules, {"O1": 0.0, "O2": 1.0})
+        for weight in (0.0, 0.25, 0.5, 0.9, 1.0):
+            vector = {"O1": weight, "O2": 1.0 - weight}
+            combined = average_power(problem, schedules, vector)
+            assert combined == pytest.approx(
+                weight * p_o1 + (1 - weight) * p_o2
+            )
+
+    def test_incomplete_vector_raises(self):
+        problem = make_two_mode_problem()
+        schedules = schedules_for(problem, ALL_SW)
+        with pytest.raises(SpecificationError, match="misses"):
+            average_power(problem, schedules, {"O1": 1.0})

@@ -1,0 +1,75 @@
+"""Unit tests for component shut-down analysis."""
+
+import pytest
+
+from repro.mapping.cores import allocate_cores
+from repro.mapping.encoding import MappingString
+from repro.power.shutdown import (
+    active_components,
+    mode_static_power,
+    shut_down_components,
+)
+from repro.scheduling.list_scheduler import schedule_mode
+
+from tests.conftest import make_two_mode_problem
+
+
+def schedule_for(problem, mode_name, mapping):
+    genome = MappingString.from_mapping(problem, mapping)
+    cores = allocate_cores(problem, genome)
+    mode = problem.omsm.mode(mode_name)
+    return schedule_mode(
+        problem, mode, genome.mode_mapping(mode_name), cores
+    )
+
+
+ALL_SW = {
+    "O1": {"t1": "PE0", "t2": "PE0", "t3": "PE0", "t4": "PE0"},
+    "O2": {"u1": "PE0", "u2": "PE0", "u3": "PE0"},
+}
+
+MIXED = {
+    "O1": {"t1": "PE0", "t2": "PE1", "t3": "PE0", "t4": "PE0"},
+    "O2": {"u1": "PE0", "u2": "PE0", "u3": "PE0"},
+}
+
+
+class TestActiveComponents:
+    def test_all_software_shuts_down_hw_and_bus(self):
+        problem = make_two_mode_problem()
+        schedule = schedule_for(problem, "O1", ALL_SW)
+        assert active_components(problem, schedule) == {"PE0"}
+        assert shut_down_components(problem, schedule) == ("PE1", "CL0")
+
+    def test_mixed_mapping_keeps_everything_on(self):
+        problem = make_two_mode_problem()
+        schedule = schedule_for(problem, "O1", MIXED)
+        assert active_components(problem, schedule) == {
+            "PE0",
+            "PE1",
+            "CL0",
+        }
+        assert shut_down_components(problem, schedule) == ()
+
+
+class TestStaticPower:
+    def test_all_software(self):
+        problem = make_two_mode_problem()
+        schedule = schedule_for(problem, "O1", ALL_SW)
+        # Only PE0's 5 mW is paid.
+        assert mode_static_power(problem, schedule) == pytest.approx(5e-3)
+
+    def test_mixed(self):
+        problem = make_two_mode_problem()
+        schedule = schedule_for(problem, "O1", MIXED)
+        # PE0 + PE1 + CL0 = 5 + 2 + 0.5 mW.
+        assert mode_static_power(problem, schedule) == pytest.approx(
+            7.5e-3
+        )
+
+    def test_per_mode_independence(self):
+        problem = make_two_mode_problem()
+        s1 = schedule_for(problem, "O1", MIXED)
+        s2 = schedule_for(problem, "O2", MIXED)
+        assert mode_static_power(problem, s1) == pytest.approx(7.5e-3)
+        assert mode_static_power(problem, s2) == pytest.approx(5e-3)

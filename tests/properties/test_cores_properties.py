@@ -1,0 +1,104 @@
+"""Property-based tests: core-allocation invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.architecture import PEKind
+from repro.mapping.cores import allocate_cores
+from repro.mapping.encoding import MappingString
+
+from tests.properties.test_schedule_properties import (
+    build_random_problem,
+)
+
+
+class TestAllocationInvariants:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_every_mapped_type_has_a_core(self, seed):
+        problem = build_random_problem(seed)
+        genome = MappingString.random(problem, random.Random(seed + 5))
+        cores = allocate_cores(problem, genome)
+        for mode in problem.omsm.modes:
+            for task in mode.task_graph:
+                pe_name = genome.pe_of(mode.name, task.name)
+                if problem.architecture.pe(pe_name).is_hardware:
+                    assert (
+                        cores.available_cores(
+                            pe_name, mode.name, task.task_type
+                        )
+                        >= 1
+                    )
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_asic_counts_static_across_modes(self, seed):
+        problem = build_random_problem(seed)
+        genome = MappingString.random(problem, random.Random(seed + 6))
+        cores = allocate_cores(problem, genome)
+        for pe in problem.architecture.hardware_pes():
+            if pe.kind is not PEKind.ASIC:
+                continue
+            mode_counts = [
+                cores.counts[pe.name][mode]
+                for mode in problem.omsm.mode_names
+            ]
+            for counts in mode_counts[1:]:
+                assert counts == mode_counts[0]
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_area_used_consistent_with_counts(self, seed):
+        problem = build_random_problem(seed)
+        genome = MappingString.random(problem, random.Random(seed + 7))
+        cores = allocate_cores(problem, genome)
+        for pe in problem.architecture.hardware_pes():
+            per_mode_areas = []
+            for mode in problem.omsm.mode_names:
+                area = sum(
+                    count
+                    * problem.technology.implementation(
+                        task_type, pe.name
+                    ).area
+                    for task_type, count in cores.counts[pe.name][
+                        mode
+                    ].items()
+                )
+                per_mode_areas.append(area)
+            if pe.kind is PEKind.ASIC:
+                # Union config: the recorded area equals any mode's
+                # (they are identical) config area.
+                assert per_mode_areas[0] == cores.area_used[pe.name]
+            else:
+                assert max(
+                    per_mode_areas, default=0.0
+                ) == cores.area_used[pe.name]
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_transition_times_non_negative_and_asymmetric_ok(
+        self, seed
+    ):
+        problem = build_random_problem(seed)
+        genome = MappingString.random(problem, random.Random(seed + 8))
+        cores = allocate_cores(problem, genome)
+        for transition in problem.omsm.transitions:
+            time = cores.transition_time(
+                transition.src, transition.dst
+            )
+            assert time >= 0.0
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_violations_only_report_overshoot(self, seed):
+        problem = build_random_problem(seed)
+        genome = MappingString.random(problem, random.Random(seed + 9))
+        cores = allocate_cores(problem, genome)
+        for pe_name, overshoot in cores.area_violations().items():
+            pe = problem.architecture.pe(pe_name)
+            assert overshoot > 0
+            assert cores.area_used[pe_name] > pe.area
+        for ratio in cores.transition_violations().values():
+            assert ratio > 1.0

@@ -1,0 +1,119 @@
+"""Property-based tests: DVS invariants over random problems.
+
+The central guarantees of voltage selection, checked over randomly
+generated problems and mappings:
+
+* energy never increases;
+* schedules stay valid (precedence, arrival, exclusivity);
+* timing-feasible schedules stay timing-feasible;
+* the Fig. 5 transformation preserves nominal energy and makespan.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dvs.pv_dvs import scale_schedule, uniform_scale_schedule
+from repro.dvs.transform import transform_parallel_tasks
+from repro.mapping.cores import allocate_cores
+from repro.mapping.encoding import MappingString
+from repro.scheduling.list_scheduler import schedule_mode
+
+from tests.properties.test_schedule_properties import (
+    build_random_problem,
+)
+
+
+def scheduled_modes(seed: int):
+    problem = build_random_problem(seed)
+    genome = MappingString.random(problem, random.Random(seed + 17))
+    cores = allocate_cores(problem, genome)
+    for mode in problem.omsm.modes:
+        schedule = schedule_mode(
+            problem, mode, genome.mode_mapping(mode.name), cores
+        )
+        yield problem, mode, schedule
+
+
+class TestGradientDvsProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_energy_never_increases(self, seed):
+        for problem, mode, schedule in scheduled_modes(seed):
+            scaled = scale_schedule(problem, mode, schedule)
+            assert (
+                scaled.total_dynamic_energy()
+                <= schedule.total_dynamic_energy() + 1e-12
+            )
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_scaled_schedule_validates(self, seed):
+        for problem, mode, schedule in scheduled_modes(seed):
+            scaled = scale_schedule(problem, mode, schedule)
+            scaled.validate(mode, problem.architecture)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_feasibility_preserved(self, seed):
+        for problem, mode, schedule in scheduled_modes(seed):
+            if schedule.is_timing_feasible(mode):
+                scaled = scale_schedule(problem, mode, schedule)
+                assert scaled.is_timing_feasible(mode)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_task_pieces_sum_to_duration(self, seed):
+        for problem, mode, schedule in scheduled_modes(seed):
+            scaled = scale_schedule(problem, mode, schedule)
+            for task in scaled.tasks:
+                if task.pieces:
+                    total = sum(d for d, _ in task.pieces)
+                    assert abs(total - task.duration) < 1e-9
+
+
+class TestUniformDvsProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_never_increases_energy(self, seed):
+        for problem, mode, schedule in scheduled_modes(seed):
+            scaled = uniform_scale_schedule(problem, mode, schedule)
+            assert (
+                scaled.total_dynamic_energy()
+                <= schedule.total_dynamic_energy() + 1e-12
+            )
+            scaled.validate(mode, problem.architecture)
+            if schedule.is_timing_feasible(mode):
+                assert scaled.is_timing_feasible(mode)
+
+
+class TestTransformProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_transform_preserves_energy_and_makespan(self, seed):
+        for problem, mode, schedule in scheduled_modes(seed):
+            for pe in problem.architecture.hardware_pes():
+                placed = schedule.tasks_on(pe.name)
+                if not placed:
+                    continue
+                segments = transform_parallel_tasks(placed)
+                task_energy = sum(t.energy for t in placed)
+                segment_energy = sum(s.energy for s in segments)
+                assert abs(task_energy - segment_energy) <= max(
+                    1e-9, 1e-9 * task_energy
+                )
+                if segments:
+                    assert max(s.end for s in segments) <= max(
+                        t.end for t in placed
+                    ) + 1e-12
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_segments_disjoint_and_ordered(self, seed):
+        for problem, mode, schedule in scheduled_modes(seed):
+            for pe in problem.architecture.hardware_pes():
+                placed = schedule.tasks_on(pe.name)
+                segments = transform_parallel_tasks(placed)
+                for left, right in zip(segments, segments[1:]):
+                    assert left.end <= right.start + 1e-12

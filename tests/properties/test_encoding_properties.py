@@ -1,0 +1,66 @@
+"""Property-based tests for the genome encoding."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping.encoding import MappingString
+
+from tests.conftest import make_two_mode_problem
+
+PROBLEM = make_two_mode_problem()
+
+
+@st.composite
+def genomes(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return MappingString.random(PROBLEM, random.Random(seed))
+
+
+class TestGenomeProperties:
+    @given(genomes())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_through_mapping_dict(self, genome):
+        rebuilt = MappingString.from_mapping(
+            PROBLEM, genome.full_mapping()
+        )
+        assert rebuilt == genome
+
+    @given(genomes(), genomes(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_crossover_children_valid_and_complementary(
+        self, parent_a, parent_b, seed
+    ):
+        rng = random.Random(seed)
+        child_a, child_b = parent_a.crossover_two_point(parent_b, rng)
+        for index in range(len(parent_a)):
+            parents = {parent_a.genes[index], parent_b.genes[index]}
+            children = {child_a.genes[index], child_b.genes[index]}
+            assert children == parents
+
+    @given(
+        genomes(),
+        st.integers(0, 2**32 - 1),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mutation_preserves_validity(self, genome, seed, rate):
+        mutated = genome.mutate(random.Random(seed), rate)
+        # Construction re-validates; reaching here means valid.
+        assert len(mutated) == len(genome)
+
+    @given(genomes())
+    @settings(max_examples=30, deadline=None)
+    def test_pe_of_agrees_with_mode_mapping(self, genome):
+        for mode in PROBLEM.omsm.modes:
+            mapping = genome.mode_mapping(mode.name)
+            for task, pe in mapping.items():
+                assert genome.pe_of(mode.name, task) == pe
+
+    @given(genomes(), genomes())
+    @settings(max_examples=30, deadline=None)
+    def test_equality_iff_same_genes(self, a, b):
+        assert (a == b) == (a.genes == b.genes)
+        if a == b:
+            assert hash(a) == hash(b)

@@ -1,0 +1,89 @@
+"""Property-based tests: serialisation round-trips over random problems."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import (
+    mapping_from_dict,
+    mapping_to_dict,
+    problem_from_dict,
+    problem_to_dict,
+)
+from repro.mapping.encoding import MappingString
+
+from tests.properties.test_schedule_properties import (
+    build_random_problem,
+)
+
+
+class TestRoundtripProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_problem_roundtrip_preserves_everything(self, seed):
+        original = build_random_problem(seed)
+        rebuilt = problem_from_dict(problem_to_dict(original))
+        assert rebuilt.name == original.name
+        assert (
+            rebuilt.omsm.probability_vector()
+            == original.omsm.probability_vector()
+        )
+        for mode in original.omsm.modes:
+            twin = rebuilt.omsm.mode(mode.name)
+            assert twin.period == mode.period
+            assert (
+                twin.task_graph.task_names
+                == mode.task_graph.task_names
+            )
+            assert [e.key for e in twin.task_graph.edges] == [
+                e.key for e in mode.task_graph.edges
+            ]
+        assert rebuilt.architecture.pe_names == (
+            original.architecture.pe_names
+        )
+        assert len(rebuilt.technology) == len(original.technology)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_double_roundtrip_is_identity(self, seed):
+        original = build_random_problem(seed)
+        once = problem_to_dict(original)
+        twice = problem_to_dict(problem_from_dict(once))
+        assert once == twice
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_mapping_roundtrip(self, seed):
+        problem = build_random_problem(seed)
+        mapping = MappingString.random(
+            problem, random.Random(seed + 3)
+        )
+        rebuilt = mapping_from_dict(
+            problem, mapping_to_dict(mapping)
+        )
+        assert rebuilt == mapping
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_rebuilt_problem_evaluates_identically(self, seed):
+        from repro.synthesis.config import SynthesisConfig
+        from repro.synthesis.evaluator import evaluate_mapping
+
+        original = build_random_problem(seed)
+        rebuilt = problem_from_dict(problem_to_dict(original))
+        genome_o = MappingString.random(
+            original, random.Random(seed + 4)
+        )
+        genome_r = MappingString(rebuilt, list(genome_o.genes))
+        config = SynthesisConfig()
+        impl_o = evaluate_mapping(original, genome_o, config)
+        impl_r = evaluate_mapping(rebuilt, genome_r, config)
+        if impl_o is None:
+            assert impl_r is None
+        else:
+            assert impl_r is not None
+            assert impl_r.metrics.average_power == (
+                impl_o.metrics.average_power
+            )
+            assert impl_r.metrics.fitness == impl_o.metrics.fitness

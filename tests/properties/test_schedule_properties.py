@@ -1,0 +1,158 @@
+"""Property-based tests: scheduling invariants over random inputs.
+
+Random problems (graph shape, mapping, architecture flavours) are
+generated from a seed, scheduled, and the full invariant checker is
+run.  This is the library's main defence in depth: any violation of
+precedence, data arrival or resource exclusivity raises.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.architecture import (
+    Architecture,
+    CommunicationLink,
+    PEKind,
+    ProcessingElement,
+    TaskImplementation,
+    TechnologyLibrary,
+)
+from repro.benchgen.random_graphs import random_task_graph
+from repro.mapping.cores import allocate_cores
+from repro.mapping.encoding import MappingString
+from repro.problem import Problem
+from repro.scheduling.list_scheduler import schedule_mode
+from repro.specification import Mode, OMSM
+
+
+def build_random_problem(seed: int) -> Problem:
+    """A random 1-3 mode problem with a random architecture."""
+    rng = random.Random(seed)
+    mode_count = rng.randint(1, 3)
+    type_pool = [f"T{i}" for i in range(rng.randint(2, 6))]
+    modes = []
+    for index in range(mode_count):
+        graph = random_task_graph(
+            f"g{index}",
+            rng,
+            task_count=rng.randint(2, 12),
+            type_pool=type_pool,
+            max_width=rng.randint(1, 4),
+            task_prefix=f"m{index}_",
+        )
+        modes.append(
+            Mode(
+                f"mode{index}",
+                graph,
+                probability=1.0 / mode_count,
+                period=rng.uniform(0.05, 0.5),
+            )
+        )
+    omsm = OMSM(f"random{seed}", modes)
+
+    levels = (1.2, 1.8, 2.4, 3.3)
+    pes = [
+        ProcessingElement(
+            "CPU",
+            PEKind.GPP,
+            static_power=1e-3,
+            voltage_levels=levels if rng.random() < 0.7 else None,
+        )
+    ]
+    if rng.random() < 0.8:
+        kind = PEKind.ASIC if rng.random() < 0.6 else PEKind.FPGA
+        pes.append(
+            ProcessingElement(
+                "HW0",
+                kind,
+                area=rng.uniform(300, 2000),
+                static_power=1e-3,
+                voltage_levels=levels if rng.random() < 0.5 else None,
+                reconfig_time_per_cell=(
+                    rng.uniform(1e-7, 5e-6)
+                    if kind is PEKind.FPGA
+                    else 0.0
+                ),
+            )
+        )
+    links = []
+    if len(pes) > 1:
+        links.append(
+            CommunicationLink(
+                "BUS",
+                [pe.name for pe in pes],
+                bandwidth_bps=rng.uniform(1e5, 1e7),
+                comm_power=1e-3,
+            )
+        )
+
+    entries = []
+    for task_type in type_pool:
+        sw_time = rng.uniform(1e-3, 2e-2)
+        entries.append(
+            TaskImplementation(
+                task_type, "CPU", exec_time=sw_time,
+                power=rng.uniform(0.05, 0.4),
+            )
+        )
+        if len(pes) > 1 and rng.random() < 0.8:
+            entries.append(
+                TaskImplementation(
+                    task_type,
+                    "HW0",
+                    exec_time=sw_time / rng.uniform(5, 50),
+                    power=rng.uniform(0.001, 0.05),
+                    area=rng.uniform(50, 500),
+                )
+            )
+    arch = Architecture("arch", pes, links)
+    return Problem(omsm, arch, TechnologyLibrary(entries))
+
+
+class TestSchedulingInvariants:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_problem_schedules_validate(self, seed):
+        problem = build_random_problem(seed)
+        genome = MappingString.random(problem, random.Random(seed + 1))
+        cores = allocate_cores(problem, genome)
+        for mode in problem.omsm.modes:
+            schedule = schedule_mode(
+                problem, mode, genome.mode_mapping(mode.name), cores
+            )
+            schedule.validate(mode, problem.architecture)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_all_tasks_scheduled_energy_positive(self, seed):
+        problem = build_random_problem(seed)
+        genome = MappingString.random(problem, random.Random(seed + 2))
+        cores = allocate_cores(problem, genome)
+        for mode in problem.omsm.modes:
+            schedule = schedule_mode(
+                problem, mode, genome.mode_mapping(mode.name), cores
+            )
+            assert len(schedule.tasks) == len(mode.task_graph)
+            assert len(schedule.comms) == len(mode.task_graph.edges)
+            assert schedule.total_dynamic_energy() >= 0.0
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_bounds(self, seed):
+        # Makespan is at least the longest single task and at most the
+        # serial sum of all activities.
+        problem = build_random_problem(seed)
+        genome = MappingString.random(problem, random.Random(seed + 3))
+        cores = allocate_cores(problem, genome)
+        for mode in problem.omsm.modes:
+            schedule = schedule_mode(
+                problem, mode, genome.mode_mapping(mode.name), cores
+            )
+            longest = max(t.duration for t in schedule.tasks)
+            serial = sum(t.duration for t in schedule.tasks) + sum(
+                c.duration for c in schedule.comms
+            )
+            assert schedule.makespan >= longest - 1e-12
+            assert schedule.makespan <= serial + 1e-9

@@ -1,0 +1,140 @@
+"""Edge cases of the scheduling substrate."""
+
+import pytest
+
+from repro.architecture import (
+    Architecture,
+    CommunicationLink,
+    PEKind,
+    ProcessingElement,
+    TaskImplementation,
+    TechnologyLibrary,
+)
+from repro.mapping.cores import allocate_cores
+from repro.mapping.encoding import MappingString
+from repro.problem import Problem
+from repro.scheduling.list_scheduler import schedule_mode
+from repro.specification import CommEdge, Mode, OMSM, Task, TaskGraph
+
+
+def single_task_problem():
+    graph = TaskGraph("g", [Task("only", "X")])
+    omsm = OMSM("single", [Mode("M", graph, 1.0, 1.0)])
+    cpu = ProcessingElement("CPU", PEKind.GPP, static_power=1e-3)
+    arch = Architecture("arch", [cpu])
+    tech = TechnologyLibrary(
+        [TaskImplementation("X", "CPU", exec_time=0.01, power=0.1)]
+    )
+    return Problem(omsm, arch, tech)
+
+
+class TestDegenerateGraphs:
+    def test_single_task_mode(self):
+        problem = single_task_problem()
+        genome = MappingString(problem, ["CPU"])
+        cores = allocate_cores(problem, genome)
+        mode = problem.omsm.mode("M")
+        schedule = schedule_mode(
+            problem, mode, genome.mode_mapping("M"), cores
+        )
+        schedule.validate(mode, problem.architecture)
+        assert schedule.makespan == pytest.approx(0.01)
+        assert schedule.comms == ()
+
+    def test_edgeless_graph_runs_fully_parallel_on_hw(self):
+        graph = TaskGraph(
+            "g", [Task(f"t{i}", "X") for i in range(4)]
+        )
+        omsm = OMSM("flat", [Mode("M", graph, 1.0, 0.011)])
+        cpu = ProcessingElement("CPU", PEKind.GPP)
+        hw = ProcessingElement("HW", PEKind.ASIC, area=4000.0)
+        bus = CommunicationLink("BUS", ["CPU", "HW"], 1e6)
+        arch = Architecture("arch", [cpu, hw], [bus])
+        tech = TechnologyLibrary(
+            [
+                TaskImplementation("X", "CPU", exec_time=0.02, power=0.1),
+                TaskImplementation(
+                    "X", "HW", exec_time=0.01, power=0.01, area=500.0
+                ),
+            ]
+        )
+        problem = Problem(omsm, arch, tech)
+        genome = MappingString(problem, ["HW"] * 4)
+        cores = allocate_cores(problem, genome)
+        # Zero mobility (period 11 ms vs 10 ms execution): every task
+        # urgent and independent -> four cores.
+        assert cores.available_cores("HW", "M", "X") == 4
+        mode = problem.omsm.mode("M")
+        schedule = schedule_mode(
+            problem, mode, genome.mode_mapping("M"), cores
+        )
+        schedule.validate(mode, arch)
+        assert schedule.makespan == pytest.approx(0.01)
+
+    def test_zero_payload_edges_cost_nothing_on_bus(self):
+        graph = TaskGraph(
+            "g",
+            [Task("a", "X"), Task("b", "Y")],
+            [CommEdge("a", "b", 0.0)],
+        )
+        omsm = OMSM("zp", [Mode("M", graph, 1.0, 1.0)])
+        cpu = ProcessingElement("CPU", PEKind.GPP)
+        cpu2 = ProcessingElement("CPU2", PEKind.ASIP)
+        bus = CommunicationLink(
+            "BUS", ["CPU", "CPU2"], 1e6, comm_power=1e-3
+        )
+        arch = Architecture("arch", [cpu, cpu2], [bus])
+        tech = TechnologyLibrary(
+            [
+                TaskImplementation("X", "CPU", exec_time=0.01, power=0.1),
+                TaskImplementation(
+                    "Y", "CPU2", exec_time=0.01, power=0.1
+                ),
+            ]
+        )
+        problem = Problem(omsm, arch, tech)
+        genome = MappingString.from_mapping(
+            problem, {"M": {"a": "CPU", "b": "CPU2"}}
+        )
+        cores = allocate_cores(problem, genome)
+        mode = problem.omsm.mode("M")
+        schedule = schedule_mode(
+            problem, mode, genome.mode_mapping("M"), cores
+        )
+        message = schedule.comm("a", "b")
+        assert message.link == "BUS"
+        assert message.duration == 0.0
+        assert message.energy == 0.0
+
+
+class TestManyModes:
+    def test_five_modes_schedule_independently(self):
+        modes = []
+        for index in range(5):
+            graph = TaskGraph(
+                f"g{index}",
+                [Task(f"m{index}_a", "X"), Task(f"m{index}_b", "Y")],
+                [CommEdge(f"m{index}_a", f"m{index}_b", 100.0)],
+            )
+            modes.append(Mode(f"mode{index}", graph, 0.2, 1.0))
+        omsm = OMSM("five", modes)
+        cpu = ProcessingElement("CPU", PEKind.GPP)
+        arch = Architecture("arch", [cpu])
+        tech = TechnologyLibrary(
+            [
+                TaskImplementation("X", "CPU", exec_time=0.01, power=0.1),
+                TaskImplementation("Y", "CPU", exec_time=0.01, power=0.1),
+            ]
+        )
+        problem = Problem(omsm, arch, tech)
+        genome = MappingString(
+            problem, ["CPU"] * problem.genome_length()
+        )
+        cores = allocate_cores(problem, genome)
+        for mode in problem.omsm.modes:
+            schedule = schedule_mode(
+                problem, mode, genome.mode_mapping(mode.name), cores
+            )
+            schedule.validate(mode, arch)
+            # Each mode schedules in isolation: identical makespans.
+            assert schedule.makespan == pytest.approx(0.02)

@@ -1,0 +1,284 @@
+"""Unit and integration tests for the list scheduler (inner loop)."""
+
+import random
+
+import pytest
+
+from repro.architecture import (
+    Architecture,
+    CommunicationLink,
+    PEKind,
+    ProcessingElement,
+    TaskImplementation,
+    TechnologyLibrary,
+)
+from repro.errors import SchedulingError
+from repro.mapping.cores import allocate_cores
+from repro.mapping.encoding import MappingString
+from repro.problem import Problem
+from repro.scheduling.list_scheduler import schedule_mode
+from repro.specification import CommEdge, Mode, OMSM, Task, TaskGraph
+
+from tests.conftest import make_parallel_hw_problem, make_two_mode_problem
+
+
+def schedule_with(problem, mode_name, mapping_dict):
+    genome = MappingString.from_mapping(problem, mapping_dict)
+    cores = allocate_cores(problem, genome)
+    mode = problem.omsm.mode(mode_name)
+    schedule = schedule_mode(
+        problem, mode, genome.mode_mapping(mode_name), cores
+    )
+    schedule.validate(mode, problem.architecture)
+    return schedule
+
+
+class TestBasicScheduling:
+    def test_all_software_serialises(self, two_mode_problem):
+        schedule = schedule_with(
+            two_mode_problem,
+            "O1",
+            {
+                "O1": {t: "PE0" for t in ["t1", "t2", "t3", "t4"]},
+                "O2": {t: "PE0" for t in ["u1", "u2", "u3"]},
+            },
+        )
+        tasks = schedule.tasks_on("PE0")
+        assert len(tasks) == 4
+        for earlier, later in zip(tasks, tasks[1:]):
+            assert later.start >= earlier.end - 1e-12
+
+    def test_internal_comms_free(self, two_mode_problem):
+        schedule = schedule_with(
+            two_mode_problem,
+            "O1",
+            {
+                "O1": {t: "PE0" for t in ["t1", "t2", "t3", "t4"]},
+                "O2": {t: "PE0" for t in ["u1", "u2", "u3"]},
+            },
+        )
+        for entry in schedule.comms:
+            assert entry.link is None
+            assert entry.duration == 0.0
+            assert entry.energy == 0.0
+
+    def test_cross_pe_comm_on_bus(self, two_mode_problem):
+        schedule = schedule_with(
+            two_mode_problem,
+            "O1",
+            {
+                "O1": {
+                    "t1": "PE0",
+                    "t2": "PE1",
+                    "t3": "PE0",
+                    "t4": "PE0",
+                },
+                "O2": {t: "PE0" for t in ["u1", "u2", "u3"]},
+            },
+        )
+        message = schedule.comm("t1", "t2")
+        assert message.link == "CL0"
+        # 1000 bits over 1 Mbit/s = 1 ms
+        assert message.duration == pytest.approx(1e-3)
+        assert message.energy == pytest.approx(1e-3 * 1e-3)
+        assert message.start >= schedule.task("t1").end - 1e-12
+        assert schedule.task("t2").start >= message.end - 1e-12
+
+    def test_energy_is_nominal_power_times_time(self, two_mode_problem):
+        schedule = schedule_with(
+            two_mode_problem,
+            "O1",
+            {
+                "O1": {t: "PE0" for t in ["t1", "t2", "t3", "t4"]},
+                "O2": {t: "PE0" for t in ["u1", "u2", "u3"]},
+            },
+        )
+        entry = schedule.task("t1")
+        assert entry.energy == pytest.approx(0.5 * 0.02)
+
+
+class TestHardwareParallelism:
+    def test_parallel_cores_overlap(self):
+        problem = make_parallel_hw_problem(period=0.012)
+        schedule = schedule_with(
+            problem,
+            "M",
+            {
+                "M": {
+                    "src": "CPU",
+                    "p0": "HW",
+                    "p1": "HW",
+                    "p2": "HW",
+                    "p3": "HW",
+                    "join": "CPU",
+                }
+            },
+        )
+        placed = schedule.tasks_on("HW")
+        cores_used = {t.core_index for t in placed}
+        assert len(cores_used) > 1
+        # With several cores the four 4 ms tasks must overlap somewhere.
+        overlapping = any(
+            a.start < b.end and b.start < a.end
+            for i, a in enumerate(placed)
+            for b in placed[i + 1:]
+        )
+        assert overlapping
+
+    def test_single_core_serialises_same_type(self):
+        problem = make_parallel_hw_problem(period=10.0)  # ample slack
+        schedule = schedule_with(
+            problem,
+            "M",
+            {
+                "M": {
+                    "src": "CPU",
+                    "p0": "HW",
+                    "p1": "HW",
+                    "p2": "HW",
+                    "p3": "HW",
+                    "join": "CPU",
+                }
+            },
+        )
+        placed = schedule.tasks_on("HW")
+        assert {t.core_index for t in placed} == {0}
+        ordered = sorted(placed, key=lambda t: t.start)
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert later.start >= earlier.end - 1e-12
+
+
+class TestLinkContention:
+    def test_bus_serialises_transfers(self, two_mode_problem):
+        # t2 and t3 both feed t4 across the bus; transfers must not
+        # overlap on CL0.
+        schedule = schedule_with(
+            two_mode_problem,
+            "O1",
+            {
+                "O1": {
+                    "t1": "PE1",
+                    "t2": "PE0",
+                    "t3": "PE0",
+                    "t4": "PE1",
+                },
+                "O2": {t: "PE0" for t in ["u1", "u2", "u3"]},
+            },
+        )
+        transfers = schedule.comms_on("CL0")
+        assert len(transfers) >= 2
+        for earlier, later in zip(transfers, transfers[1:]):
+            assert later.start >= earlier.end - 1e-12
+
+
+class TestRoutingErrors:
+    def test_unconnected_pes_raise(self):
+        graph = TaskGraph(
+            "g",
+            [Task("a", "X"), Task("b", "Y")],
+            [CommEdge("a", "b", 100.0)],
+        )
+        omsm = OMSM("app", [Mode("M", graph, 1.0, 1.0)])
+        pe0 = ProcessingElement("PE0", PEKind.GPP)
+        pe1 = ProcessingElement("PE1", PEKind.GPP)
+        # No link between the two PEs at all.
+        arch = Architecture("arch", [pe0, pe1])
+        tech = TechnologyLibrary(
+            [
+                TaskImplementation("X", "PE0", exec_time=0.01, power=0.1),
+                TaskImplementation("X", "PE1", exec_time=0.01, power=0.1),
+                TaskImplementation("Y", "PE0", exec_time=0.01, power=0.1),
+                TaskImplementation("Y", "PE1", exec_time=0.01, power=0.1),
+            ]
+        )
+        problem = Problem(omsm, arch, tech)
+        genome = MappingString.from_mapping(
+            problem, {"M": {"a": "PE0", "b": "PE1"}}
+        )
+        cores = allocate_cores(problem, genome)
+        with pytest.raises(SchedulingError, match="no communication link"):
+            schedule_mode(
+                problem,
+                problem.omsm.mode("M"),
+                genome.mode_mapping("M"),
+                cores,
+            )
+
+    def test_missing_mapping_raises(self, two_mode_problem):
+        genome = MappingString(
+            two_mode_problem, ["PE0"] * two_mode_problem.genome_length()
+        )
+        cores = allocate_cores(two_mode_problem, genome)
+        with pytest.raises(SchedulingError, match="no mapping"):
+            schedule_mode(
+                two_mode_problem,
+                two_mode_problem.omsm.mode("O1"),
+                {"t1": "PE0"},
+                cores,
+            )
+
+
+class TestDeterminismAndValidity:
+    def test_same_inputs_same_schedule(self, two_mode_problem):
+        rng = random.Random(3)
+        genome = MappingString.random(two_mode_problem, rng)
+        cores = allocate_cores(two_mode_problem, genome)
+        mode = two_mode_problem.omsm.mode("O1")
+        first = schedule_mode(
+            two_mode_problem, mode, genome.mode_mapping("O1"), cores
+        )
+        second = schedule_mode(
+            two_mode_problem, mode, genome.mode_mapping("O1"), cores
+        )
+        assert [
+            (t.name, t.start, t.end, t.pe) for t in first.tasks
+        ] == [(t.name, t.start, t.end, t.pe) for t in second.tasks]
+
+    def test_random_mappings_always_validate(self, two_mode_problem):
+        for seed in range(30):
+            rng = random.Random(seed)
+            genome = MappingString.random(two_mode_problem, rng)
+            cores = allocate_cores(two_mode_problem, genome)
+            for mode in two_mode_problem.omsm.modes:
+                schedule = schedule_mode(
+                    two_mode_problem,
+                    mode,
+                    genome.mode_mapping(mode.name),
+                    cores,
+                )
+                schedule.validate(mode, two_mode_problem.architecture)
+
+    def test_multiple_links_usable(self):
+        # Two buses between the PEs: contention should spread across
+        # both, and the result must stay valid.
+        graph = TaskGraph(
+            "g",
+            [Task("a", "X"), Task("b", "Y"), Task("c", "Y")],
+            [CommEdge("a", "b", 5000.0), CommEdge("a", "c", 5000.0)],
+        )
+        omsm = OMSM("app", [Mode("M", graph, 1.0, 1.0)])
+        pe0 = ProcessingElement("PE0", PEKind.GPP)
+        pe1 = ProcessingElement("PE1", PEKind.GPP)
+        links = [
+            CommunicationLink("CL0", ["PE0", "PE1"], 1e5),
+            CommunicationLink("CL1", ["PE0", "PE1"], 1e5),
+        ]
+        arch = Architecture("arch", [pe0, pe1], links)
+        tech = TechnologyLibrary(
+            [
+                TaskImplementation("X", "PE0", exec_time=0.01, power=0.1),
+                TaskImplementation("Y", "PE1", exec_time=0.01, power=0.1),
+            ]
+        )
+        problem = Problem(omsm, arch, tech)
+        genome = MappingString.from_mapping(
+            problem, {"M": {"a": "PE0", "b": "PE1", "c": "PE1"}}
+        )
+        cores = allocate_cores(problem, genome)
+        mode = problem.omsm.mode("M")
+        schedule = schedule_mode(
+            problem, mode, genome.mode_mapping("M"), cores
+        )
+        schedule.validate(mode, arch)
+        used_links = {c.link for c in schedule.comms}
+        assert used_links == {"CL0", "CL1"}

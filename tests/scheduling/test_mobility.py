@@ -1,0 +1,98 @@
+"""Unit tests for ASAP/ALAP mobility analysis."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling.mobility import (
+    compute_mobilities,
+    critical_path_length,
+)
+from repro.specification import CommEdge, Mode, Task, TaskGraph
+
+
+def diamond_mode(period=1.0, deadlines=None):
+    deadlines = deadlines or {}
+    graph = TaskGraph(
+        "g",
+        [
+            Task("a", "X", deadline=deadlines.get("a")),
+            Task("b", "Y", deadline=deadlines.get("b")),
+            Task("c", "Y", deadline=deadlines.get("c")),
+            Task("d", "Z", deadline=deadlines.get("d")),
+        ],
+        [
+            CommEdge("a", "b"),
+            CommEdge("a", "c"),
+            CommEdge("b", "d"),
+            CommEdge("c", "d"),
+        ],
+    )
+    return Mode("m", graph, probability=1.0, period=period)
+
+
+DURATIONS = {"a": 1.0, "b": 2.0, "c": 1.0, "d": 1.0}
+
+
+class TestAsapAlap:
+    def test_asap_values(self):
+        mode = diamond_mode(period=10.0)
+        info = compute_mobilities(mode, DURATIONS.__getitem__)
+        assert info["a"].asap == 0.0
+        assert info["b"].asap == 1.0
+        assert info["c"].asap == 1.0
+        assert info["d"].asap == 3.0
+
+    def test_alap_values(self):
+        mode = diamond_mode(period=10.0)
+        info = compute_mobilities(mode, DURATIONS.__getitem__)
+        # d must finish by 10 -> starts by 9; b by 9-2=7; c by 9-1=8.
+        assert info["d"].alap == 9.0
+        assert info["b"].alap == 7.0
+        assert info["c"].alap == 8.0
+        assert info["a"].alap == 6.0
+
+    def test_mobility(self):
+        mode = diamond_mode(period=4.0)
+        info = compute_mobilities(mode, DURATIONS.__getitem__)
+        # Critical path a-b-d takes 4 = period: zero mobility there.
+        assert info["a"].mobility == pytest.approx(0.0)
+        assert info["b"].mobility == pytest.approx(0.0)
+        assert info["d"].mobility == pytest.approx(0.0)
+        assert info["c"].mobility == pytest.approx(1.0)
+
+    def test_task_deadline_tightens_alap(self):
+        mode = diamond_mode(period=10.0, deadlines={"b": 4.0})
+        info = compute_mobilities(mode, DURATIONS.__getitem__)
+        assert info["b"].alap == 2.0
+        assert info["a"].alap == 1.0  # pulled in through b
+
+    def test_infeasible_gives_negative_mobility(self):
+        mode = diamond_mode(period=3.0)  # CP is 4 > 3
+        info = compute_mobilities(mode, DURATIONS.__getitem__)
+        assert info["a"].mobility < 0
+
+    def test_negative_duration_rejected(self):
+        mode = diamond_mode()
+        with pytest.raises(SchedulingError):
+            compute_mobilities(mode, lambda name: -1.0)
+
+
+class TestCriticalPath:
+    def test_diamond(self):
+        mode = diamond_mode()
+        assert critical_path_length(
+            mode, DURATIONS.__getitem__
+        ) == pytest.approx(4.0)
+
+    def test_single_task(self):
+        graph = TaskGraph("g", [Task("a", "X")])
+        mode = Mode("m", graph, 1.0, 1.0)
+        assert critical_path_length(mode, lambda n: 2.5) == 2.5
+
+    def test_parallel_tasks_take_max(self):
+        graph = TaskGraph("g", [Task("a", "X"), Task("b", "Y")])
+        mode = Mode("m", graph, 1.0, 1.0)
+        durations = {"a": 1.0, "b": 3.0}
+        assert critical_path_length(
+            mode, durations.__getitem__
+        ) == pytest.approx(3.0)

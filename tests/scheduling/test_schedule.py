@@ -1,0 +1,286 @@
+"""Unit tests for schedule containers and invariant validation."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling.schedule import (
+    ModeSchedule,
+    ScheduledComm,
+    ScheduledTask,
+)
+
+from tests.conftest import make_two_mode_problem
+
+
+def task(name, task_type, pe, start, end, core=None, power=0.1):
+    return ScheduledTask(
+        name=name,
+        task_type=task_type,
+        pe=pe,
+        start=start,
+        end=end,
+        energy=power * (end - start),
+        power=power,
+        core_index=core,
+    )
+
+
+def comm(src, dst, link, start, end, energy=0.0):
+    return ScheduledComm(
+        src=src, dst=dst, link=link, start=start, end=end, energy=energy
+    )
+
+
+def valid_o1_schedule():
+    """A correct schedule of mode O1 of the two-mode fixture.
+
+    t1 (A) and t2 (B) on PE0 (software, serialised), t3 (C) and t4 (A)
+    on PE1 (hardware cores), with bus transfers in between.
+    """
+    tasks = [
+        task("t1", "A", "PE0", 0.000, 0.020),
+        task("t2", "B", "PE0", 0.021, 0.043),
+        task("t3", "C", "PE1", 0.0205, 0.0225, core=0),
+        task("t4", "A", "PE1", 0.0432, 0.0452, core=0),
+    ]
+    comms = [
+        comm("t1", "t2", None, 0.020, 0.020),
+        comm("t1", "t3", "CL0", 0.020, 0.0205),
+        comm("t2", "t4", "CL0", 0.043, 0.0431),
+        comm("t3", "t4", "CL0", 0.0301, 0.0302),
+    ]
+    return ModeSchedule("O1", tasks, comms)
+
+
+class TestScheduledActivities:
+    def test_task_duration(self):
+        entry = task("t", "T", "PE0", 1.0, 3.0)
+        assert entry.duration == 2.0
+
+    def test_task_end_before_start_rejected(self):
+        with pytest.raises(SchedulingError):
+            task("t", "T", "PE0", 3.0, 1.0)
+
+    def test_internal_comm_must_be_instant(self):
+        with pytest.raises(SchedulingError):
+            comm("a", "b", None, 0.0, 1.0)
+
+    def test_comm_key(self):
+        assert comm("a", "b", "CL0", 0, 0).key == ("a", "b")
+
+
+class TestContainers:
+    def test_duplicate_task_rejected(self):
+        with pytest.raises(SchedulingError):
+            ModeSchedule(
+                "m",
+                [
+                    task("t", "T", "PE0", 0, 1),
+                    task("t", "T", "PE0", 2, 3),
+                ],
+                [],
+            )
+
+    def test_duplicate_comm_rejected(self):
+        with pytest.raises(SchedulingError):
+            ModeSchedule(
+                "m",
+                [],
+                [
+                    comm("a", "b", "CL0", 0, 1),
+                    comm("a", "b", "CL0", 2, 3),
+                ],
+            )
+
+    def test_makespan(self):
+        schedule = valid_o1_schedule()
+        assert schedule.makespan == pytest.approx(0.0452)
+
+    def test_total_dynamic_energy(self):
+        schedule = ModeSchedule(
+            "m",
+            [task("t", "T", "PE0", 0, 2, power=0.5)],
+            [comm("x", "y", "CL0", 0, 1, energy=0.25)],
+        )
+        assert schedule.total_dynamic_energy() == pytest.approx(1.25)
+
+    def test_tasks_on_sorted_by_start(self):
+        schedule = valid_o1_schedule()
+        names = [t.name for t in schedule.tasks_on("PE0")]
+        assert names == ["t1", "t2"]
+
+    def test_comms_on(self):
+        schedule = valid_o1_schedule()
+        keys = [c.key for c in schedule.comms_on("CL0")]
+        assert keys[0] == ("t1", "t3")
+        assert len(keys) == 3
+
+    def test_active_components(self):
+        schedule = valid_o1_schedule()
+        assert schedule.active_pes() == ("PE0", "PE1")
+        assert schedule.active_links() == ("CL0",)
+
+    def test_lookups_raise_on_missing(self):
+        schedule = valid_o1_schedule()
+        with pytest.raises(SchedulingError):
+            schedule.task("ghost")
+        with pytest.raises(SchedulingError):
+            schedule.comm("t1", "t4")
+
+
+class TestValidation:
+    def setup_method(self):
+        self.problem = make_two_mode_problem()
+        self.mode = self.problem.omsm.mode("O1")
+        self.arch = self.problem.architecture
+
+    def test_valid_schedule_passes(self):
+        valid_o1_schedule().validate(self.mode, self.arch)
+
+    def test_missing_task_detected(self):
+        schedule = ModeSchedule("O1", [], [])
+        with pytest.raises(SchedulingError):
+            schedule.validate(self.mode, self.arch)
+
+    def test_unknown_task_detected(self):
+        base = valid_o1_schedule()
+        schedule = ModeSchedule(
+            "O1",
+            list(base.tasks) + [task("ghost", "A", "PE0", 9, 10)],
+            base.comms,
+        )
+        with pytest.raises(SchedulingError, match="unknown"):
+            schedule.validate(self.mode, self.arch)
+
+    def test_precedence_violation_detected(self):
+        base = valid_o1_schedule()
+        tasks = [
+            t if t.name != "t2" else task("t2", "B", "PE0", 0.0, 0.019)
+            for t in base.tasks
+        ]
+        # t2 now starts before t1's data arrives (and overlaps t1 on
+        # PE0) - both are violations; validation must catch it.
+        schedule = ModeSchedule("O1", tasks, base.comms)
+        with pytest.raises(SchedulingError):
+            schedule.validate(self.mode, self.arch)
+
+    def test_comm_before_producer_detected(self):
+        base = valid_o1_schedule()
+        comms = [
+            c
+            if c.key != ("t1", "t3")
+            else comm("t1", "t3", "CL0", 0.001, 0.0015)
+            for c in base.comms
+        ]
+        schedule = ModeSchedule("O1", base.tasks, comms)
+        with pytest.raises(SchedulingError, match="before producer"):
+            schedule.validate(self.mode, self.arch)
+
+    def test_internal_comm_with_split_endpoints_detected(self):
+        base = valid_o1_schedule()
+        comms = [
+            c
+            if c.key != ("t1", "t3")
+            else comm("t1", "t3", None, 0.020, 0.020)
+            for c in base.comms
+        ]
+        schedule = ModeSchedule("O1", base.tasks, comms)
+        with pytest.raises(SchedulingError, match="internal"):
+            schedule.validate(self.mode, self.arch)
+
+    def test_software_overlap_detected(self):
+        # t2 and t3 are data-independent; overlap them on PE0 while
+        # keeping all arrival constraints satisfied.
+        tasks = [
+            task("t1", "A", "PE0", 0.000, 0.020),
+            task("t2", "B", "PE0", 0.021, 0.043),
+            task("t3", "C", "PE0", 0.030, 0.032),
+            task("t4", "A", "PE1", 0.0445, 0.0465, core=0),
+        ]
+        comms = [
+            comm("t1", "t2", None, 0.020, 0.020),
+            comm("t1", "t3", None, 0.020, 0.020),
+            comm("t2", "t4", "CL0", 0.043, 0.0431),
+            comm("t3", "t4", "CL0", 0.0432, 0.0433),
+        ]
+        schedule = ModeSchedule("O1", tasks, comms)
+        with pytest.raises(SchedulingError, match="overlap"):
+            schedule.validate(self.mode, self.arch)
+
+    def test_hardware_core_contention_detected(self):
+        base = valid_o1_schedule()
+        # Put t4 on the same core as t3, overlapping in time.
+        tasks = [
+            t
+            if t.name != "t4"
+            else task("t4", "A", "PE1", 0.021, 0.023, core=0)
+            for t in base.tasks
+        ]
+        # Type differs (A vs C), so cores differ; force same type
+        # contention instead by overlapping two A-tasks.
+        tasks = [
+            t
+            if t.name != "t3"
+            else task("t3", "A", "PE1", 0.0215, 0.0235, core=0)
+            for t in tasks
+        ]
+        comms = base.comms
+        schedule = ModeSchedule("O1", tasks, comms)
+        with pytest.raises(SchedulingError):
+            schedule.validate(self.mode, self.arch)
+
+    def test_hardware_task_needs_core_index(self):
+        base = valid_o1_schedule()
+        tasks = [
+            t
+            if t.name != "t3"
+            else task("t3", "C", "PE1", 0.0205, 0.0225, core=None)
+            for t in base.tasks
+        ]
+        schedule = ModeSchedule("O1", tasks, base.comms)
+        with pytest.raises(SchedulingError, match="core"):
+            schedule.validate(self.mode, self.arch)
+
+    def test_link_not_connecting_endpoints_detected(self):
+        # Add a second link that does not reach PE1.
+        from repro.architecture import (
+            Architecture,
+            CommunicationLink,
+            PEKind,
+            ProcessingElement,
+        )
+
+        pe0 = ProcessingElement("PE0", PEKind.GPP)
+        pe1 = ProcessingElement("PE1", PEKind.ASIC, area=600.0)
+        pe2 = ProcessingElement("PE2", PEKind.GPP)
+        cl0 = CommunicationLink("CL0", ["PE0", "PE1"], 1e6)
+        cl1 = CommunicationLink("CL1", ["PE0", "PE2"], 1e6)
+        arch = Architecture("a", [pe0, pe1, pe2], [cl0, cl1])
+        base = valid_o1_schedule()
+        comms = [
+            c
+            if c.key != ("t1", "t3")
+            else comm("t1", "t3", "CL1", 0.020, 0.0205)
+            for c in base.comms
+        ]
+        schedule = ModeSchedule("O1", base.tasks, comms)
+        with pytest.raises(SchedulingError, match="does not connect"):
+            schedule.validate(self.mode, arch)
+
+
+class TestTimingChecks:
+    def test_feasible(self):
+        problem = make_two_mode_problem(period=0.2)
+        mode = problem.omsm.mode("O1")
+        schedule = valid_o1_schedule()
+        assert schedule.is_timing_feasible(mode)
+        assert schedule.timing_violations(mode) == {}
+
+    def test_violations_reported(self):
+        problem = make_two_mode_problem(period=0.04)
+        mode = problem.omsm.mode("O1")
+        schedule = valid_o1_schedule()  # t4 ends at 0.0452 > 0.04
+        violations = schedule.timing_violations(mode)
+        assert "t4" in violations
+        assert violations["t4"] == pytest.approx(0.0052)
+        assert not schedule.is_timing_feasible(mode)

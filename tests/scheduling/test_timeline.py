@@ -1,0 +1,94 @@
+"""Unit tests for the serial-resource timeline."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling.schedule import ResourceTimeline
+
+
+class TestEarliestSlot:
+    def test_empty_resource(self):
+        timeline = ResourceTimeline("r")
+        assert timeline.earliest_slot(0.0, 5.0) == 0.0
+        assert timeline.earliest_slot(3.0, 5.0) == 3.0
+
+    def test_after_existing_booking(self):
+        timeline = ResourceTimeline("r")
+        timeline.book(0.0, 10.0)
+        assert timeline.earliest_slot(0.0, 5.0) == 10.0
+
+    def test_gap_insertion(self):
+        timeline = ResourceTimeline("r")
+        timeline.book(0.0, 2.0)
+        timeline.book(10.0, 2.0)
+        assert timeline.earliest_slot(0.0, 5.0) == 2.0
+        assert timeline.earliest_slot(0.0, 8.0) == 2.0
+        assert timeline.earliest_slot(0.0, 9.0) == 12.0
+
+    def test_gap_too_small_skipped(self):
+        timeline = ResourceTimeline("r")
+        timeline.book(0.0, 2.0)
+        timeline.book(4.0, 2.0)
+        assert timeline.earliest_slot(0.0, 3.0) == 6.0
+
+    def test_ready_inside_gap(self):
+        timeline = ResourceTimeline("r")
+        timeline.book(0.0, 2.0)
+        timeline.book(10.0, 2.0)
+        assert timeline.earliest_slot(5.0, 3.0) == 5.0
+        assert timeline.earliest_slot(9.0, 3.0) == 12.0
+
+    def test_zero_duration(self):
+        timeline = ResourceTimeline("r")
+        timeline.book(0.0, 2.0)
+        assert timeline.earliest_slot(1.0, 0.0) >= 1.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SchedulingError):
+            ResourceTimeline("r").earliest_slot(0.0, -1.0)
+
+
+class TestBooking:
+    def test_overlap_rejected(self):
+        timeline = ResourceTimeline("r")
+        timeline.book(0.0, 5.0)
+        with pytest.raises(SchedulingError, match="overlap"):
+            timeline.book(4.0, 2.0)
+        with pytest.raises(SchedulingError, match="overlap"):
+            timeline.book(-1.0, 2.0)
+
+    def test_adjacent_bookings_allowed(self):
+        timeline = ResourceTimeline("r")
+        timeline.book(0.0, 5.0)
+        timeline.book(5.0, 5.0)
+        assert len(timeline) == 2
+        assert timeline.intervals == ((0.0, 5.0), (5.0, 10.0))
+
+    def test_next_free(self):
+        timeline = ResourceTimeline("r")
+        assert timeline.next_free() == 0.0
+        timeline.book(0.0, 3.0)
+        assert timeline.next_free() == 3.0
+
+    def test_book_in_gap(self):
+        timeline = ResourceTimeline("r")
+        timeline.book(0.0, 2.0)
+        timeline.book(10.0, 2.0)
+        timeline.book(4.0, 3.0)
+        assert timeline.intervals == (
+            (0.0, 2.0),
+            (4.0, 7.0),
+            (10.0, 12.0),
+        )
+
+    def test_slot_then_book_never_conflicts(self):
+        import random
+
+        rng = random.Random(7)
+        timeline = ResourceTimeline("r")
+        for _ in range(200):
+            ready = rng.uniform(0, 50)
+            duration = rng.uniform(0, 5)
+            start = timeline.earliest_slot(ready, duration)
+            assert start >= ready
+            timeline.book(start, duration)

@@ -1,0 +1,117 @@
+"""Tests for the semi-Markov mode process."""
+
+import random
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.simulation.markov import ModeProcess
+
+from tests.conftest import make_two_mode_problem
+
+
+@pytest.fixture
+def omsm():
+    return make_two_mode_problem().omsm
+
+
+class TestConstruction:
+    def test_default_dwell_times(self, omsm):
+        process = ModeProcess(omsm)
+        for mode in omsm.modes:
+            assert process.mean_dwell[mode.name] == pytest.approx(
+                50.0 * mode.period
+            )
+
+    def test_missing_dwell_rejected(self, omsm):
+        with pytest.raises(SpecificationError, match="missing"):
+            ModeProcess(omsm, mean_dwell={"O1": 1.0})
+
+    def test_non_positive_dwell_rejected(self, omsm):
+        with pytest.raises(SpecificationError):
+            ModeProcess(omsm, mean_dwell={"O1": 1.0, "O2": 0.0})
+
+    def test_unreachable_probable_mode_rejected(self):
+        from repro.specification import (
+            Mode,
+            ModeTransition,
+            OMSM,
+            Task,
+            TaskGraph,
+        )
+
+        graph = TaskGraph("g", [Task("a", "X")])
+        graph2 = TaskGraph("h", [Task("b", "Y")])
+        # Only a one-way transition: O2 can never be left again, so no
+        # moving stationary process over the OMSM's edges exists.
+        omsm = OMSM(
+            "oneway",
+            [
+                Mode("O1", graph, 0.5, 1.0),
+                Mode("O2", graph2, 0.5, 1.0),
+            ],
+            [ModeTransition("O1", "O2")],
+        )
+        with pytest.raises(SpecificationError, match="connected"):
+            ModeProcess(omsm)
+
+
+class TestStationarity:
+    def test_rows_are_distributions(self, omsm):
+        process = ModeProcess(omsm)
+        for row in process.transition_matrix.values():
+            assert sum(row.values()) == pytest.approx(1.0)
+            assert all(p >= -1e-12 for p in row.values())
+
+    def test_time_fractions_match_psi(self, omsm):
+        process = ModeProcess(omsm)
+        fractions = process.stationary_time_fractions()
+        for mode in omsm.modes:
+            assert fractions[mode.name] == pytest.approx(
+                mode.probability, abs=1e-6
+            )
+
+    def test_time_fractions_match_psi_with_uneven_dwells(self, omsm):
+        process = ModeProcess(
+            omsm, mean_dwell={"O1": 0.3, "O2": 7.0}
+        )
+        fractions = process.stationary_time_fractions()
+        for mode in omsm.modes:
+            assert fractions[mode.name] == pytest.approx(
+                mode.probability, abs=1e-6
+            )
+
+    def test_smartphone_process(self):
+        from repro.benchgen.smartphone import smartphone_problem
+
+        omsm = smartphone_problem().omsm
+        process = ModeProcess(omsm)
+        fractions = process.stationary_time_fractions()
+        for mode in omsm.modes:
+            assert fractions[mode.name] == pytest.approx(
+                mode.probability, abs=1e-4
+            )
+
+
+class TestSampling:
+    def test_next_mode_respects_graph(self, omsm):
+        process = ModeProcess(omsm)
+        rng = random.Random(0)
+        for _ in range(50):
+            successor = process.next_mode("O1", rng)
+            assert successor in ("O1", "O2")
+
+    def test_sample_dwell_positive(self, omsm):
+        process = ModeProcess(omsm)
+        rng = random.Random(0)
+        for mode in omsm.modes:
+            for _ in range(20):
+                assert process.sample_dwell(mode.name, rng) > 0
+
+    def test_empirical_dwell_mean(self, omsm):
+        process = ModeProcess(omsm, mean_dwell={"O1": 2.0, "O2": 5.0})
+        rng = random.Random(1)
+        samples = [
+            process.sample_dwell("O1", rng) for _ in range(4000)
+        ]
+        assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.1)

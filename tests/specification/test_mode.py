@@ -1,0 +1,62 @@
+"""Unit tests for operational modes."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.specification import CommEdge, Mode, Task, TaskGraph
+
+
+def simple_graph(deadline=None) -> TaskGraph:
+    return TaskGraph(
+        "g",
+        [Task("a", "X", deadline=deadline), Task("b", "Y")],
+        [CommEdge("a", "b")],
+    )
+
+
+class TestModeConstruction:
+    def test_attributes(self):
+        mode = Mode("standby", simple_graph(), 0.7, 0.025)
+        assert mode.name == "standby"
+        assert mode.probability == 0.7
+        assert mode.period == 0.025
+        assert len(mode.task_graph) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecificationError):
+            Mode("", simple_graph(), 0.5, 1.0)
+
+    @pytest.mark.parametrize("probability", [-0.1, 1.1, 2.0])
+    def test_bad_probability_rejected(self, probability):
+        with pytest.raises(SpecificationError):
+            Mode("m", simple_graph(), probability, 1.0)
+
+    @pytest.mark.parametrize("probability", [0.0, 0.5, 1.0])
+    def test_boundary_probability_accepted(self, probability):
+        assert Mode("m", simple_graph(), probability, 1.0)
+
+    @pytest.mark.parametrize("period", [0.0, -1.0])
+    def test_bad_period_rejected(self, period):
+        with pytest.raises(SpecificationError):
+            Mode("m", simple_graph(), 0.5, period)
+
+    def test_task_deadline_beyond_period_rejected(self):
+        with pytest.raises(SpecificationError, match="deadline"):
+            Mode("m", simple_graph(deadline=2.0), 0.5, 1.0)
+
+
+class TestEffectiveDeadline:
+    def test_without_task_deadline_period_binds(self):
+        mode = Mode("m", simple_graph(), 0.5, 0.1)
+        assert mode.effective_deadline("a") == 0.1
+        assert mode.effective_deadline("b") == 0.1
+
+    def test_task_deadline_tightens(self):
+        mode = Mode("m", simple_graph(deadline=0.05), 0.5, 0.1)
+        assert mode.effective_deadline("a") == 0.05
+        assert mode.effective_deadline("b") == 0.1
+
+    def test_unknown_task_raises(self):
+        mode = Mode("m", simple_graph(), 0.5, 0.1)
+        with pytest.raises(SpecificationError):
+            mode.effective_deadline("ghost")

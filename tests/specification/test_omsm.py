@@ -1,0 +1,175 @@
+"""Unit tests for the operational mode state machine."""
+
+import math
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.specification import (
+    CommEdge,
+    Mode,
+    ModeTransition,
+    OMSM,
+    Task,
+    TaskGraph,
+)
+
+
+def graph(name: str, types) -> TaskGraph:
+    return TaskGraph(
+        name,
+        [Task(f"{name}_t{i}", t) for i, t in enumerate(types)],
+    )
+
+
+def make_modes():
+    return [
+        Mode("a", graph("ga", ["X", "Y"]), 0.6, 0.1),
+        Mode("b", graph("gb", ["Y", "Z"]), 0.3, 0.1),
+        Mode("c", graph("gc", ["W"]), 0.1, 0.1),
+    ]
+
+
+class TestModeTransition:
+    def test_defaults_to_unconstrained(self):
+        transition = ModeTransition("a", "b")
+        assert transition.max_time == math.inf
+        assert transition.key == ("a", "b")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(SpecificationError):
+            ModeTransition("a", "a")
+
+    @pytest.mark.parametrize("limit", [0.0, -0.5])
+    def test_non_positive_limit_rejected(self, limit):
+        with pytest.raises(SpecificationError):
+            ModeTransition("a", "b", max_time=limit)
+
+
+class TestOMSMConstruction:
+    def test_basic(self):
+        omsm = OMSM("app", make_modes(), [ModeTransition("a", "b")])
+        assert len(omsm) == 3
+        assert omsm.mode_names == ("a", "b", "c")
+        assert len(omsm.transitions) == 1
+
+    def test_needs_at_least_one_mode(self):
+        with pytest.raises(SpecificationError):
+            OMSM("app", [])
+
+    def test_duplicate_mode_names_rejected(self):
+        modes = make_modes()
+        modes[1] = Mode("a", graph("gx", ["Q"]), 0.3, 0.1)
+        with pytest.raises(SpecificationError):
+            OMSM("app", modes)
+
+    def test_probabilities_must_sum_to_one(self):
+        modes = [
+            Mode("a", graph("ga", ["X"]), 0.5, 0.1),
+            Mode("b", graph("gb", ["Y"]), 0.1, 0.1),
+        ]
+        with pytest.raises(SpecificationError, match="sum"):
+            OMSM("app", modes)
+
+    def test_normalize_rescales(self):
+        modes = [
+            Mode("a", graph("ga", ["X"]), 0.5, 0.1),
+            Mode("b", graph("gb", ["Y"]), 0.1, 0.1),
+        ]
+        omsm = OMSM("app", modes, normalize=True)
+        assert sum(m.probability for m in omsm.modes) == pytest.approx(1.0)
+        assert omsm.mode("a").probability == pytest.approx(0.5 / 0.6)
+
+    def test_normalize_zero_total_rejected(self):
+        modes = [Mode("a", graph("ga", ["X"]), 0.0, 0.1)]
+        with pytest.raises(SpecificationError):
+            OMSM("app", modes, normalize=True)
+
+    def test_transition_unknown_mode_rejected(self):
+        with pytest.raises(SpecificationError):
+            OMSM("app", make_modes(), [ModeTransition("a", "ghost")])
+
+    def test_duplicate_transition_rejected(self):
+        with pytest.raises(SpecificationError):
+            OMSM(
+                "app",
+                make_modes(),
+                [ModeTransition("a", "b"), ModeTransition("a", "b")],
+            )
+
+    def test_tolerance_accepts_rounding(self):
+        modes = [
+            Mode("a", graph("ga", ["X"]), 0.3333333, 0.1),
+            Mode("b", graph("gb", ["Y"]), 0.3333333, 0.1),
+            Mode("c", graph("gc", ["Z"]), 0.3333334, 0.1),
+        ]
+        assert OMSM("app", modes)
+
+
+class TestOMSMAccessors:
+    def test_mode_lookup(self):
+        omsm = OMSM("app", make_modes())
+        assert omsm.mode("b").probability == 0.3
+        with pytest.raises(SpecificationError):
+            omsm.mode("ghost")
+
+    def test_transition_lookup(self):
+        omsm = OMSM(
+            "app",
+            make_modes(),
+            [ModeTransition("a", "b", 0.01), ModeTransition("b", "a", 0.02)],
+        )
+        assert omsm.transition("a", "b").max_time == 0.01
+        assert omsm.has_transition("b", "a")
+        assert not omsm.has_transition("a", "c")
+        with pytest.raises(SpecificationError):
+            omsm.transition("a", "c")
+
+    def test_outgoing_incoming(self):
+        omsm = OMSM(
+            "app",
+            make_modes(),
+            [
+                ModeTransition("a", "b"),
+                ModeTransition("a", "c"),
+                ModeTransition("b", "a"),
+            ],
+        )
+        assert {t.dst for t in omsm.outgoing("a")} == {"b", "c"}
+        assert {t.src for t in omsm.incoming("a")} == {"b"}
+
+    def test_iteration(self):
+        omsm = OMSM("app", make_modes())
+        assert [m.name for m in omsm] == ["a", "b", "c"]
+
+
+class TestDerivedProperties:
+    def test_all_task_types(self):
+        omsm = OMSM("app", make_modes())
+        assert omsm.all_task_types() == {"X", "Y", "Z", "W"}
+
+    def test_shared_task_types(self):
+        omsm = OMSM("app", make_modes())
+        assert omsm.shared_task_types() == {"Y"}
+
+    def test_shared_types_counts_modes_not_tasks(self):
+        # Two tasks of type Q inside ONE mode do not make Q "shared".
+        modes = [
+            Mode("a", graph("ga", ["Q", "Q"]), 0.5, 0.1),
+            Mode("b", graph("gb", ["R"]), 0.5, 0.1),
+        ]
+        omsm = OMSM("app", modes)
+        assert omsm.shared_task_types() == set()
+
+    def test_probability_vector(self):
+        omsm = OMSM("app", make_modes())
+        assert omsm.probability_vector() == {"a": 0.6, "b": 0.3, "c": 0.1}
+
+    def test_uniform_probability_vector(self):
+        omsm = OMSM("app", make_modes())
+        vector = omsm.uniform_probability_vector()
+        assert vector == {
+            "a": pytest.approx(1 / 3),
+            "b": pytest.approx(1 / 3),
+            "c": pytest.approx(1 / 3),
+        }

@@ -1,0 +1,215 @@
+"""Unit tests for tasks, communication edges and task graphs."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.specification import CommEdge, Task, TaskGraph
+
+
+def diamond() -> TaskGraph:
+    return TaskGraph(
+        "diamond",
+        [
+            Task("a", "X"),
+            Task("b", "Y"),
+            Task("c", "Y"),
+            Task("d", "Z"),
+        ],
+        [
+            CommEdge("a", "b", 10.0),
+            CommEdge("a", "c", 20.0),
+            CommEdge("b", "d", 30.0),
+            CommEdge("c", "d", 40.0),
+        ],
+    )
+
+
+class TestTask:
+    def test_basic_construction(self):
+        task = Task("fft0", "FFT", deadline=0.05)
+        assert task.name == "fft0"
+        assert task.task_type == "FFT"
+        assert task.deadline == 0.05
+
+    def test_deadline_defaults_to_none(self):
+        assert Task("t", "T").deadline is None
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecificationError):
+            Task("", "T")
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(SpecificationError):
+            Task("t", "")
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(SpecificationError):
+            Task("t", "T", deadline=0.0)
+        with pytest.raises(SpecificationError):
+            Task("t", "T", deadline=-1.0)
+
+    def test_tasks_are_immutable(self):
+        task = Task("t", "T")
+        with pytest.raises(AttributeError):
+            task.name = "other"
+
+
+class TestCommEdge:
+    def test_key(self):
+        edge = CommEdge("a", "b", 128.0)
+        assert edge.key == ("a", "b")
+        assert edge.data_bits == 128.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(SpecificationError):
+            CommEdge("a", "a")
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(SpecificationError):
+            CommEdge("a", "b", -1.0)
+
+    def test_zero_payload_allowed(self):
+        assert CommEdge("a", "b", 0.0).data_bits == 0.0
+
+
+class TestTaskGraphConstruction:
+    def test_tasks_and_edges_preserved(self):
+        graph = diamond()
+        assert len(graph) == 4
+        assert len(graph.edges) == 4
+        assert graph.task_names == ("a", "b", "c", "d")
+
+    def test_duplicate_task_rejected(self):
+        with pytest.raises(SpecificationError):
+            TaskGraph("g", [Task("a", "X"), Task("a", "Y")])
+
+    def test_dangling_edge_rejected(self):
+        with pytest.raises(SpecificationError):
+            TaskGraph("g", [Task("a", "X")], [CommEdge("a", "ghost")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(SpecificationError):
+            TaskGraph(
+                "g",
+                [Task("a", "X"), Task("b", "Y")],
+                [CommEdge("a", "b"), CommEdge("a", "b")],
+            )
+
+    def test_cycle_rejected(self):
+        with pytest.raises(SpecificationError, match="cycle"):
+            TaskGraph(
+                "g",
+                [Task("a", "X"), Task("b", "Y")],
+                [CommEdge("a", "b"), CommEdge("b", "a")],
+            )
+
+    def test_self_cycle_through_three_tasks_rejected(self):
+        with pytest.raises(SpecificationError, match="cycle"):
+            TaskGraph(
+                "g",
+                [Task("a", "X"), Task("b", "Y"), Task("c", "Z")],
+                [
+                    CommEdge("a", "b"),
+                    CommEdge("b", "c"),
+                    CommEdge("c", "a"),
+                ],
+            )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecificationError):
+            TaskGraph("", [Task("a", "X")])
+
+    def test_empty_graph_allowed(self):
+        graph = TaskGraph("empty", [])
+        assert len(graph) == 0
+        assert graph.topological_order() == ()
+
+
+class TestTaskGraphAccessors:
+    def test_task_lookup(self):
+        graph = diamond()
+        assert graph.task("a").task_type == "X"
+        with pytest.raises(SpecificationError):
+            graph.task("ghost")
+
+    def test_edge_lookup(self):
+        graph = diamond()
+        assert graph.edge("a", "b").data_bits == 10.0
+        assert graph.has_edge("a", "c")
+        assert not graph.has_edge("b", "c")
+        with pytest.raises(SpecificationError):
+            graph.edge("b", "c")
+
+    def test_successors_predecessors(self):
+        graph = diamond()
+        assert set(graph.successors("a")) == {"b", "c"}
+        assert set(graph.predecessors("d")) == {"b", "c"}
+        assert graph.predecessors("a") == ()
+        assert graph.successors("d") == ()
+
+    def test_in_out_edges(self):
+        graph = diamond()
+        assert {e.key for e in graph.in_edges("d")} == {
+            ("b", "d"),
+            ("c", "d"),
+        }
+        assert {e.key for e in graph.out_edges("a")} == {
+            ("a", "b"),
+            ("a", "c"),
+        }
+
+    def test_sources_and_sinks(self):
+        graph = diamond()
+        assert graph.sources() == ("a",)
+        assert graph.sinks() == ("d",)
+
+    def test_contains_and_iter(self):
+        graph = diamond()
+        assert "a" in graph
+        assert "ghost" not in graph
+        assert [t.name for t in graph] == ["a", "b", "c", "d"]
+
+    def test_task_types(self):
+        assert diamond().task_types() == {"X", "Y", "Z"}
+
+    def test_tasks_of_type(self):
+        graph = diamond()
+        assert {t.name for t in graph.tasks_of_type("Y")} == {"b", "c"}
+        assert graph.tasks_of_type("missing") == ()
+
+
+class TestTaskGraphStructure:
+    def test_topological_order_respects_edges(self):
+        graph = diamond()
+        order = graph.topological_order()
+        position = {name: i for i, name in enumerate(order)}
+        for edge in graph.edges:
+            assert position[edge.src] < position[edge.dst]
+
+    def test_depth(self):
+        assert diamond().depth() == 3
+        chain = TaskGraph(
+            "chain",
+            [Task(f"t{i}", "T") for i in range(5)],
+            [CommEdge(f"t{i}", f"t{i + 1}") for i in range(4)],
+        )
+        assert chain.depth() == 5
+
+    def test_depth_no_edges(self):
+        graph = TaskGraph("flat", [Task("a", "X"), Task("b", "Y")])
+        assert graph.depth() == 1
+
+    def test_ancestors_descendants(self):
+        graph = diamond()
+        assert graph.ancestors("d") == {"a", "b", "c"}
+        assert graph.descendants("a") == {"b", "c", "d"}
+        assert graph.ancestors("a") == set()
+        assert graph.descendants("d") == set()
+
+    def test_independent(self):
+        graph = diamond()
+        assert graph.independent("b", "c")
+        assert graph.independent("c", "b")
+        assert not graph.independent("a", "d")
+        assert not graph.independent("a", "b")
+        assert not graph.independent("b", "b")

@@ -1,0 +1,77 @@
+"""Unit tests for the synthesis configuration."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synthesis.config import DvsMethod, SynthesisConfig
+
+
+class TestDefaults:
+    def test_probability_aware_by_default(self):
+        config = SynthesisConfig()
+        assert config.use_probabilities
+        assert config.dvs is DvsMethod.NONE
+
+    def test_paper_shutdown_rate(self):
+        assert SynthesisConfig().shutdown_mutation_rate == 0.02
+
+
+class TestValidation:
+    def test_population_too_small(self):
+        with pytest.raises(SynthesisError):
+            SynthesisConfig(population_size=1)
+
+    def test_generations_positive(self):
+        with pytest.raises(SynthesisError):
+            SynthesisConfig(max_generations=0)
+
+    @pytest.mark.parametrize("pressure", [0.9, 2.1])
+    def test_selection_pressure_range(self, pressure):
+        with pytest.raises(SynthesisError):
+            SynthesisConfig(selection_pressure=pressure)
+
+    def test_tournament_positive(self):
+        with pytest.raises(SynthesisError):
+            SynthesisConfig(tournament_size=0)
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.1])
+    def test_crossover_rate_range(self, rate):
+        with pytest.raises(SynthesisError):
+            SynthesisConfig(crossover_rate=rate)
+
+    def test_mutation_rate_range(self):
+        with pytest.raises(SynthesisError):
+            SynthesisConfig(per_gene_mutation_rate=1.5)
+        assert SynthesisConfig(per_gene_mutation_rate=None)
+
+    def test_elite_count_range(self):
+        with pytest.raises(SynthesisError):
+            SynthesisConfig(population_size=10, elite_count=10)
+        with pytest.raises(SynthesisError):
+            SynthesisConfig(elite_count=-1)
+
+    def test_weights_non_negative(self):
+        with pytest.raises(SynthesisError):
+            SynthesisConfig(area_weight=-1.0)
+        with pytest.raises(SynthesisError):
+            SynthesisConfig(transition_weight=-1.0)
+        with pytest.raises(SynthesisError):
+            SynthesisConfig(timing_weight=-1.0)
+
+    def test_repair_fraction_range(self):
+        with pytest.raises(SynthesisError):
+            SynthesisConfig(repair_fraction=0.0)
+
+
+class TestWithUpdates:
+    def test_returns_modified_copy(self):
+        base = SynthesisConfig(seed=1)
+        other = base.with_updates(seed=2, dvs=DvsMethod.GRADIENT)
+        assert base.seed == 1
+        assert other.seed == 2
+        assert other.dvs is DvsMethod.GRADIENT
+        assert other.population_size == base.population_size
+
+    def test_updates_validated(self):
+        with pytest.raises(SynthesisError):
+            SynthesisConfig().with_updates(population_size=0)

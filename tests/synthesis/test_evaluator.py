@@ -1,0 +1,135 @@
+"""Unit tests for the candidate evaluator (Fig. 4 lines 3-14)."""
+
+import pytest
+
+from repro.architecture import (
+    Architecture,
+    PEKind,
+    ProcessingElement,
+    TaskImplementation,
+    TechnologyLibrary,
+)
+from repro.mapping.encoding import MappingString
+from repro.problem import Problem
+from repro.specification import CommEdge, Mode, OMSM, Task, TaskGraph
+from repro.synthesis.config import DvsMethod, SynthesisConfig
+from repro.synthesis.evaluator import evaluate_mapping
+
+from tests.conftest import make_two_mode_problem
+
+
+ALL_SW = ["PE0"] * 7
+
+
+class TestEvaluation:
+    def test_produces_complete_implementation(self, two_mode_problem):
+        genome = MappingString(two_mode_problem, ALL_SW)
+        impl = evaluate_mapping(
+            two_mode_problem, genome, SynthesisConfig()
+        )
+        assert impl is not None
+        assert set(impl.schedules) == {"O1", "O2"}
+        assert impl.metrics.fitness > 0
+        for mode in two_mode_problem.omsm.modes:
+            impl.schedules[mode.name].validate(
+                mode, two_mode_problem.architecture
+            )
+
+    def test_feasible_fitness_equals_power(self, two_mode_problem):
+        genome = MappingString(two_mode_problem, ALL_SW)
+        impl = evaluate_mapping(
+            two_mode_problem, genome, SynthesisConfig()
+        )
+        assert impl.metrics.is_feasible
+        assert impl.metrics.fitness == pytest.approx(
+            impl.metrics.average_power
+        )
+
+    def test_uniform_policy_changes_fitness_not_power(
+        self, two_mode_problem
+    ):
+        genome = MappingString(two_mode_problem, ALL_SW)
+        aware = evaluate_mapping(
+            two_mode_problem,
+            genome,
+            SynthesisConfig(use_probabilities=True),
+        )
+        neglecting = evaluate_mapping(
+            two_mode_problem,
+            genome,
+            SynthesisConfig(use_probabilities=False),
+        )
+        # Reported power is policy-independent...
+        assert aware.metrics.average_power == pytest.approx(
+            neglecting.metrics.average_power
+        )
+        # ...but the guiding fitness differs (modes are asymmetric).
+        assert aware.metrics.fitness != pytest.approx(
+            neglecting.metrics.fitness
+        )
+
+    def test_dvs_lowers_power(self, two_mode_problem):
+        genome = MappingString(two_mode_problem, ALL_SW)
+        nominal = evaluate_mapping(
+            two_mode_problem, genome, SynthesisConfig()
+        )
+        scaled = evaluate_mapping(
+            two_mode_problem,
+            genome,
+            SynthesisConfig(dvs=DvsMethod.GRADIENT),
+        )
+        assert (
+            scaled.metrics.average_power < nominal.metrics.average_power
+        )
+
+    def test_area_violation_recorded(self):
+        problem = make_two_mode_problem(asic_area=600.0)
+        genome = MappingString(
+            problem, ["PE1"] * problem.genome_length()
+        )
+        impl = evaluate_mapping(problem, genome, SynthesisConfig())
+        assert not impl.metrics.is_area_feasible
+        assert impl.metrics.fitness > impl.metrics.average_power
+
+    def test_timing_violation_recorded(self):
+        problem = make_two_mode_problem(period=0.02)
+        genome = MappingString(problem, ["PE0"] * 7)
+        impl = evaluate_mapping(problem, genome, SynthesisConfig())
+        assert not impl.metrics.is_timing_feasible
+        assert "O1" in impl.metrics.timing_violation
+
+    def test_unroutable_mapping_returns_none(self):
+        graph = TaskGraph(
+            "g",
+            [Task("a", "X"), Task("b", "X")],
+            [CommEdge("a", "b", 10.0)],
+        )
+        omsm = OMSM("app", [Mode("M", graph, 1.0, 1.0)])
+        arch = Architecture(
+            "arch",
+            [
+                ProcessingElement("PE0", PEKind.GPP),
+                ProcessingElement("PE1", PEKind.GPP),
+            ],
+        )
+        tech = TechnologyLibrary(
+            [
+                TaskImplementation("X", "PE0", exec_time=0.01, power=0.1),
+                TaskImplementation("X", "PE1", exec_time=0.01, power=0.1),
+            ]
+        )
+        problem = Problem(omsm, arch, tech)
+        split = MappingString.from_mapping(
+            problem, {"M": {"a": "PE0", "b": "PE1"}}
+        )
+        assert (
+            evaluate_mapping(problem, split, SynthesisConfig()) is None
+        )
+
+    def test_shutdown_summary(self, two_mode_problem):
+        genome = MappingString(two_mode_problem, ALL_SW)
+        impl = evaluate_mapping(
+            two_mode_problem, genome, SynthesisConfig()
+        )
+        assert impl.shut_down_components("O1") == ("PE1", "CL0")
+        assert "average power" in impl.summary()

@@ -1,0 +1,111 @@
+"""Unit tests for the fitness function F_M and its penalties."""
+
+import pytest
+
+from repro.synthesis.fitness import (
+    FitnessWeights,
+    area_penalty_factor,
+    mapping_fitness,
+    timing_penalty,
+    transition_penalty_factor,
+)
+
+from tests.conftest import make_two_mode_problem
+
+
+@pytest.fixture
+def problem():
+    return make_two_mode_problem(period=0.2)
+
+
+class TestTimingPenalty:
+    def test_feasible_is_one(self, problem):
+        assert timing_penalty(problem, {}, weight=20.0) == 1.0
+        assert timing_penalty(problem, {"O1": {}}, weight=20.0) == 1.0
+
+    def test_violation_scales_with_overshoot(self, problem):
+        small = timing_penalty(
+            problem, {"O1": {"t1": 0.02}}, weight=20.0
+        )
+        large = timing_penalty(
+            problem, {"O1": {"t1": 0.10}}, weight=20.0
+        )
+        assert 1.0 < small < large
+
+    def test_normalised_by_deadline(self, problem):
+        # 0.02 overshoot over a 0.2 deadline is 10 % -> 1 + 20*0.1 = 3.
+        penalty = timing_penalty(
+            problem, {"O1": {"t1": 0.02}}, weight=20.0
+        )
+        assert penalty == pytest.approx(3.0)
+
+    def test_multiple_violations_accumulate(self, problem):
+        one = timing_penalty(problem, {"O1": {"t1": 0.02}}, weight=20.0)
+        two = timing_penalty(
+            problem,
+            {"O1": {"t1": 0.02}, "O2": {"u1": 0.02}},
+            weight=20.0,
+        )
+        assert two > one
+
+
+class TestAreaPenalty:
+    def test_feasible_is_one(self, problem):
+        assert area_penalty_factor(problem, {}, weight=20.0) == 1.0
+
+    def test_percentage_formula(self, problem):
+        # PE1 area is 600; 60 cells over = 10 % -> 1 + 20 * 10 = 201.
+        factor = area_penalty_factor(
+            problem, {"PE1": 60.0}, weight=20.0
+        )
+        assert factor == pytest.approx(201.0)
+
+    def test_weight_zero_neutralises(self, problem):
+        assert area_penalty_factor(
+            problem, {"PE1": 60.0}, weight=0.0
+        ) == pytest.approx(1.0)
+
+
+class TestTransitionPenalty:
+    def test_feasible_is_one(self):
+        assert transition_penalty_factor({}, weight=10.0) == 1.0
+
+    def test_product_of_ratios(self):
+        factor = transition_penalty_factor(
+            {("a", "b"): 2.0, ("b", "a"): 3.0}, weight=10.0
+        )
+        assert factor == pytest.approx(60.0)
+
+    def test_never_rewards(self):
+        # Even with a tiny weight the factor must not drop below 1.
+        factor = transition_penalty_factor(
+            {("a", "b"): 1.01}, weight=0.1
+        )
+        assert factor >= 1.0
+
+
+class TestMappingFitness:
+    def test_feasible_fitness_is_power(self, problem):
+        weights = FitnessWeights()
+        fitness = mapping_fitness(problem, 0.005, {}, {}, {}, weights)
+        assert fitness == pytest.approx(0.005)
+
+    def test_penalties_multiply(self, problem):
+        weights = FitnessWeights(area=20.0, transition=10.0, timing=20.0)
+        fitness = mapping_fitness(
+            problem,
+            0.005,
+            {"O1": {"t1": 0.02}},
+            {"PE1": 60.0},
+            {("O1", "O2"): 2.0},
+            weights,
+        )
+        assert fitness == pytest.approx(0.005 * 3.0 * 201.0 * 20.0)
+
+    def test_infeasible_always_worse_than_feasible(self, problem):
+        weights = FitnessWeights()
+        feasible = mapping_fitness(problem, 0.010, {}, {}, {}, weights)
+        infeasible = mapping_fitness(
+            problem, 0.005, {}, {"PE1": 60.0}, {}, weights
+        )
+        assert infeasible > feasible

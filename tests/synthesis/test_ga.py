@@ -1,0 +1,159 @@
+"""Unit tests for the GA machinery (ranking, selection, breeding)."""
+
+import random
+
+import pytest
+
+from repro.mapping.encoding import MappingString
+from repro.synthesis import ga
+
+from tests.conftest import make_two_mode_problem
+
+
+@pytest.fixture
+def problem():
+    return make_two_mode_problem()
+
+
+def genomes(problem, count):
+    rng = random.Random(0)
+    return [MappingString.random(problem, rng) for _ in range(count)]
+
+
+class TestRanking:
+    def test_sorted_best_first(self, problem):
+        pop = genomes(problem, 4)
+        fitnesses = [3.0, 1.0, 4.0, 2.0]
+        ranked = ga.rank_population(
+            list(zip(pop, fitnesses)), selection_pressure=2.0
+        )
+        assert [r.fitness for r in ranked] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_linear_weights(self, problem):
+        pop = genomes(problem, 3)
+        ranked = ga.rank_population(
+            list(zip(pop, [1.0, 2.0, 3.0])), selection_pressure=2.0
+        )
+        assert ranked[0].weight == pytest.approx(2.0)
+        assert ranked[1].weight == pytest.approx(1.0)
+        assert ranked[2].weight == pytest.approx(0.0)
+
+    def test_pressure_one_is_uniform(self, problem):
+        pop = genomes(problem, 3)
+        ranked = ga.rank_population(
+            list(zip(pop, [1.0, 2.0, 3.0])), selection_pressure=1.0
+        )
+        assert all(r.weight == pytest.approx(1.0) for r in ranked)
+
+    def test_single_individual(self, problem):
+        pop = genomes(problem, 1)
+        ranked = ga.rank_population(
+            list(zip(pop, [1.0])), selection_pressure=1.8
+        )
+        assert ranked[0].weight == 1.0
+
+
+class TestSelection:
+    def test_tournament_prefers_better(self, problem):
+        pop = genomes(problem, 10)
+        fitnesses = list(range(10))
+        ranked = ga.rank_population(
+            list(zip(pop, map(float, fitnesses))), selection_pressure=2.0
+        )
+        rng = random.Random(0)
+        picks = [
+            ga.tournament_select(ranked, rng, tournament_size=3).fitness
+            for _ in range(300)
+        ]
+        # Larger tournaments strongly favour low-fitness individuals.
+        assert sum(picks) / len(picks) < 4.5
+
+    def test_mating_pool_size(self, problem):
+        pop = genomes(problem, 5)
+        ranked = ga.rank_population(
+            list(zip(pop, [1.0] * 5)), selection_pressure=1.5
+        )
+        pool = ga.select_mating_pool(
+            ranked, random.Random(0), tournament_size=2, pool_size=8
+        )
+        assert len(pool) == 8
+
+
+class TestBreeding:
+    def test_offspring_count(self, problem):
+        parents = genomes(problem, 6)
+        offspring = ga.breed(
+            parents, random.Random(0), crossover_rate=1.0,
+            per_gene_mutation_rate=0.1,
+        )
+        assert len(offspring) == 6
+
+    def test_odd_parent_count(self, problem):
+        parents = genomes(problem, 5)
+        offspring = ga.breed(
+            parents, random.Random(0), crossover_rate=1.0,
+            per_gene_mutation_rate=0.0,
+        )
+        assert len(offspring) == 5
+
+    def test_offspring_valid(self, problem):
+        parents = genomes(problem, 8)
+        offspring = ga.breed(
+            parents, random.Random(1), crossover_rate=0.9,
+            per_gene_mutation_rate=0.2,
+        )
+        for child in offspring:
+            assert len(child) == problem.genome_length()
+
+
+class TestInsertion:
+    def test_elites_survive(self, problem):
+        pop = genomes(problem, 6)
+        ranked = ga.rank_population(
+            list(zip(pop, [float(i) for i in range(6)])),
+            selection_pressure=1.5,
+        )
+        offspring = genomes(problem, 4)
+        next_gen = ga.insert_offspring(
+            ranked, offspring, elite_count=2, population_size=6
+        )
+        assert len(next_gen) == 6
+        assert next_gen[0] == ranked[0].genome
+        assert next_gen[1] == ranked[1].genome
+
+    def test_top_up_with_survivors(self, problem):
+        pop = genomes(problem, 6)
+        ranked = ga.rank_population(
+            list(zip(pop, [float(i) for i in range(6)])),
+            selection_pressure=1.5,
+        )
+        next_gen = ga.insert_offspring(
+            ranked, [], elite_count=1, population_size=6
+        )
+        assert len(next_gen) == 6
+
+    def test_excess_offspring_truncated(self, problem):
+        pop = genomes(problem, 4)
+        ranked = ga.rank_population(
+            list(zip(pop, [1.0] * 4)), selection_pressure=1.5
+        )
+        offspring = genomes(problem, 10)
+        next_gen = ga.insert_offspring(
+            ranked, offspring, elite_count=1, population_size=4
+        )
+        assert len(next_gen) == 4
+
+
+class TestDiversity:
+    def test_all_distinct(self, problem):
+        pop = genomes(problem, 8)
+        assert ga.population_diversity(pop) <= 1.0
+
+    def test_all_identical(self, problem):
+        genome = MappingString(problem, ["PE0"] * 7)
+        assert ga.population_diversity([genome] * 5) == pytest.approx(
+            0.2
+        )
+
+    def test_empty(self):
+        assert ga.population_diversity([]) == 0.0

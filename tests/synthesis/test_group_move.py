@@ -1,0 +1,86 @@
+"""Tests for the type-group move operator."""
+
+import random
+
+import pytest
+
+from repro.mapping.encoding import MappingString
+from repro.synthesis.mutations import type_group_move
+
+from tests.conftest import make_parallel_hw_problem, make_two_mode_problem
+
+
+class TestTypeGroupMove:
+    def test_moves_whole_type_together(self):
+        problem = make_parallel_hw_problem()
+        base = MappingString.from_mapping(
+            problem,
+            {
+                "M": {
+                    "src": "CPU",
+                    "p0": "CPU",
+                    "p1": "HW",
+                    "p2": "CPU",
+                    "p3": "HW",
+                    "join": "CPU",
+                }
+            },
+        )
+        seen_unified = False
+        for seed in range(40):
+            moved = type_group_move(base, random.Random(seed))
+            if moved is None:
+                continue
+            # All tasks of the moved type share one PE afterwards.
+            mapping = moved.mode_mapping("M")
+            p_targets = {mapping[n] for n in ("p0", "p1", "p2", "p3")}
+            if len(p_targets) == 1:
+                seen_unified = True
+        assert seen_unified
+
+    def test_result_valid(self, two_mode_problem):
+        base = MappingString.random(two_mode_problem, random.Random(1))
+        for seed in range(20):
+            moved = type_group_move(base, random.Random(seed))
+            if moved is not None:
+                assert len(moved) == len(base)
+
+    def test_noop_returns_none(self):
+        # Single candidate per type -> no move possible.
+        from repro.architecture import (
+            Architecture,
+            PEKind,
+            ProcessingElement,
+            TaskImplementation,
+            TechnologyLibrary,
+        )
+        from repro.problem import Problem
+        from repro.specification import Mode, OMSM, Task, TaskGraph
+
+        graph = TaskGraph("g", [Task("a", "X")])
+        omsm = OMSM("app", [Mode("M", graph, 1.0, 1.0)])
+        arch = Architecture(
+            "arch", [ProcessingElement("CPU", PEKind.GPP)]
+        )
+        tech = TechnologyLibrary(
+            [TaskImplementation("X", "CPU", exec_time=0.01, power=0.1)]
+        )
+        problem = Problem(omsm, arch, tech)
+        genome = MappingString(problem, ["CPU"])
+        assert type_group_move(genome, random.Random(0)) is None
+
+    def test_changes_only_one_mode(self, two_mode_problem):
+        base = MappingString(
+            two_mode_problem, ["PE0"] * two_mode_problem.genome_length()
+        )
+        for seed in range(20):
+            moved = type_group_move(base, random.Random(seed))
+            if moved is None:
+                continue
+            changed_modes = [
+                mode.name
+                for mode in two_mode_problem.omsm.modes
+                if moved.mode_mapping(mode.name)
+                != base.mode_mapping(mode.name)
+            ]
+            assert len(changed_modes) == 1

@@ -1,0 +1,167 @@
+"""Tests for population seeding and the final local-search polish."""
+
+import random
+
+import pytest
+
+from repro.mapping.encoding import MappingString
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.cosynthesis import MultiModeSynthesizer
+
+from tests.conftest import make_two_mode_problem
+
+
+class TestSoftwareBiasedSeeding:
+    def test_full_bias_maps_everything_to_software(
+        self, two_mode_problem
+    ):
+        genome = MappingString.random_software_biased(
+            two_mode_problem, random.Random(0), bias=1.0
+        )
+        assert all(gene == "PE0" for gene in genome.genes)
+
+    def test_zero_bias_is_uniform_like(self, two_mode_problem):
+        rng = random.Random(0)
+        seen_hw = False
+        for _ in range(10):
+            genome = MappingString.random_software_biased(
+                two_mode_problem, rng, bias=0.0
+            )
+            if "PE1" in genome.genes:
+                seen_hw = True
+        assert seen_hw
+
+    def test_valid_genome(self, two_mode_problem):
+        for seed in range(10):
+            genome = MappingString.random_software_biased(
+                two_mode_problem, random.Random(seed), bias=0.5
+            )
+            assert len(genome) == two_mode_problem.genome_length()
+
+    def test_hardware_only_types_still_mapped(self):
+        # When a type has no software implementation the bias must not
+        # crash; it falls back to the full candidate set.
+        from repro.architecture import (
+            Architecture,
+            CommunicationLink,
+            PEKind,
+            ProcessingElement,
+            TaskImplementation,
+            TechnologyLibrary,
+        )
+        from repro.problem import Problem
+        from repro.specification import Mode, OMSM, Task, TaskGraph
+
+        graph = TaskGraph("g", [Task("a", "HWONLY")])
+        omsm = OMSM("app", [Mode("M", graph, 1.0, 1.0)])
+        arch = Architecture(
+            "arch",
+            [
+                ProcessingElement("CPU", PEKind.GPP),
+                ProcessingElement("HW", PEKind.ASIC, area=100.0),
+            ],
+            [CommunicationLink("BUS", ["CPU", "HW"], 1e6)],
+        )
+        tech = TechnologyLibrary(
+            [
+                TaskImplementation(
+                    "HWONLY", "HW", exec_time=0.01, power=0.1, area=50.0
+                )
+            ]
+        )
+        problem = Problem(omsm, arch, tech)
+        genome = MappingString.random_software_biased(
+            problem, random.Random(0), bias=1.0
+        )
+        assert genome.genes == ("HW",)
+
+
+class TestLocalSearch:
+    FAST = dict(
+        population_size=12, max_generations=15, convergence_generations=5
+    )
+
+    def test_polish_never_hurts(self, two_mode_problem):
+        plain = MultiModeSynthesizer(
+            two_mode_problem,
+            SynthesisConfig(
+                seed=3, local_search_budget_factor=0.0, **self.FAST
+            ),
+        ).run()
+        polished = MultiModeSynthesizer(
+            two_mode_problem,
+            SynthesisConfig(
+                seed=3, local_search_budget_factor=3.0, **self.FAST
+            ),
+        ).run()
+        assert (
+            polished.best.metrics.fitness
+            <= plain.best.metrics.fitness + 1e-15
+        )
+
+    def test_polished_result_is_single_gene_local_optimum(self):
+        # After polishing, no single-gene change may improve the
+        # fitness.  (Note: the Fig. 2b mapping itself is a strict local
+        # optimum at 26.7158 mW·s — escaping it needs the GA's
+        # crossover, which is exactly the paper's point.)
+        from repro.examples_support import fig2_problem
+        from repro.synthesis.evaluator import evaluate_mapping
+
+        problem = fig2_problem(period=1.0)
+        config = SynthesisConfig(
+            seed=0,
+            population_size=4,
+            max_generations=3,
+            convergence_generations=2,
+            local_search_budget_factor=10.0,
+        )
+        result = MultiModeSynthesizer(problem, config).run()
+        best = result.best.mapping
+        best_fitness = result.best.metrics.fitness
+        for index in range(len(best)):
+            for alternative in best.candidates_at(index):
+                if alternative == best.genes[index]:
+                    continue
+                neighbour = best.with_gene(index, alternative)
+                impl = evaluate_mapping(problem, neighbour, config)
+                assert impl is not None
+                assert impl.metrics.fitness >= best_fitness - 1e-15
+
+    def test_fig2b_is_a_strict_local_optimum(self):
+        # Documents the search-space structure the GA must overcome:
+        # every single-gene neighbour of the Fig. 2b mapping is worse.
+        from repro.examples_support import (
+            fig2_mapping_without_probabilities,
+            fig2_problem,
+        )
+        from repro.synthesis.evaluator import evaluate_mapping
+
+        problem = fig2_problem(period=1.0)
+        config = SynthesisConfig()
+        base = fig2_mapping_without_probabilities(problem)
+        base_fitness = evaluate_mapping(
+            problem, base, config
+        ).metrics.fitness
+        for index in range(len(base)):
+            for alternative in base.candidates_at(index):
+                if alternative == base.genes[index]:
+                    continue
+                neighbour = base.with_gene(index, alternative)
+                impl = evaluate_mapping(problem, neighbour, config)
+                assert impl.metrics.fitness > base_fitness
+
+    def test_budget_zero_disables(self, two_mode_problem):
+        synthesizer = MultiModeSynthesizer(
+            two_mode_problem,
+            SynthesisConfig(
+                seed=5, local_search_budget_factor=0.0, **self.FAST
+            ),
+        )
+        result = synthesizer.run()
+        assert result.is_feasible or not result.is_feasible  # runs
+
+    def test_negative_budget_rejected(self):
+        from repro.errors import SynthesisError
+
+        with pytest.raises(SynthesisError):
+            SynthesisConfig(local_search_budget_factor=-1.0)

@@ -1,0 +1,138 @@
+"""Unit tests for the four improvement mutations."""
+
+import random
+
+import pytest
+
+from repro.architecture import PEKind
+from repro.mapping.encoding import MappingString
+from repro.synthesis import mutations
+
+from tests.conftest import make_two_mode_problem
+
+
+@pytest.fixture
+def problem():
+    return make_two_mode_problem()
+
+
+class TestShutdownImprovement:
+    def test_vacates_one_pe_in_one_mode(self, problem):
+        mixed = MappingString(
+            problem, ["PE0", "PE1", "PE0", "PE1", "PE0", "PE1", "PE0"]
+        )
+        rng = random.Random(0)
+        improved = mutations.shutdown_improvement(mixed, rng)
+        assert improved is not None
+        # In at least one mode, some PE previously used is now empty.
+        vacated = False
+        for mode in problem.omsm.modes:
+            before = set(mixed.mode_mapping(mode.name).values())
+            after = set(improved.mode_mapping(mode.name).values())
+            if after < before:
+                vacated = True
+        assert vacated
+
+    def test_result_is_valid_genome(self, problem):
+        mixed = MappingString(
+            problem, ["PE0", "PE1", "PE0", "PE1", "PE0", "PE1", "PE0"]
+        )
+        for seed in range(10):
+            improved = mutations.shutdown_improvement(
+                mixed, random.Random(seed)
+            )
+            if improved is not None:
+                assert len(improved) == len(mixed)
+
+    def test_probability_bias_prefers_dominant_mode(self, problem):
+        # With bias enabled, O2 (Ψ=0.9) is chosen far more often.
+        mixed = MappingString(
+            problem, ["PE0", "PE1", "PE0", "PE1", "PE0", "PE1", "PE0"]
+        )
+        changed_o2 = 0
+        trials = 200
+        for seed in range(trials):
+            improved = mutations.shutdown_improvement(
+                mixed, random.Random(seed), bias_by_probability=True
+            )
+            if improved is None:
+                continue
+            if improved.mode_mapping("O2") != mixed.mode_mapping("O2"):
+                changed_o2 += 1
+        assert changed_o2 > trials / 2
+
+
+class TestAreaImprovement:
+    def test_moves_hardware_to_software(self, problem):
+        all_hw_capable = MappingString(
+            problem, ["PE1"] * problem.genome_length()
+        )
+        improved = mutations.area_improvement(
+            all_hw_capable, random.Random(0), ["PE1"], move_fraction=1.0
+        )
+        assert improved is not None
+        assert all(gene == "PE0" for gene in improved.genes)
+
+    def test_none_when_nothing_on_hw(self, problem):
+        all_sw = MappingString(problem, ["PE0"] * 7)
+        assert (
+            mutations.area_improvement(
+                all_sw, random.Random(0), ["PE1"], move_fraction=1.0
+            )
+            is None
+        )
+
+    def test_respects_move_fraction_zero(self, problem):
+        all_hw = MappingString(problem, ["PE1"] * 7)
+        assert (
+            mutations.area_improvement(
+                all_hw, random.Random(0), ["PE1"], move_fraction=0.0
+            )
+            is None
+        )
+
+
+class TestTimingImprovement:
+    def test_moves_software_to_faster_hardware(self, problem):
+        all_sw = MappingString(problem, ["PE0"] * 7)
+        improved = mutations.timing_improvement(
+            all_sw, random.Random(0), ["O1"], move_fraction=1.0
+        )
+        assert improved is not None
+        # Only O1 genes move (the violating mode).
+        assert set(improved.mode_mapping("O1").values()) == {"PE1"}
+        assert set(improved.mode_mapping("O2").values()) == {"PE0"}
+
+    def test_none_when_all_hardware(self, problem):
+        all_hw = MappingString(problem, ["PE1"] * 7)
+        assert (
+            mutations.timing_improvement(
+                all_hw, random.Random(0), [], move_fraction=1.0
+            )
+            is None
+        )
+
+
+class TestTransitionImprovement:
+    def test_moves_tasks_off_fpga(self):
+        problem = make_two_mode_problem(
+            hw_kind=PEKind.FPGA, reconfig_time_per_cell=1e-4
+        )
+        all_fpga = MappingString(
+            problem, ["PE1"] * problem.genome_length()
+        )
+        improved = mutations.transition_improvement(
+            all_fpga, random.Random(0), ["PE1"], move_fraction=1.0
+        )
+        assert improved is not None
+        assert all(gene == "PE0" for gene in improved.genes)
+
+    def test_none_without_fpgas(self, problem):
+        # The fixture's PE1 is an ASIC: nothing to move away from.
+        all_hw = MappingString(problem, ["PE1"] * 7)
+        assert (
+            mutations.transition_improvement(
+                all_hw, random.Random(0), [], move_fraction=1.0
+            )
+            is None
+        )

@@ -1,0 +1,102 @@
+"""Tests for the area/power design-space exploration."""
+
+import pytest
+
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.pareto import (
+    TradeoffPoint,
+    area_power_tradeoff,
+    format_tradeoff,
+    pareto_front,
+    scale_hardware_area,
+)
+
+from tests.conftest import make_two_mode_problem
+
+TINY = SynthesisConfig(
+    population_size=10, max_generations=10, convergence_generations=4
+)
+
+
+class TestScaleHardwareArea:
+    def test_scales_hw_only(self):
+        problem = make_two_mode_problem(asic_area=600.0)
+        scaled = scale_hardware_area(problem, 2.0)
+        assert scaled.architecture.pe("PE1").area == pytest.approx(
+            1200.0
+        )
+        assert scaled.architecture.pe("PE0").area == 0.0
+
+    def test_original_untouched(self):
+        problem = make_two_mode_problem(asic_area=600.0)
+        scale_hardware_area(problem, 0.5)
+        assert problem.architecture.pe("PE1").area == 600.0
+
+    def test_invalid_scale(self):
+        problem = make_two_mode_problem()
+        with pytest.raises(ValueError):
+            scale_hardware_area(problem, 0.0)
+
+
+class TestTradeoff:
+    def test_sweep_produces_point_per_scale(self):
+        problem = make_two_mode_problem()
+        points = area_power_tradeoff(
+            problem, scales=(0.5, 1.0), config=TINY, runs=1
+        )
+        assert [p.area_scale for p in points] == [0.5, 1.0]
+        for point in points:
+            assert point.average_power > 0
+            assert point.runs == 1
+
+    def test_more_area_never_hurts_much(self):
+        # With more hardware area the optimum can only improve (up to
+        # GA noise) since every smaller-area solution remains valid.
+        problem = make_two_mode_problem()
+        points = area_power_tradeoff(
+            problem,
+            scales=(0.4, 2.0),
+            config=SynthesisConfig(
+                population_size=16,
+                max_generations=25,
+                convergence_generations=8,
+            ),
+            runs=1,
+            base_seed=3,
+        )
+        small, large = points
+        assert large.average_power <= small.average_power * 1.15
+
+
+class TestParetoFront:
+    def make_points(self):
+        return [
+            TradeoffPoint(0.5, 300.0, 10e-3, 1, 1),
+            TradeoffPoint(1.0, 600.0, 6e-3, 1, 1),
+            TradeoffPoint(1.5, 900.0, 7e-3, 1, 1),  # dominated
+            TradeoffPoint(2.0, 1200.0, 5e-3, 1, 1),
+        ]
+
+    def test_dominated_points_removed(self):
+        front = pareto_front(self.make_points())
+        scales = [p.area_scale for p in front]
+        assert 1.5 not in scales
+        assert scales == [0.5, 1.0, 2.0]
+
+    def test_front_sorted_by_area(self):
+        front = pareto_front(self.make_points())
+        areas = [p.total_hw_area for p in front]
+        assert areas == sorted(areas)
+
+
+class TestFormatting:
+    def test_table_contains_markers(self):
+        text = format_tradeoff(
+            [
+                TradeoffPoint(0.5, 300.0, 10e-3, 1, 1),
+                TradeoffPoint(1.0, 600.0, 6e-3, 1, 1),
+            ]
+        )
+        assert "pareto" in text
+        assert "*" in text
+        assert "10.000" in text

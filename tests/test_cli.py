@@ -1,0 +1,169 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+        assert args.runs == 5
+
+    def test_table2_only_filter(self):
+        args = build_parser().parse_args(
+            ["table2", "--only", "mul1", "mul2", "--runs", "2"]
+        )
+        assert args.only == ["mul1", "mul2"]
+        assert args.runs == 2
+
+    def test_only_rejects_unknown_instance(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--only", "mul99"])
+
+    def test_synthesize_options(self):
+        args = build_parser().parse_args(
+            [
+                "synthesize",
+                "mul3",
+                "--dvs",
+                "gradient",
+                "--no-probabilities",
+                "--seed",
+                "9",
+            ]
+        )
+        assert args.problem == "mul3"
+        assert args.dvs == "gradient"
+        assert not args.probabilities
+        assert args.seed == 9
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestInspect:
+    def test_inspect_suite_instance(self, capsys):
+        assert main(["inspect", "mul9"]) == 0
+        out = capsys.readouterr().out
+        assert "problem 'mul9'" in out
+        assert "architecture" in out
+        assert "transitions" in out
+
+    def test_inspect_smartphone(self, capsys):
+        assert main(["inspect", "smartphone"]) == 0
+        out = capsys.readouterr().out
+        assert "rlc" in out
+        assert "GPP" in out
+
+
+class TestSynthesize:
+    def test_synthesize_small_instance(self, capsys):
+        code = main(
+            [
+                "synthesize",
+                "mul9",
+                "--population",
+                "10",
+                "--generations",
+                "8",
+                "--convergence",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "average power" in out
+        assert "generations:" in out
+
+
+class TestSimulate:
+    def test_simulate_command(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "mul9",
+                "--horizon",
+                "50",
+                "--population",
+                "10",
+                "--generations",
+                "8",
+                "--convergence",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated power" in out
+        assert "Equation (1)" in out
+
+
+class TestGanttFlag:
+    def test_synthesize_with_gantt(self, capsys):
+        code = main(
+            [
+                "synthesize",
+                "mul9",
+                "--gantt",
+                "--population",
+                "10",
+                "--generations",
+                "8",
+                "--convergence",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "|" in out
+
+    def test_save_mapping(self, capsys, tmp_path):
+        target = tmp_path / "mapping.json"
+        code = main(
+            [
+                "synthesize",
+                "mul9",
+                "--save-mapping",
+                str(target),
+                "--population",
+                "10",
+                "--generations",
+                "8",
+                "--convergence",
+                "4",
+            ]
+        )
+        assert code == 0
+        assert target.exists()
+        import json
+
+        data = json.loads(target.read_text())
+        assert data["problem"] == "mul9"
+
+
+class TestTables:
+    def test_table1_single_instance(self, capsys):
+        code = main(
+            [
+                "table1",
+                "--only",
+                "mul9",
+                "--runs",
+                "1",
+                "--population",
+                "10",
+                "--generations",
+                "8",
+                "--convergence",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "mul9" in out
+        assert "vs paper" in out

@@ -1,0 +1,52 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ArchitectureError,
+    MappingError,
+    ReproError,
+    SchedulingError,
+    SpecificationError,
+    SynthesisError,
+    TechnologyError,
+    VoltageScalingError,
+)
+from repro.validation import ValidationError
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ArchitectureError,
+            MappingError,
+            SchedulingError,
+            SpecificationError,
+            SynthesisError,
+            TechnologyError,
+            VoltageScalingError,
+            ValidationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_catching_base_catches_library_failures(self):
+        from repro.specification import Task
+
+        try:
+            Task("", "T")
+        except ReproError as error:
+            assert "name" in str(error)
+        else:  # pragma: no cover
+            pytest.fail("expected a ReproError")
+
+    def test_distinct_branches_do_not_cross(self):
+        assert not issubclass(SchedulingError, SpecificationError)
+        assert not issubclass(TechnologyError, ArchitectureError)

@@ -1,0 +1,71 @@
+"""Tests for the Fig. 2/Fig. 3 support module itself."""
+
+import pytest
+
+from repro.examples_support import (
+    FIG2_PE1_AREA,
+    FIG2_TABLE,
+    fig2_mapping_with_probabilities,
+    fig2_mapping_without_probabilities,
+    fig2_problem,
+    fig3_problem,
+    weighted_task_energy,
+)
+
+
+class TestFig2Table:
+    def test_six_types(self):
+        assert set(FIG2_TABLE) == set("ABCDEF")
+
+    def test_paper_values_transcribed(self):
+        # Spot-check the printed table: type C is 32 ms / 16 mW·s in
+        # software and 1.6 ms / 0.023 mW·s / 275 cells in hardware.
+        sw_ms, sw_mws, hw_ms, hw_mws, cells = FIG2_TABLE["C"]
+        assert (sw_ms, sw_mws) == (32.0, 16.0)
+        assert (hw_ms, hw_mws, cells) == (1.6, 0.023, 275.0)
+
+    def test_hardware_always_faster_and_cheaper(self):
+        for row in FIG2_TABLE.values():
+            sw_ms, sw_mws, hw_ms, hw_mws, _ = row
+            assert hw_ms < sw_ms
+            assert hw_mws < sw_mws
+
+    def test_two_cores_fit_three_do_not(self):
+        # The paper: "at most 2 cores can be allocated at the same
+        # time" on the 600-cell component.
+        areas = sorted(row[4] for row in FIG2_TABLE.values())
+        assert areas[0] + areas[1] <= FIG2_PE1_AREA
+        assert areas[0] + areas[1] + areas[2] > FIG2_PE1_AREA
+
+
+class TestProblemBuilders:
+    def test_fig2_problem_structure(self):
+        problem = fig2_problem()
+        assert problem.omsm.mode("O1").probability == 0.1
+        assert problem.omsm.mode("O2").probability == 0.9
+        assert problem.architecture.pe("PE1").area == 600.0
+
+    def test_fig2_energy_helper_ignores_static(self):
+        with_static = fig2_problem(static_pe1=5e-3)
+        mapping = fig2_mapping_without_probabilities(with_static)
+        assert weighted_task_energy(
+            with_static, mapping
+        ) == pytest.approx(26.7158e-3, abs=1e-9)
+
+    def test_fig2_mappings_cover_all_tasks(self):
+        problem = fig2_problem()
+        for builder in (
+            fig2_mapping_without_probabilities,
+            fig2_mapping_with_probabilities,
+        ):
+            mapping = builder(problem)
+            assert len(mapping) == 6
+
+    def test_fig3_shares_type_a(self):
+        problem = fig3_problem()
+        assert "A" in problem.omsm.shared_task_types()
+
+    def test_fig3_probabilities_even(self):
+        problem = fig3_problem()
+        for mode in problem.omsm.modes:
+            assert mode.probability == 0.5

@@ -1,0 +1,84 @@
+"""Tests for implementation containers and metrics."""
+
+import pytest
+
+from repro.mapping.encoding import MappingString
+from repro.mapping.implementation import ImplementationMetrics
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.evaluator import evaluate_mapping
+
+from tests.conftest import make_two_mode_problem
+
+
+def metrics(**overrides):
+    base = dict(
+        average_power=1e-3,
+        dynamic_power={"O1": 5e-4, "O2": 1e-3},
+        static_power={"O1": 1e-4, "O2": 2e-4},
+        timing_violation={},
+        area_violation={},
+        transition_violation={},
+        fitness=1e-3,
+    )
+    base.update(overrides)
+    return ImplementationMetrics(**base)
+
+
+class TestMetrics:
+    def test_feasible_flags(self):
+        m = metrics()
+        assert m.is_feasible
+        assert m.is_timing_feasible
+        assert m.is_area_feasible
+        assert m.is_transition_feasible
+
+    def test_timing_violation_breaks_feasibility(self):
+        m = metrics(timing_violation={"O1": {"t1": 0.01}})
+        assert not m.is_timing_feasible
+        assert not m.is_feasible
+        assert m.is_area_feasible
+
+    def test_area_violation_breaks_feasibility(self):
+        m = metrics(area_violation={"PE1": 100.0})
+        assert not m.is_area_feasible
+        assert not m.is_feasible
+
+    def test_transition_violation_breaks_feasibility(self):
+        m = metrics(transition_violation={("O1", "O2"): 1.5})
+        assert not m.is_transition_feasible
+        assert not m.is_feasible
+
+    def test_mode_power(self):
+        m = metrics()
+        assert m.mode_power("O1") == pytest.approx(6e-4)
+        assert m.mode_power("O2") == pytest.approx(1.2e-3)
+
+
+class TestImplementation:
+    def setup_method(self):
+        self.problem = make_two_mode_problem()
+        genome = MappingString(
+            self.problem,
+            ["PE0", "PE1", "PE0", "PE0", "PE0", "PE0", "PE0"],
+        )
+        self.impl = evaluate_mapping(
+            self.problem, genome, SynthesisConfig()
+        )
+
+    def test_schedule_accessor(self):
+        assert self.impl.schedule("O1").mode_name == "O1"
+
+    def test_active_components(self):
+        active = self.impl.active_components("O1")
+        assert "PE0" in active
+        assert "PE1" in active
+        assert "CL0" in active
+
+    def test_shutdown_in_unused_mode(self):
+        assert self.impl.shut_down_components("O2") == ("PE1", "CL0")
+
+    def test_summary_mentions_each_mode(self):
+        text = self.impl.summary()
+        assert "mode O1" in text
+        assert "mode O2" in text
+        assert "mW" in text

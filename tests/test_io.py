@@ -1,0 +1,127 @@
+"""Tests for JSON serialisation of problems and mappings."""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.io import (
+    load_problem,
+    mapping_from_dict,
+    mapping_to_dict,
+    problem_from_dict,
+    problem_to_dict,
+    save_problem,
+)
+from repro.mapping.encoding import MappingString
+
+from tests.conftest import make_parallel_hw_problem, make_two_mode_problem
+
+
+class TestProblemRoundtrip:
+    def test_roundtrip_preserves_structure(self):
+        original = make_two_mode_problem()
+        rebuilt = problem_from_dict(problem_to_dict(original))
+        assert rebuilt.name == original.name
+        assert rebuilt.omsm.mode_names == original.omsm.mode_names
+        assert (
+            rebuilt.omsm.probability_vector()
+            == original.omsm.probability_vector()
+        )
+        assert rebuilt.architecture.pe_names == (
+            original.architecture.pe_names
+        )
+        assert len(rebuilt.technology) == len(original.technology)
+        assert rebuilt.genome_length() == original.genome_length()
+
+    def test_roundtrip_preserves_task_graphs(self):
+        original = make_parallel_hw_problem()
+        rebuilt = problem_from_dict(problem_to_dict(original))
+        for mode in original.omsm.modes:
+            rebuilt_graph = rebuilt.omsm.mode(mode.name).task_graph
+            assert rebuilt_graph.task_names == mode.task_graph.task_names
+            assert [e.key for e in rebuilt_graph.edges] == [
+                e.key for e in mode.task_graph.edges
+            ]
+
+    def test_roundtrip_preserves_dvs_settings(self):
+        original = make_two_mode_problem(dvs_hw=True)
+        rebuilt = problem_from_dict(problem_to_dict(original))
+        for pe in original.architecture.pes:
+            twin = rebuilt.architecture.pe(pe.name)
+            assert twin.voltage_levels == pe.voltage_levels
+            assert twin.threshold_voltage == pe.threshold_voltage
+
+    def test_infinite_transition_limit(self):
+        from repro.specification import ModeTransition
+
+        original = make_two_mode_problem(transition_limit=math.inf)
+        data = problem_to_dict(original)
+        assert data["transitions"][0]["max_time"] is None
+        rebuilt = problem_from_dict(data)
+        assert math.isinf(rebuilt.omsm.transition("O1", "O2").max_time)
+
+    def test_synthesis_on_rebuilt_problem(self):
+        from repro.synthesis import SynthesisConfig, synthesize
+
+        rebuilt = problem_from_dict(
+            problem_to_dict(make_two_mode_problem())
+        )
+        result = synthesize(
+            rebuilt,
+            SynthesisConfig(
+                seed=1,
+                population_size=10,
+                max_generations=10,
+                convergence_generations=4,
+            ),
+        )
+        assert result.average_power > 0
+
+    def test_file_roundtrip(self, tmp_path):
+        original = make_two_mode_problem()
+        path = tmp_path / "problem.json"
+        save_problem(original, path)
+        loaded = load_problem(path)
+        assert loaded.name == original.name
+        # The file is valid, indented JSON.
+        parsed = json.loads(path.read_text())
+        assert parsed["schema"] == 1
+
+    def test_bad_schema_rejected(self):
+        data = problem_to_dict(make_two_mode_problem())
+        data["schema"] = 99
+        with pytest.raises(SpecificationError, match="schema"):
+            problem_from_dict(data)
+
+    def test_tampered_file_fails_validation(self):
+        data = problem_to_dict(make_two_mode_problem())
+        data["modes"][0]["probability"] = 0.5  # no longer sums to 1
+        with pytest.raises(SpecificationError):
+            problem_from_dict(data)
+
+
+class TestMappingRoundtrip:
+    def test_roundtrip(self):
+        problem = make_two_mode_problem()
+        mapping = MappingString.random(problem, random.Random(2))
+        rebuilt = mapping_from_dict(problem, mapping_to_dict(mapping))
+        assert rebuilt == mapping
+
+    def test_wrong_problem_rejected(self):
+        problem = make_two_mode_problem()
+        other = make_parallel_hw_problem()
+        mapping = MappingString.random(problem, random.Random(2))
+        data = mapping_to_dict(mapping)
+        with pytest.raises(SpecificationError, match="saved for"):
+            mapping_from_dict(other, data)
+
+    def test_bad_schema_rejected(self):
+        problem = make_two_mode_problem()
+        mapping = MappingString.random(problem, random.Random(2))
+        data = mapping_to_dict(mapping)
+        data["schema"] = 0
+        with pytest.raises(SpecificationError):
+            mapping_from_dict(problem, data)

@@ -1,0 +1,181 @@
+"""The paper's motivational examples, checked to the printed digit."""
+
+import pytest
+
+from repro.examples_support import (
+    FIG2_ENERGY_WITH,
+    FIG2_ENERGY_WITHOUT,
+    fig2_mapping_with_probabilities,
+    fig2_mapping_without_probabilities,
+    fig2_problem,
+    fig3_mapping_multiple_implementations,
+    fig3_mapping_shared_core,
+    fig3_problem,
+    weighted_task_energy,
+)
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.evaluator import evaluate_mapping
+
+
+class TestFig2Energies:
+    """Section 2.3, Example 1: the published 26.7158 / 15.7423 mW·s."""
+
+    def test_without_probabilities_energy(self):
+        problem = fig2_problem()
+        mapping = fig2_mapping_without_probabilities(problem)
+        energy = weighted_task_energy(problem, mapping)
+        assert energy == pytest.approx(FIG2_ENERGY_WITHOUT, abs=1e-9)
+        assert energy == pytest.approx(26.7158e-3, abs=1e-9)
+
+    def test_with_probabilities_energy(self):
+        problem = fig2_problem()
+        mapping = fig2_mapping_with_probabilities(problem)
+        energy = weighted_task_energy(problem, mapping)
+        assert energy == pytest.approx(FIG2_ENERGY_WITH, abs=1e-9)
+        assert energy == pytest.approx(15.7423e-3, abs=1e-9)
+
+    def test_41_percent_reduction(self):
+        problem = fig2_problem()
+        without = weighted_task_energy(
+            problem, fig2_mapping_without_probabilities(problem)
+        )
+        with_p = weighted_task_energy(
+            problem, fig2_mapping_with_probabilities(problem)
+        )
+        reduction = 100.0 * (without - with_p) / without
+        assert reduction == pytest.approx(41.0, abs=0.2)
+
+    def test_mode_energies_as_printed(self):
+        # 0.1 * (10 + 14 + 0.023) = 2.4023 mW·s for mode O1 (Fig. 2b).
+        problem = fig2_problem()
+        mapping = fig2_mapping_without_probabilities(problem)
+        mode = problem.omsm.mode("O1")
+        energy = sum(
+            problem.technology.implementation(
+                task.task_type, mapping.pe_of("O1", task.name)
+            ).energy
+            for task in mode.task_graph
+        )
+        assert 0.1 * energy == pytest.approx(2.4023e-3, abs=1e-9)
+
+
+class TestFig2Pipeline:
+    """The full library pipeline must reproduce the same numbers.
+
+    With a 1-second period and no static power, Equation (1) power in
+    watts equals Ψ-weighted energy in joules.
+    """
+
+    def test_pipeline_matches_paper(self):
+        problem = fig2_problem(period=1.0)
+        config = SynthesisConfig()
+        for mapping, expected in (
+            (fig2_mapping_without_probabilities(problem), 26.7158e-3),
+            (fig2_mapping_with_probabilities(problem), 15.7423e-3),
+        ):
+            impl = evaluate_mapping(problem, mapping, config)
+            assert impl is not None
+            assert impl.metrics.is_feasible
+            assert impl.metrics.average_power == pytest.approx(
+                expected, abs=1e-9
+            )
+
+    def test_probability_aware_mapping_enables_shutdown(self):
+        problem = fig2_problem()
+        impl = evaluate_mapping(
+            problem,
+            fig2_mapping_with_probabilities(problem),
+            SynthesisConfig(),
+        )
+        assert impl.shut_down_components("O1") == ("PE1", "CL0")
+
+    def test_area_constraint_honoured(self):
+        # Both mappings use at most 600 cells (two cores).
+        problem = fig2_problem()
+        for mapping in (
+            fig2_mapping_without_probabilities(problem),
+            fig2_mapping_with_probabilities(problem),
+        ):
+            impl = evaluate_mapping(problem, mapping, SynthesisConfig())
+            assert impl.metrics.is_area_feasible
+            assert impl.cores.area_used["PE1"] <= 600.0
+
+    def test_ga_finds_the_probability_aware_optimum(self):
+        # The synthesis itself, run on the Fig. 2 system, should find a
+        # mapping at least as good as the paper's hand-derived one.
+        from repro.synthesis import synthesize
+
+        problem = fig2_problem(period=1.0)
+        result = synthesize(
+            problem,
+            SynthesisConfig(
+                seed=1,
+                population_size=20,
+                max_generations=40,
+                convergence_generations=10,
+            ),
+        )
+        assert result.average_power <= 15.7423e-3 + 1e-9
+
+
+class TestFig3MultipleImplementations:
+    """Section 2.3, Example 2: multiple implementations enable shut-down."""
+
+    def test_shared_core_keeps_pe1_on(self):
+        problem = fig3_problem()
+        impl = evaluate_mapping(
+            problem, fig3_mapping_shared_core(problem), SynthesisConfig()
+        )
+        assert impl.shut_down_components("O2") == ()
+
+    def test_multiple_implementations_allow_shutdown(self):
+        problem = fig3_problem()
+        impl = evaluate_mapping(
+            problem,
+            fig3_mapping_multiple_implementations(problem),
+            SynthesisConfig(),
+        )
+        assert impl.shut_down_components("O2") == ("PE1", "CL0")
+
+    def test_shutdown_pays_off_beyond_breakeven(self):
+        problem = fig3_problem(static_pe1=12e-3)
+        shared = evaluate_mapping(
+            problem, fig3_mapping_shared_core(problem), SynthesisConfig()
+        )
+        multiple = evaluate_mapping(
+            problem,
+            fig3_mapping_multiple_implementations(problem),
+            SynthesisConfig(),
+        )
+        assert (
+            multiple.metrics.average_power
+            < shared.metrics.average_power
+        )
+
+    def test_sharing_wins_when_static_power_is_low(self):
+        problem = fig3_problem(static_pe1=1e-3)
+        shared = evaluate_mapping(
+            problem, fig3_mapping_shared_core(problem), SynthesisConfig()
+        )
+        multiple = evaluate_mapping(
+            problem,
+            fig3_mapping_multiple_implementations(problem),
+            SynthesisConfig(),
+        )
+        assert (
+            shared.metrics.average_power
+            < multiple.metrics.average_power
+        )
+
+    def test_shared_core_single_allocation(self):
+        # Type A gets exactly one core even though two modes use it.
+        problem = fig3_problem()
+        from repro.mapping.cores import allocate_cores
+
+        cores = allocate_cores(
+            problem, fig3_mapping_shared_core(problem)
+        )
+        assert cores.available_cores("PE1", "O1", "A") == 1
+        assert cores.available_cores("PE1", "O2", "A") == 1
+        area_a = problem.technology.implementation("A", "PE1").area
+        assert cores.area_used["PE1"] == pytest.approx(area_a)

@@ -1,0 +1,40 @@
+"""Unit tests for the Problem bundle."""
+
+import pytest
+
+from repro.errors import SpecificationError, TechnologyError
+from repro.problem import Problem
+
+from tests.conftest import make_two_mode_problem
+
+
+class TestProblem:
+    def test_construction_validates_technology(self, two_mode_problem):
+        assert two_mode_problem.name == "two_mode"
+        assert two_mode_problem.genome_length() == 7
+
+    def test_gene_space_layout(self, two_mode_problem):
+        genes = two_mode_problem.gene_space("O1")
+        assert [task for task, _ in genes] == ["t1", "t2", "t3", "t4"]
+        for _, candidates in genes:
+            assert set(candidates) == {"PE0", "PE1"}
+
+    def test_gene_space_unknown_mode(self, two_mode_problem):
+        with pytest.raises(SpecificationError):
+            two_mode_problem.gene_space("ghost")
+
+    def test_missing_implementation_rejected(self, two_mode_problem):
+        from repro.architecture import TechnologyLibrary, TaskImplementation
+
+        incomplete = TechnologyLibrary(
+            [TaskImplementation("A", "PE0", exec_time=0.01, power=0.1)]
+        )
+        with pytest.raises(TechnologyError):
+            Problem(
+                two_mode_problem.omsm,
+                two_mode_problem.architecture,
+                incomplete,
+            )
+
+    def test_repr_mentions_name(self, two_mode_problem):
+        assert "two_mode" in repr(two_mode_problem)

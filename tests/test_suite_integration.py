@@ -1,0 +1,83 @@
+"""End-to-end integration on regenerated suite instances.
+
+Slower than unit tests (whole synthesis runs) but the closest thing to
+the paper's actual experiments that still fits a test budget.
+"""
+
+import pytest
+
+from repro.benchgen.suite import suite_problem
+from repro.synthesis.config import DvsMethod, SynthesisConfig
+from repro.synthesis.cosynthesis import synthesize
+from repro.validation import validate_implementation
+
+SMALL = SynthesisConfig(
+    population_size=16,
+    max_generations=30,
+    convergence_generations=8,
+)
+
+
+@pytest.mark.slow
+class TestSuiteSynthesis:
+    @pytest.mark.parametrize("name", ["mul2", "mul9", "mul11"])
+    def test_synthesis_produces_valid_feasible_solutions(self, name):
+        problem = suite_problem(name)
+        result = synthesize(problem, SMALL.with_updates(seed=5))
+        validate_implementation(result.best)
+        assert result.is_feasible
+
+    def test_dvs_improves_on_dvs_capable_instance(self):
+        problem = suite_problem("mul11")  # GPP+ASIC1+ASIC2, all DVS
+        nominal = synthesize(problem, SMALL.with_updates(seed=6))
+        scaled = synthesize(
+            problem,
+            SMALL.with_updates(seed=6, dvs=DvsMethod.GRADIENT),
+        )
+        validate_implementation(scaled.best)
+        assert scaled.average_power < nominal.average_power
+
+    def test_probability_policies_land_in_the_same_ballpark(self):
+        """Loose regression guard on the policy comparison.
+
+        Single GA runs are noisy (the paper averages 40); a strict
+        "aware wins per seed" assertion would be a seed lottery.  What
+        must always hold: the aware policy's *reported* power (its own
+        objective when feasible) stays within ~10 % of the neglecting
+        policy's across a few paired seeds — i.e. the aware search is
+        never catastrophically worse on its own objective, while the
+        benchmark harness measures the actual (averaged) margins.
+        """
+        import statistics
+
+        config = SynthesisConfig(
+            population_size=32,
+            max_generations=80,
+            convergence_generations=16,
+        )
+        problem = suite_problem("mul11")
+        aware, neglect = [], []
+        for seed in (11, 12, 13):
+            aware.append(
+                synthesize(
+                    problem,
+                    config.with_updates(
+                        seed=seed, use_probabilities=True
+                    ),
+                ).average_power
+            )
+            neglect.append(
+                synthesize(
+                    problem,
+                    config.with_updates(
+                        seed=seed, use_probabilities=False
+                    ),
+                ).average_power
+            )
+        assert statistics.mean(aware) <= statistics.mean(neglect) * 1.10
+
+    def test_cpu_time_reported(self):
+        problem = suite_problem("mul9")
+        result = synthesize(problem, SMALL.with_updates(seed=7))
+        assert result.cpu_time > 0
+        assert result.evaluations >= SMALL.population_size
