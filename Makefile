@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-fast tables examples clean
+.PHONY: install test test-fast bench bench-fast bench-smoke tables examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,6 +20,13 @@ bench:
 bench-fast:
 	$(PYTHON) -m pytest benchmarks/test_fig2_fig3.py \
 	    benchmarks/test_micro.py --benchmark-only
+
+# Evaluation-engine smoke benchmark: verifies the decode-cache/pool
+# engine stays bit-identical to the legacy path and fails on a >20%
+# speedup regression against the committed baseline.
+bench-smoke:
+	$(PYTHON) benchmarks/bench_engine.py --quick \
+	    --check benchmarks/results/bench_engine_quick_baseline.json
 
 tables:
 	$(PYTHON) -m repro.cli table1 --runs 5

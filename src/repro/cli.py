@@ -47,6 +47,7 @@ def _config_from_args(args: argparse.Namespace) -> SynthesisConfig:
         population_size=args.population,
         max_generations=args.generations,
         convergence_generations=args.convergence,
+        jobs=getattr(args, "jobs", 1),
         seed=args.seed,
     )
 
@@ -65,6 +66,15 @@ def _add_ga_options(parser: argparse.ArgumentParser) -> None:
         help="stop after this many generations without improvement",
     )
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for population evaluation (1 = serial; "
+            "results are identical for any job count)"
+        ),
+    )
 
 
 def _cmd_table(args: argparse.Namespace, dvs: DvsMethod) -> int:
@@ -72,6 +82,7 @@ def _cmd_table(args: argparse.Namespace, dvs: DvsMethod) -> int:
         population_size=args.population,
         max_generations=args.generations,
         convergence_generations=args.convergence,
+        jobs=args.jobs,
     )
     results = run_suite_experiment(
         dvs=dvs,
@@ -104,6 +115,7 @@ def _cmd_table3(args: argparse.Namespace) -> int:
         population_size=args.population,
         max_generations=args.generations,
         convergence_generations=args.convergence,
+        jobs=args.jobs,
     )
     results = run_smartphone_experiment(
         runs=args.runs, config=config, base_seed=args.seed
@@ -129,6 +141,18 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         f"  generations: {result.generations}, evaluations: "
         f"{result.evaluations}, cpu time: {result.cpu_time:.1f} s"
     )
+    if result.perf is not None:
+        perf = result.perf
+        print(
+            f"  perf: {perf.evaluations_per_second:.0f} evals/s, "
+            f"cache hit rate {perf.cache_hit_rate:.1%}, "
+            f"jobs {perf.jobs}"
+            + (
+                f", pool utilisation {perf.pool_utilisation:.1%}"
+                if perf.jobs > 1
+                else ""
+            )
+        )
     if args.gantt:
         from repro.analysis.gantt import render_all_modes
 

@@ -29,9 +29,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import VoltageScalingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.decode_cache import DecodeContext
 from repro.dvs.transform import VirtualSegment, transform_parallel_tasks
 from repro.dvs.voltage import duration_energy_tables, scaled_duration, scaled_energy
 from repro.problem import Problem
@@ -47,17 +50,36 @@ from repro.specification.mode import Mode
 _SLACK_EPS = 1e-12
 
 
-@dataclass
 class _Node:
     """One node of the DVS graph (task, communication or segment)."""
 
-    key: str
-    durations: Tuple[float, ...]
-    energies: Tuple[float, ...]
-    level: int
-    deadline: float
-    scalable: bool
-    levels: Tuple[float, ...] = ()
+    __slots__ = (
+        "key",
+        "durations",
+        "energies",
+        "level",
+        "deadline",
+        "scalable",
+        "levels",
+    )
+
+    def __init__(
+        self,
+        key: str,
+        durations: Tuple[float, ...],
+        energies: Tuple[float, ...],
+        level: int,
+        deadline: float,
+        scalable: bool,
+        levels: Tuple[float, ...] = (),
+    ) -> None:
+        self.key = key
+        self.durations = durations
+        self.energies = energies
+        self.level = level
+        self.deadline = deadline
+        self.scalable = scalable
+        self.levels = levels
 
     @property
     def duration(self) -> float:
@@ -77,64 +99,252 @@ class _Node:
 
 
 class _DvsGraph:
-    """The order-augmented DAG with per-node voltage levels."""
+    """The order-augmented DAG with per-node voltage levels.
+
+    Nodes and adjacency are integer-indexed lists (creation order); the
+    gradient descent keeps earliest starts and latest finishes current
+    across accepted moves via :meth:`stretch_node`, so the timing
+    passes must be tight loops over plain floats rather than dict
+    lookups.  All longest-path values are ``max``/``min`` accumulations,
+    which are exact and order-independent on floats, so results do not
+    depend on adjacency or topological-order details.
+    """
+
+    __slots__ = (
+        "nodes",
+        "index",
+        "preds",
+        "succs",
+        "topo",
+        "topo_rank",
+        "pending",
+        "durations",
+        "deadlines",
+        "scalable_indices",
+        "task_nodes",
+        "comm_nodes",
+    )
 
     def __init__(self) -> None:
-        self.nodes: Dict[str, _Node] = {}
-        self.succ: Dict[str, List[str]] = {}
-        self.pred: Dict[str, List[str]] = {}
-        self._order: Optional[List[str]] = None
+        self.nodes: List[_Node] = []
+        self.index: Dict[str, int] = {}
+        self.preds: List[List[int]] = []
+        self.succs: List[List[int]] = []
+        # Activity-level indices, filled by _build_dvs_graph: task name
+        # -> node position (absent for tasks folded into segments) and
+        # (src, dst) -> communication node position.
+        self.task_nodes: Dict[str, int] = {}
+        self.comm_nodes: Dict[Tuple[str, str], int] = {}
 
-    def add_node(self, node: _Node) -> None:
-        if node.key in self.nodes:
+    def add_node(self, node: _Node) -> int:
+        if node.key in self.index:
             raise VoltageScalingError(f"duplicate DVS node {node.key!r}")
-        self.nodes[node.key] = node
-        self.succ[node.key] = []
-        self.pred[node.key] = []
-        self._order = None
+        position = len(self.nodes)
+        self.index[node.key] = position
+        self.nodes.append(node)
+        self.preds.append([])
+        self.succs.append([])
+        return position
 
-    def add_edge(self, src: str, dst: str) -> None:
+    def add_edge(self, src: int, dst: int) -> None:
         if src == dst:
             return
-        if dst not in self.succ[src]:
-            self.succ[src].append(dst)
-            self.pred[dst].append(src)
-        self._order = None
+        succs = self.succs[src]
+        if dst not in succs:
+            succs.append(dst)
+            self.preds[dst].append(src)
 
-    def topological_order(self) -> List[str]:
-        if self._order is None:
-            in_degree = {k: len(self.pred[k]) for k in self.nodes}
-            ready = [k for k, d in in_degree.items() if d == 0]
-            order: List[str] = []
-            while ready:
-                current = ready.pop()
-                order.append(current)
-                for nxt in self.succ[current]:
-                    in_degree[nxt] -= 1
-                    if in_degree[nxt] == 0:
-                        ready.append(nxt)
-            if len(order) != len(self.nodes):
-                raise VoltageScalingError("DVS graph contains a cycle")
-            self._order = order
-        return self._order
+    def node(self, key: str) -> _Node:
+        return self.nodes[self.index[key]]
 
-    def earliest_starts(self) -> Dict[str, float]:
-        est: Dict[str, float] = {}
-        for key in self.topological_order():
+    def freeze(self) -> None:
+        """Snapshot durations/topology once construction is finished."""
+        nodes = self.nodes
+        self.durations = [node.duration for node in nodes]
+        self.deadlines = [node.deadline for node in nodes]
+        self.scalable_indices = [
+            position
+            for position, node in enumerate(nodes)
+            if node.scalable
+        ]
+        in_degree = [len(entry) for entry in self.preds]
+        ready = [
+            position
+            for position, degree in enumerate(in_degree)
+            if degree == 0
+        ]
+        order: List[int] = []
+        while ready:
+            current = ready.pop()
+            order.append(current)
+            for nxt in self.succs[current]:
+                in_degree[nxt] -= 1
+                if in_degree[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(nodes):
+            raise VoltageScalingError("DVS graph contains a cycle")
+        self.topo = order
+        rank = [0] * len(nodes)
+        for ordinal, position in enumerate(order):
+            rank[position] = ordinal
+        self.topo_rank = rank
+        # Scratch flags for stretch_node's cone walks; always all-zero
+        # between calls.
+        self.pending = bytearray(len(nodes))
+
+    def refresh_durations(self) -> None:
+        durations = self.durations
+        for position, node in enumerate(self.nodes):
+            durations[position] = node.duration
+
+    def earliest_starts(self) -> List[float]:
+        return self.forward_timing()[0]
+
+    def forward_timing(self) -> Tuple[List[float], List[float]]:
+        # `finish[i] = est[i] + durations[i]` is computed once per node
+        # rather than once per out-edge; the operands (and hence the
+        # result) are identical either way.
+        size = len(self.nodes)
+        est = [0.0] * size
+        finish = [0.0] * size
+        durations = self.durations
+        preds = self.preds
+        for position in self.topo:
             arrival = 0.0
-            for prev in self.pred[key]:
-                arrival = max(arrival, est[prev] + self.nodes[prev].duration)
-            est[key] = arrival
-        return est
+            for prev in preds[position]:
+                candidate = finish[prev]
+                if candidate > arrival:
+                    arrival = candidate
+            est[position] = arrival
+            finish[position] = arrival + durations[position]
+        return est, finish
 
-    def latest_finishes(self) -> Dict[str, float]:
-        lft: Dict[str, float] = {}
-        for key in reversed(self.topological_order()):
-            bound = self.nodes[key].deadline
-            for nxt in self.succ[key]:
-                bound = min(bound, lft[nxt] - self.nodes[nxt].duration)
-            lft[key] = bound
-        return lft
+    def latest_finishes(self) -> List[float]:
+        return self.backward_timing()[0]
+
+    def backward_timing(self) -> Tuple[List[float], List[float]]:
+        # Mirror image of forward_timing: `lft[i] - durations[i]` is
+        # materialised once per node as `latest_start[i]`.
+        size = len(self.nodes)
+        lft = [0.0] * size
+        latest_start = [0.0] * size
+        durations = self.durations
+        succs = self.succs
+        deadlines = self.deadlines
+        for position in reversed(self.topo):
+            bound = deadlines[position]
+            for nxt in succs[position]:
+                candidate = latest_start[nxt]
+                if candidate < bound:
+                    bound = candidate
+            lft[position] = bound
+            latest_start[position] = bound - durations[position]
+        return lft, latest_start
+
+    def stretch_node(
+        self,
+        position: int,
+        est: List[float],
+        finish: List[float],
+        lft: List[float],
+        latest_start: List[float],
+    ) -> None:
+        """Propagate one node's duration change through cached timings.
+
+        Timing arrays depend only on durations, so a single stretched
+        node perturbs earliest starts downstream of it and latest
+        finishes upstream of it — two independent cones.  Each visited
+        node is refreshed with exactly the formula the full passes use
+        (max over the same predecessors' finishes, min over the same
+        successors' latest starts), and flagged nodes are visited in
+        topological-rank order so every operand is final before it is
+        read; the arrays therefore stay bit-identical to a full
+        recompute while only the affected cone is recomputed.  The
+        walk scans ``topo`` from the stretched node outward with a
+        reusable flag array — cheaper than a heap worklist because
+        cones are small and skipping an unflagged rank is a single
+        byte test.
+        """
+        durations = self.durations
+        topo = self.topo
+        rank = self.topo_rank
+        preds = self.preds
+        succs = self.succs
+        pending = self.pending
+
+        new_finish = est[position] + durations[position]
+        if new_finish != finish[position]:
+            finish[position] = new_finish
+            remaining = 0
+            for nxt in succs[position]:
+                if not pending[nxt]:
+                    pending[nxt] = 1
+                    remaining += 1
+            for ordinal in range(rank[position] + 1, len(topo)):
+                if not remaining:
+                    break
+                current = topo[ordinal]
+                if not pending[current]:
+                    continue
+                pending[current] = 0
+                remaining -= 1
+                arrival = 0.0
+                for prev in preds[current]:
+                    candidate = finish[prev]
+                    if candidate > arrival:
+                        arrival = candidate
+                est[current] = arrival
+                updated = arrival + durations[current]
+                # An unchanged finish stops the wave: downstream nodes
+                # only ever read `finish`, never `est` directly.
+                if updated != finish[current]:
+                    finish[current] = updated
+                    for nxt in succs[current]:
+                        if not pending[nxt]:
+                            pending[nxt] = 1
+                            remaining += 1
+
+        deadlines = self.deadlines
+        new_latest_start = lft[position] - durations[position]
+        if new_latest_start != latest_start[position]:
+            latest_start[position] = new_latest_start
+            remaining = 0
+            for prev in preds[position]:
+                if not pending[prev]:
+                    pending[prev] = 1
+                    remaining += 1
+            for ordinal in range(rank[position] - 1, -1, -1):
+                if not remaining:
+                    break
+                current = topo[ordinal]
+                if not pending[current]:
+                    continue
+                pending[current] = 0
+                remaining -= 1
+                bound = deadlines[current]
+                for nxt in succs[current]:
+                    candidate = latest_start[nxt]
+                    if candidate < bound:
+                        bound = candidate
+                lft[current] = bound
+                updated = bound - durations[current]
+                if updated != latest_start[current]:
+                    latest_start[current] = updated
+                    for prev in preds[current]:
+                        if not pending[prev]:
+                            pending[prev] = 1
+                            remaining += 1
+
+    def is_feasible(self) -> bool:
+        est = self.earliest_starts()
+        durations = self.durations
+        deadlines = self.deadlines
+        for position in range(len(self.nodes)):
+            if est[position] + durations[position] > (
+                deadlines[position] + TIME_EPS
+            ):
+                return False
+        return True
 
 
 def scale_schedule(
@@ -142,6 +352,7 @@ def scale_schedule(
     mode: Mode,
     schedule: ModeSchedule,
     shared_rail: bool = True,
+    context: Optional["DecodeContext"] = None,
 ) -> ModeSchedule:
     """Voltage-scale one mode's schedule by greedy energy-gradient descent.
 
@@ -158,41 +369,87 @@ def scale_schedule(
     transformation.  That idealisation bounds what the extra DC/DC
     converters the paper rules out (area/power overhead) could buy,
     and is exposed for the ablation benchmarks.
+
+    ``context`` (see :mod:`repro.engine.decode_cache`) memoises the
+    per-(PE, duration, energy) voltage tables across candidates.
     """
     graph, segments_by_pe = _build_dvs_graph(
-        problem, mode, schedule, shared_rail
+        problem, mode, schedule, shared_rail, context
     )
 
     # Greedy gradient descent: always hand the slack to the move with
-    # the best energy saving per unit of added time.
+    # the best energy saving per unit of added time.  Each node's
+    # candidate move (one level down from its *current* level) only
+    # changes when that node's level changes, so the per-move extra
+    # time and metric are cached and refreshed on accept.
+    nodes = graph.nodes
+    durations = graph.durations
+    scalable_indices = graph.scalable_indices
+    # Candidate moves as position-indexed lists (None = no move): the
+    # selection scan below runs once per accepted move, so lookups must
+    # be plain list indexing.
+    move_extra: List[Optional[float]] = [None] * len(nodes)
+    move_metric: List[Tuple[float, float]] = [(0.0, 0.0)] * len(nodes)
+
+    def refresh_move(position: int) -> None:
+        node = nodes[position]
+        level = node.level
+        if level == 0:
+            move_extra[position] = None
+            return
+        node_durations = node.durations
+        extra = node_durations[level - 1] - node_durations[level]
+        saved = node.energies[level] - node.energies[level - 1]
+        if saved <= 0:
+            move_extra[position] = None
+            return
+        move_extra[position] = extra
+        move_metric[position] = (saved / extra, saved)
+
+    for position in scalable_indices:
+        refresh_move(position)
+
+    # Timing arrays are computed once and then kept current by
+    # stretch_node after each accepted move, so the per-move cost is
+    # proportional to the affected cone instead of the whole DAG.
+    est, finish = graph.forward_timing()
+    lft, latest_start = graph.backward_timing()
     while True:
-        est = graph.earliest_starts()
-        lft = graph.latest_finishes()
-        best_key: Optional[str] = None
+        best_index = -1
         best_metric: Tuple[float, float] = (-1.0, -1.0)
-        for key, node in graph.nodes.items():
-            move = node.lowering()
-            if move is None:
+        for position in scalable_indices:
+            extra = move_extra[position]
+            if extra is None:
                 continue
-            extra, saved = move
-            if saved <= 0:
-                continue
-            slack = lft[key] - est[key] - node.duration
+            slack = lft[position] - est[position] - durations[position]
             if extra > slack + _SLACK_EPS + TIME_EPS:
                 continue
-            metric = (saved / extra, saved)
+            metric = move_metric[position]
             if metric > best_metric:
                 best_metric = metric
-                best_key = key
-        if best_key is None:
+                best_index = position
+        if best_index < 0:
             break
-        graph.nodes[best_key].level -= 1
+        chosen = nodes[best_index]
+        chosen.level -= 1
+        durations[best_index] = chosen.durations[chosen.level]
+        refresh_move(best_index)
+        graph.stretch_node(best_index, est, finish, lft, latest_start)
 
+    if not segments_by_pe:
+        # Without Fig. 5 segment chains the replay DAG is structurally
+        # identical to this DVS graph, so the earliest starts of the
+        # final descent state *are* the replayed start times (max over
+        # floats is exact, hence order-independent) — skip the replay.
+        return _emit_schedule(mode, schedule, graph, est)
     return _rebuild_schedule(problem, mode, schedule, graph, segments_by_pe)
 
 
 def uniform_scale_schedule(
-    problem: Problem, mode: Mode, schedule: ModeSchedule
+    problem: Problem,
+    mode: Mode,
+    schedule: ModeSchedule,
+    context: Optional["DecodeContext"] = None,
 ) -> ModeSchedule:
     """Naive DVS baseline: one global stretch factor for all activities.
 
@@ -201,10 +458,12 @@ def uniform_scale_schedule(
     found by bisection on the DVS graph.  Serves as the ablation
     comparator for the gradient-based :func:`scale_schedule`.
     """
-    graph, segments_by_pe = _build_dvs_graph(problem, mode, schedule)
+    graph, segments_by_pe = _build_dvs_graph(
+        problem, mode, schedule, context=context
+    )
 
     def apply_factor(kappa: float) -> None:
-        for node in graph.nodes.values():
+        for node in graph.nodes:
             if not node.scalable:
                 continue
             budget = node.durations[-1] * kappa
@@ -214,13 +473,10 @@ def uniform_scale_schedule(
                     level = index
                     break
             node.level = level
+        graph.refresh_durations()
 
     def feasible() -> bool:
-        est = graph.earliest_starts()
-        for key, node in graph.nodes.items():
-            if est[key] + node.duration > node.deadline + TIME_EPS:
-                return False
-        return True
+        return graph.is_feasible()
 
     apply_factor(1.0)
     if feasible():
@@ -235,6 +491,8 @@ def uniform_scale_schedule(
         apply_factor(low)
     else:
         apply_factor(1.0)
+    if not segments_by_pe:
+        return _emit_schedule(mode, schedule, graph, graph.earliest_starts())
     return _rebuild_schedule(problem, mode, schedule, graph, segments_by_pe)
 
 
@@ -260,44 +518,67 @@ def _build_dvs_graph(
     mode: Mode,
     schedule: ModeSchedule,
     shared_rail: bool = True,
+    context: Optional["DecodeContext"] = None,
 ) -> Tuple[_DvsGraph, Dict[str, Tuple[VirtualSegment, ...]]]:
     architecture = problem.architecture
     graph = _DvsGraph()
+    mode_data = context.modes[mode.name] if context is not None else None
+
+    def effective_deadline(task_name: str) -> float:
+        if mode_data is not None:
+            return mode_data.deadlines[task_name]
+        return mode.effective_deadline(task_name)
+
+    def voltage_tables(pe, duration, energy):
+        if context is not None:
+            return context.duration_energy_tables(pe.name, duration, energy)
+        return duration_energy_tables(
+            duration, energy, pe.voltage_levels, pe.threshold_voltage
+        )
 
     # With a shared rail per component, DVS-capable hardware is handled
     # through the Fig. 5 segment chain.  With per-core rails, hardware
     # tasks become individually scalable nodes like software tasks.
-    hw_dvs_pes = (
-        {
-            pe.name
-            for pe in architecture.hardware_pes()
-            if pe.dvs_enabled
-        }
-        if shared_rail
-        else set()
+    if shared_rail:
+        hw_dvs_pes = (
+            context.hw_dvs_pes
+            if context is not None
+            else {
+                pe.name
+                for pe in architecture.hardware_pes()
+                if pe.dvs_enabled
+            }
+        )
+    else:
+        hw_dvs_pes = set()
+    pe_objects = (
+        context.pes
+        if context is not None
+        else {pe.name: pe for pe in architecture.pes}
     )
     segments_by_pe: Dict[str, Tuple[VirtualSegment, ...]] = {}
-    task_last_segment: Dict[str, str] = {}
-    task_first_segment: Dict[str, str] = {}
+    # Activity indices are tracked during construction so edges are
+    # added by integer without re-hashing formatted key strings.
+    task_nodes = graph.task_nodes
+    comm_nodes = graph.comm_nodes
+    task_last_segment: Dict[str, int] = {}
+    task_first_segment: Dict[str, int] = {}
 
     # --- nodes: tasks off DVS hardware, and segment chains on it -------
     for task in schedule.tasks:
-        pe = architecture.pe(task.pe)
+        pe = pe_objects[task.pe]
         if task.pe in hw_dvs_pes:
             continue
         if pe.dvs_enabled:
-            durations, energies = duration_energy_tables(
-                task.duration,
-                task.energy,
-                pe.voltage_levels,
-                pe.threshold_voltage,
+            durations, energies = voltage_tables(
+                pe, task.duration, task.energy
             )
             node = _Node(
                 key=_task_node_key(task.name),
                 durations=durations,
                 energies=energies,
                 level=len(durations) - 1,
-                deadline=mode.effective_deadline(task.name),
+                deadline=effective_deadline(task.name),
                 scalable=True,
                 levels=pe.voltage_levels,
             )
@@ -307,24 +588,22 @@ def _build_dvs_graph(
                 durations=(task.duration,),
                 energies=(task.energy,),
                 level=0,
-                deadline=mode.effective_deadline(task.name),
+                deadline=effective_deadline(task.name),
                 scalable=False,
             )
-        graph.add_node(node)
+        task_nodes[task.name] = graph.add_node(node)
 
     for pe_name in sorted(hw_dvs_pes):
         placed = schedule.tasks_on(pe_name)
         if not placed:
             continue
-        pe = architecture.pe(pe_name)
+        pe = pe_objects[pe_name]
         segments = transform_parallel_tasks(placed)
         segments_by_pe[pe_name] = segments
+        segment_positions: Dict[int, int] = {}
         for segment in segments:
-            durations, energies = duration_energy_tables(
-                segment.duration,
-                segment.energy,
-                pe.voltage_levels,
-                pe.threshold_voltage,
+            durations, energies = voltage_tables(
+                pe, segment.duration, segment.energy
             )
             deadline = math.inf
             for task in placed:
@@ -332,9 +611,9 @@ def _build_dvs_graph(
                     abs(task.end - segment.end) <= TIME_EPS
                 ):
                     deadline = min(
-                        deadline, mode.effective_deadline(task.name)
+                        deadline, effective_deadline(task.name)
                     )
-            graph.add_node(
+            segment_positions[segment.index] = graph.add_node(
                 _Node(
                     key=_segment_node_key(pe_name, segment.index),
                     durations=durations,
@@ -348,30 +627,27 @@ def _build_dvs_graph(
         # The chain: the component executes its segments in order.
         for left, right in zip(segments, segments[1:]):
             graph.add_edge(
-                _segment_node_key(pe_name, left.index),
-                _segment_node_key(pe_name, right.index),
+                segment_positions[left.index],
+                segment_positions[right.index],
             )
         for task in placed:
             own = [s for s in segments if task.name in s.active]
-            task_first_segment[task.name] = _segment_node_key(
-                pe_name, own[0].index
-            )
-            task_last_segment[task.name] = _segment_node_key(
-                pe_name, own[-1].index
-            )
+            task_first_segment[task.name] = segment_positions[own[0].index]
+            task_last_segment[task.name] = segment_positions[own[-1].index]
 
-    def end_anchor(task_name: str) -> str:
-        return task_last_segment.get(task_name, _task_node_key(task_name))
+    def end_anchor(task_name: str) -> int:
+        position = task_last_segment.get(task_name)
+        return task_nodes[task_name] if position is None else position
 
-    def start_anchor(task_name: str) -> str:
-        return task_first_segment.get(task_name, _task_node_key(task_name))
+    def start_anchor(task_name: str) -> int:
+        position = task_first_segment.get(task_name)
+        return task_nodes[task_name] if position is None else position
 
     # --- nodes and edges: communications -------------------------------
     for comm in schedule.comms:
-        key = _comm_node_key(comm.src, comm.dst)
-        graph.add_node(
+        position = graph.add_node(
             _Node(
-                key=key,
+                key=_comm_node_key(comm.src, comm.dst),
                 durations=(comm.duration,),
                 energies=(comm.energy,),
                 level=0,
@@ -379,8 +655,9 @@ def _build_dvs_graph(
                 scalable=False,
             )
         )
-        graph.add_edge(end_anchor(comm.src), key)
-        graph.add_edge(key, start_anchor(comm.dst))
+        comm_nodes[(comm.src, comm.dst)] = position
+        graph.add_edge(end_anchor(comm.src), position)
+        graph.add_edge(position, start_anchor(comm.dst))
 
     # --- edges: execution order on serial resources --------------------
     for pe in architecture.pes:
@@ -390,7 +667,7 @@ def _build_dvs_graph(
         if pe.is_software:
             for left, right in zip(placed, placed[1:]):
                 graph.add_edge(
-                    _task_node_key(left.name), _task_node_key(right.name)
+                    task_nodes[left.name], task_nodes[right.name]
                 )
         else:
             by_core: Dict[Tuple[str, Optional[int]], List[ScheduledTask]]
@@ -403,23 +680,84 @@ def _build_dvs_graph(
                 group.sort(key=lambda t: t.start)
                 for left, right in zip(group, group[1:]):
                     graph.add_edge(
-                        _task_node_key(left.name),
-                        _task_node_key(right.name),
+                        task_nodes[left.name], task_nodes[right.name]
                     )
     for link in architecture.links:
         carried = schedule.comms_on(link.name)
         for left, right in zip(carried, carried[1:]):
             graph.add_edge(
-                _comm_node_key(left.src, left.dst),
-                _comm_node_key(right.src, right.dst),
+                comm_nodes[(left.src, left.dst)],
+                comm_nodes[(right.src, right.dst)],
             )
 
+    graph.freeze()
     return graph, segments_by_pe
 
 
 # ----------------------------------------------------------------------
 # Back-mapping and replay
 # ----------------------------------------------------------------------
+
+
+def _emit_schedule(
+    mode: Mode,
+    schedule: ModeSchedule,
+    graph: _DvsGraph,
+    est: List[float],
+) -> ModeSchedule:
+    """Materialise the scaled schedule straight from the DVS graph.
+
+    Only valid when no Fig. 5 segment chains exist: every activity is
+    then its own graph node and ``est`` (earliest starts under the final
+    durations) equals the start times a full :func:`_replay` over the
+    order-augmented DAG would compute.
+    """
+    task_nodes = graph.task_nodes
+    comm_nodes = graph.comm_nodes
+    nodes = graph.nodes
+    new_tasks: List[ScheduledTask] = []
+    for task in schedule.tasks:
+        position = task_nodes[task.name]
+        node = nodes[position]
+        start = est[position]
+        if node.scalable:
+            duration = node.durations[node.level]
+            energy = node.energies[node.level]
+            pieces: Tuple[Tuple[float, float], ...] = (
+                (duration, node.levels[node.level]),
+            )
+        else:
+            duration = task.duration
+            energy = task.energy
+            pieces = ()
+        new_tasks.append(
+            ScheduledTask(
+                name=task.name,
+                task_type=task.task_type,
+                pe=task.pe,
+                start=start,
+                end=start + duration,
+                energy=energy,
+                power=task.power,
+                core_index=task.core_index,
+                pieces=pieces,
+            )
+        )
+    new_comms: List[ScheduledComm] = []
+    for comm in schedule.comms:
+        position = comm_nodes[(comm.src, comm.dst)]
+        start = est[position]
+        new_comms.append(
+            ScheduledComm(
+                src=comm.src,
+                dst=comm.dst,
+                link=comm.link,
+                start=start,
+                end=start + comm.duration,
+                energy=comm.energy,
+            )
+        )
+    return ModeSchedule(mode.name, new_tasks, new_comms)
 
 
 def _rebuild_schedule(
@@ -437,9 +775,9 @@ def _rebuild_schedule(
     segment_nodes: Dict[Tuple[str, int], _Node] = {}
     for pe_name, segments in segments_by_pe.items():
         for segment in segments:
-            segment_nodes[(pe_name, segment.index)] = graph.nodes[
+            segment_nodes[(pe_name, segment.index)] = graph.node(
                 _segment_node_key(pe_name, segment.index)
-            ]
+            )
 
     for task in schedule.tasks:
         pe = architecture.pe(task.pe)
@@ -463,7 +801,7 @@ def _rebuild_schedule(
                 )
             scaled[task.name] = (duration, energy, tuple(pieces))
         else:
-            node = graph.nodes[_task_node_key(task.name)]
+            node = graph.node(_task_node_key(task.name))
             if node.scalable:
                 voltage = node.levels[node.level]
                 scaled[task.name] = (
@@ -490,31 +828,34 @@ def _replay(
     activity starts as soon as all its ordering predecessors finish.
     """
     architecture = problem.architecture
-    graph = mode.task_graph
+    tasks = schedule.tasks
+    comms = schedule.comms
+    count = len(tasks) + len(comms)
+    task_index = {task.name: index for index, task in enumerate(tasks)}
+    comm_index: Dict[Tuple[str, str], int] = {}
 
-    succ: Dict[str, List[str]] = {}
-    pred_count: Dict[str, int] = {}
+    succ: List[List[int]] = [[] for _ in range(count)]
+    preds: List[List[int]] = [[] for _ in range(count)]
+    durations = [0.0] * count
 
-    def add_edge(src: str, dst: str) -> None:
-        succ.setdefault(src, []).append(dst)
-        pred_count[dst] = pred_count.get(dst, 0) + 1
+    def add_edge(src: int, dst: int) -> None:
+        succ[src].append(dst)
+        preds[dst].append(src)
 
-    task_keys = {t.name: _task_node_key(t.name) for t in schedule.tasks}
-    for key in task_keys.values():
-        pred_count.setdefault(key, 0)
-    comm_keys = {}
-    for comm in schedule.comms:
-        key = _comm_node_key(comm.src, comm.dst)
-        comm_keys[comm.key] = key
-        pred_count.setdefault(key, 0)
-        add_edge(task_keys[comm.src], key)
-        add_edge(key, task_keys[comm.dst])
+    for index, task in enumerate(tasks):
+        durations[index] = scaled[task.name][0]
+    for offset, comm in enumerate(comms):
+        index = len(tasks) + offset
+        comm_index[comm.key] = index
+        durations[index] = comm.duration
+        add_edge(task_index[comm.src], index)
+        add_edge(index, task_index[comm.dst])
 
     for pe in architecture.pes:
         placed = schedule.tasks_on(pe.name)
         if pe.is_software:
             for left, right in zip(placed, placed[1:]):
-                add_edge(task_keys[left.name], task_keys[right.name])
+                add_edge(task_index[left.name], task_index[right.name])
         else:
             by_core: Dict[Tuple[str, Optional[int]], List[ScheduledTask]]
             by_core = {}
@@ -525,43 +866,49 @@ def _replay(
             for group in by_core.values():
                 group.sort(key=lambda t: t.start)
                 for left, right in zip(group, group[1:]):
-                    add_edge(task_keys[left.name], task_keys[right.name])
+                    add_edge(
+                        task_index[left.name], task_index[right.name]
+                    )
     for link in architecture.links:
         carried = schedule.comms_on(link.name)
         for left, right in zip(carried, carried[1:]):
-            add_edge(comm_keys[left.key], comm_keys[right.key])
+            add_edge(comm_index[left.key], comm_index[right.key])
 
-    durations: Dict[str, float] = {}
-    for task in schedule.tasks:
-        durations[task_keys[task.name]] = scaled[task.name][0]
-    for comm in schedule.comms:
-        durations[comm_keys[comm.key]] = comm.duration
-
-    order = _topological(succ, set(pred_count))
-    start: Dict[str, float] = {}
-    finish: Dict[str, float] = {}
-    preds: Dict[str, List[str]] = {}
-    for src, dsts in succ.items():
-        for dst in dsts:
-            preds.setdefault(dst, []).append(src)
-    for key in order:
+    # Kahn traversal; start times are max-accumulations over a node's
+    # ordering predecessors, so the visit order cannot change a float.
+    in_degree = [len(entries) for entries in preds]
+    ready = [index for index in range(count) if not in_degree[index]]
+    start = [0.0] * count
+    finish = [0.0] * count
+    visited = 0
+    while ready:
+        current = ready.pop()
+        visited += 1
         arrival = 0.0
-        for prev in preds.get(key, []):
-            arrival = max(arrival, finish[prev])
-        start[key] = arrival
-        finish[key] = arrival + durations[key]
+        for prev in preds[current]:
+            value = finish[prev]
+            if value > arrival:
+                arrival = value
+        start[current] = arrival
+        finish[current] = arrival + durations[current]
+        for nxt in succ[current]:
+            in_degree[nxt] -= 1
+            if not in_degree[nxt]:
+                ready.append(nxt)
+    if visited != count:
+        raise VoltageScalingError("replay graph contains a cycle")
 
     new_tasks: List[ScheduledTask] = []
-    for task in schedule.tasks:
-        key = task_keys[task.name]
+    for index, task in enumerate(tasks):
+        begin = start[index]
         duration, energy, pieces = scaled[task.name]
         new_tasks.append(
             ScheduledTask(
                 name=task.name,
                 task_type=task.task_type,
                 pe=task.pe,
-                start=start[key],
-                end=start[key] + duration,
+                start=begin,
+                end=begin + duration,
                 energy=energy,
                 power=task.power,
                 core_index=task.core_index,
@@ -569,37 +916,16 @@ def _replay(
             )
         )
     new_comms: List[ScheduledComm] = []
-    for comm in schedule.comms:
-        key = comm_keys[comm.key]
+    for offset, comm in enumerate(comms):
+        begin = start[len(tasks) + offset]
         new_comms.append(
             ScheduledComm(
                 src=comm.src,
                 dst=comm.dst,
                 link=comm.link,
-                start=start[key],
-                end=start[key] + comm.duration,
+                start=begin,
+                end=begin + comm.duration,
                 energy=comm.energy,
             )
         )
     return ModeSchedule(mode.name, new_tasks, new_comms)
-
-
-def _topological(
-    succ: Mapping[str, List[str]], nodes: Set[str]
-) -> List[str]:
-    in_degree: Dict[str, int] = {key: 0 for key in nodes}
-    for dsts in succ.values():
-        for dst in dsts:
-            in_degree[dst] += 1
-    ready = [key for key, count in in_degree.items() if count == 0]
-    order: List[str] = []
-    while ready:
-        current = ready.pop()
-        order.append(current)
-        for nxt in succ.get(current, []):
-            in_degree[nxt] -= 1
-            if in_degree[nxt] == 0:
-                ready.append(nxt)
-    if len(order) != len(nodes):
-        raise VoltageScalingError("replay graph contains a cycle")
-    return order

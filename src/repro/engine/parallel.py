@@ -1,0 +1,256 @@
+"""Process-pool evaluation of GA candidate batches.
+
+A :class:`ParallelEvaluator` owns a ``multiprocessing`` pool whose
+workers are initialised exactly once with the pickled problem parts and
+synthesis configuration; each worker rebuilds the :class:`Problem` and
+its :class:`~repro.engine.decode_cache.DecodeContext` at startup, so
+per-candidate dispatch only ships raw gene tuples out and compact
+:class:`~repro.engine.records.EvalRecord` objects back.
+
+Evaluation is a pure function of the genome, so dispatch order cannot
+change results: a batch evaluated on ``jobs=N`` workers is bit-identical
+to the same batch evaluated serially (the determinism tests pin this).
+When ``jobs == 1``, or pool creation/dispatch fails for any reason, the
+evaluator degrades to in-process evaluation of the same batch.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import pickle
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.decode_cache import DecodeContext, context_for
+from repro.engine.profile import PROFILER, PhaseProfiler, PhaseTotals
+from repro.engine.records import EvalRecord, evaluate_genes
+from repro.problem import Problem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.synthesis.config import SynthesisConfig
+
+# Worker-process globals, populated by _init_worker (spawn) or set in
+# the parent before forking (fork start method inherits them for free).
+_worker_problem: Optional[Problem] = None
+_worker_config = None
+_worker_context: Optional[DecodeContext] = None
+
+
+def _init_worker(payload: bytes) -> None:
+    """Rebuild problem + config + decode context inside a pool worker."""
+    global _worker_problem, _worker_config, _worker_context
+    omsm, architecture, technology, config = pickle.loads(payload)
+    _worker_problem = Problem(omsm, architecture, technology)
+    _worker_config = config
+    _worker_context = (
+        DecodeContext.build(_worker_problem) if config.decode_cache else None
+    )
+    # Forked workers inherit the parent's accumulated phase totals;
+    # deltas shipped back must only cover work done in this process.
+    PROFILER.reset()
+
+
+def _init_forked_worker() -> None:
+    """Initialise a fork-start worker: state arrived copy-on-write."""
+    PROFILER.reset()
+
+
+def _eval_chunk(
+    chunk: Sequence[Tuple[str, ...]],
+) -> Tuple[List[EvalRecord], PhaseTotals, float]:
+    """Evaluate one chunk of genomes; returns records + profile delta."""
+    assert _worker_problem is not None and _worker_config is not None
+    base = PROFILER.snapshot()
+    started = time.perf_counter()
+    records = [
+        evaluate_genes(_worker_problem, genes, _worker_config, _worker_context)
+        for genes in chunk
+    ]
+    busy = time.perf_counter() - started
+    return records, PROFILER.delta_since(base), busy
+
+
+class ParallelEvaluator:
+    """Batched candidate evaluation over an optional process pool.
+
+    Parameters
+    ----------
+    problem / config:
+        The synthesis instance; workers receive both in pickled form.
+    jobs:
+        Worker count; defaults to ``config.jobs``.  ``1`` means no pool
+        is created and batches evaluate in-process.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        config: "SynthesisConfig",
+        jobs: Optional[int] = None,
+    ) -> None:
+        self.problem = problem
+        self.config = config
+        self.jobs = max(1, jobs if jobs is not None else config.jobs)
+        self.batches = 0
+        self.parallel_evaluations = 0
+        self.pool_busy_seconds = 0.0
+        self.worker_phase_totals: Dict[str, Tuple[float, int]] = {}
+        self._pool = None
+        if self.jobs > 1:
+            self._pool = self._create_pool()
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _create_pool(self):
+        try:
+            if multiprocessing.get_start_method() == "fork":
+                # Forked workers share the parent's address space
+                # copy-on-write: publish the problem, config and the
+                # parent's (memoised) decode context as module globals
+                # right before forking, and every worker starts with
+                # them already built — no pickling, no per-worker
+                # Problem/DecodeContext reconstruction.
+                global _worker_problem, _worker_config, _worker_context
+                _worker_problem = self.problem
+                _worker_config = self.config
+                _worker_context = (
+                    context_for(self.problem)
+                    if self.config.decode_cache
+                    else None
+                )
+                return multiprocessing.Pool(
+                    processes=self.jobs,
+                    initializer=_init_forked_worker,
+                )
+            payload = pickle.dumps(
+                (
+                    self.problem.omsm,
+                    self.problem.architecture,
+                    self.problem.technology,
+                    self.config,
+                )
+            )
+            return multiprocessing.Pool(
+                processes=self.jobs,
+                initializer=_init_worker,
+                initargs=(payload,),
+            )
+        except Exception:  # pragma: no cover - platform-dependent
+            return None
+
+    def close(self) -> None:
+        """Shut the pool down gracefully (idempotent)."""
+        if self._pool is not None:
+            try:
+                self._pool.close()
+                self._pool.join()
+            except Exception:  # pragma: no cover - defensive
+                self._pool.terminate()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Hard-stop the pool without draining queued tasks.
+
+        The shutdown path for abnormal exits (KeyboardInterrupt,
+        errors): after an interrupt the pool's internal feeder thread
+        may already be dead, in which case ``close()``'s join would
+        block forever waiting for worker sentinels.
+        """
+        if self._pool is not None:
+            try:  # pragma: no cover - teardown robustness
+                self._pool.terminate()
+                self._pool.join()
+            except Exception:
+                pass
+            self._pool = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()
+
+    @property
+    def uses_pool(self) -> bool:
+        return self._pool is not None
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate_batch(self, genomes: Sequence) -> List[EvalRecord]:
+        """Evaluate a batch of (already deduplicated) genomes, in order."""
+        if not genomes:
+            return []
+        # Tiny batches (late generations run mostly from cache) are not
+        # worth a round-trip through the pool: dispatch and result
+        # pickling cost more than the evaluations.  Results are the
+        # same either way, only the wall-clock differs.
+        if self._pool is not None and len(genomes) >= self.jobs:
+            try:
+                return self._evaluate_pooled(genomes)
+            except Exception:
+                # The pool died (worker crash, interpreter teardown,
+                # unpicklable surprise).  Fall back to serial evaluation
+                # for this and all future batches.
+                try:  # pragma: no cover - defensive
+                    self._pool.terminate()
+                except Exception:
+                    pass
+                self._pool = None
+        return self._evaluate_serial(genomes)
+
+    def _evaluate_serial(self, genomes: Sequence) -> List[EvalRecord]:
+        context = (
+            context_for(self.problem) if self.config.decode_cache else None
+        )
+        return [
+            evaluate_genes(self.problem, genome.genes, self.config, context)
+            for genome in genomes
+        ]
+
+    def _evaluate_pooled(self, genomes: Sequence) -> List[EvalRecord]:
+        gene_tuples = [genome.genes for genome in genomes]
+        # Two chunks per job: small enough for the pool to balance load
+        # across workers, large enough that per-chunk pickling/wakeup
+        # overhead stays negligible (measured best on this workload).
+        chunk_size = max(1, math.ceil(len(gene_tuples) / (self.jobs * 2)))
+        chunks = [
+            gene_tuples[start : start + chunk_size]
+            for start in range(0, len(gene_tuples), chunk_size)
+        ]
+        # The dispatching process is a worker too: it evaluates the
+        # final chunk itself while the pool drains the rest, instead of
+        # blocking idle in map().  Its phase timings land in the global
+        # PROFILER like any in-process evaluation.
+        pending = self._pool.map_async(_eval_chunk, chunks[:-1])
+        context = (
+            context_for(self.problem) if self.config.decode_cache else None
+        )
+        local_records = [
+            evaluate_genes(self.problem, genes, self.config, context)
+            for genes in chunks[-1]
+        ]
+        results = pending.get()
+        records: List[EvalRecord] = []
+        for chunk_records, phase_delta, busy in results:
+            records.extend(chunk_records)
+            self.pool_busy_seconds += busy
+            for name, (seconds, calls) in phase_delta.items():
+                prev_seconds, prev_calls = self.worker_phase_totals.get(
+                    name, (0.0, 0)
+                )
+                self.worker_phase_totals[name] = (
+                    prev_seconds + seconds,
+                    prev_calls + calls,
+                )
+        self.parallel_evaluations += len(records)
+        records.extend(local_records)
+        self.batches += 1
+        return records

@@ -1,0 +1,165 @@
+"""Lightweight perf instrumentation for the evaluation hot path.
+
+A :class:`PhaseProfiler` accumulates wall-clock seconds and call counts
+per named phase (mobility, cores, schedule, dvs, power).  The module
+keeps one process-global instance, :data:`PROFILER`, that the evaluator
+records into; worker processes each accumulate into their own copy and
+ship deltas back with every result chunk, so the synthesizer can merge a
+complete picture into :class:`PerfStats` regardless of where candidates
+were evaluated.
+
+The timers are two ``perf_counter`` calls per phase — cheap enough to
+stay enabled unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+#: A snapshot/delta of accumulated phase data: name -> (seconds, calls).
+PhaseTotals = Dict[str, Tuple[float, int]]
+
+
+class PhaseProfiler:
+    """Accumulates (seconds, calls) per named phase."""
+
+    __slots__ = ("_seconds", "_calls")
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one phase execution (re-entrant accumulation)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+            self._calls[name] = self._calls.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Record an externally measured phase duration."""
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._calls[name] = self._calls.get(name, 0) + calls
+
+    def reset(self) -> None:
+        self._seconds.clear()
+        self._calls.clear()
+
+    def snapshot(self) -> PhaseTotals:
+        """Current totals, safe to keep across further accumulation."""
+        return {
+            name: (self._seconds[name], self._calls[name])
+            for name in self._seconds
+        }
+
+    def delta_since(self, base: PhaseTotals) -> PhaseTotals:
+        """Accumulation that happened after ``base`` was snapshotted."""
+        delta: PhaseTotals = {}
+        for name, seconds in self._seconds.items():
+            base_seconds, base_calls = base.get(name, (0.0, 0))
+            extra_seconds = seconds - base_seconds
+            extra_calls = self._calls[name] - base_calls
+            if extra_calls > 0 or extra_seconds > 1e-12:
+                delta[name] = (extra_seconds, extra_calls)
+        return delta
+
+    def merge(self, totals: Mapping[str, Tuple[float, int]]) -> None:
+        """Fold another profiler's totals (or a delta) into this one."""
+        for name, (seconds, calls) in totals.items():
+            self.add(name, seconds, calls)
+
+
+#: The process-global profiler the evaluator records into.
+PROFILER = PhaseProfiler()
+
+
+@dataclass
+class PerfStats:
+    """Per-run performance summary, exposed on ``SynthesisResult.perf``.
+
+    Attributes
+    ----------
+    phase_seconds / phase_calls:
+        Accumulated evaluator phase timings (mobility, cores, schedule,
+        dvs, power) across the main process and all pool workers.
+    evaluations:
+        Full candidate evaluations actually performed (cache misses).
+    cache_hits:
+        Evaluations answered from the per-genome result cache.
+    dedup_hits:
+        Population slots collapsed by per-generation deduplication
+        before they ever reached the cache or the pool.
+    wall_time:
+        Total optimisation wall-clock seconds.
+    jobs:
+        Configured worker count (1 = in-process serial evaluation).
+    batches:
+        Generation batches dispatched to the pool.
+    parallel_evaluations:
+        Evaluations that ran inside pool workers.
+    pool_busy_seconds:
+        Summed wall-clock seconds workers spent evaluating chunks.
+    """
+
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    phase_calls: Dict[str, int] = field(default_factory=dict)
+    evaluations: int = 0
+    cache_hits: int = 0
+    dedup_hits: int = 0
+    wall_time: float = 0.0
+    jobs: int = 1
+    batches: int = 0
+    parallel_evaluations: int = 0
+    pool_busy_seconds: float = 0.0
+
+    @property
+    def evaluations_per_second(self) -> float:
+        if self.wall_time <= 0:
+            return 0.0
+        return self.evaluations / self.wall_time
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of evaluation requests served without evaluating."""
+        served = self.evaluations + self.cache_hits + self.dedup_hits
+        if served == 0:
+            return 0.0
+        return (self.cache_hits + self.dedup_hits) / served
+
+    @property
+    def pool_utilisation(self) -> float:
+        """Worker busy-time as a fraction of ``wall_time × jobs``."""
+        if self.wall_time <= 0 or self.jobs <= 1:
+            return 0.0
+        return self.pool_busy_seconds / (self.wall_time * self.jobs)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view (used by the benchmark harness)."""
+        return {
+            "phase_seconds": dict(self.phase_seconds),
+            "phase_calls": dict(self.phase_calls),
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "dedup_hits": self.dedup_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "wall_time": self.wall_time,
+            "evaluations_per_second": self.evaluations_per_second,
+            "jobs": self.jobs,
+            "batches": self.batches,
+            "parallel_evaluations": self.parallel_evaluations,
+            "pool_utilisation": self.pool_utilisation,
+        }
+
+    def merge_phase_totals(self, totals: Mapping[str, Tuple[float, int]]) -> None:
+        for name, (seconds, calls) in totals.items():
+            self.phase_seconds[name] = (
+                self.phase_seconds.get(name, 0.0) + seconds
+            )
+            self.phase_calls[name] = self.phase_calls.get(name, 0) + calls

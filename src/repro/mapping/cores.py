@@ -22,13 +22,16 @@ Area accounting distinguishes the two hardware kinds:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import MappingError
 from repro.architecture.processing_element import PEKind, ProcessingElement
 from repro.mapping.encoding import MappingString
 from repro.problem import Problem
 from repro.scheduling.mobility import MobilityInfo, compute_mobilities
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.decode_cache import DecodeContext
 
 
 @dataclass
@@ -135,6 +138,8 @@ def allocate_cores(
     problem: Problem,
     mapping: MappingString,
     mobilities: Optional[Mapping[str, Mapping[str, MobilityInfo]]] = None,
+    context: Optional["DecodeContext"] = None,
+    mode_mappings: Optional[Mapping[str, Mapping[str, str]]] = None,
 ) -> CoreAllocation:
     """Derive the hardware core sets implied by a mapping string.
 
@@ -147,6 +152,13 @@ def allocate_cores(
     mobilities:
         Optional per-mode mobility tables (``{mode: {task: info}}``).
         Computed on demand when omitted.
+    context:
+        Optional decode context; supplies precomputed task types and
+        same-type independence, avoiding per-candidate graph queries.
+    mode_mappings:
+        Optional predecoded ``{mode: {task: pe}}`` dictionaries (the
+        evaluator already built them); avoids ``O(genes)`` ``pe_of``
+        scans per task.
     """
     architecture = problem.architecture
     technology = problem.technology
@@ -167,7 +179,9 @@ def allocate_cores(
     mode_names = problem.omsm.mode_names
 
     for pe in architecture.hardware_pes():
-        base, desired = _per_mode_demand(problem, mapping, mobilities, pe)
+        base, desired = _per_mode_demand(
+            problem, mapping, mobilities, pe, context, mode_mappings
+        )
         if pe.kind is PEKind.ASIC:
             pe_counts, used = _fit_asic(problem, pe, base, desired)
         else:
@@ -186,6 +200,8 @@ def _per_mode_demand(
     mapping: MappingString,
     mobilities: Mapping[str, Mapping[str, MobilityInfo]],
     pe: ProcessingElement,
+    context: Optional["DecodeContext"] = None,
+    mode_mappings: Optional[Mapping[str, Mapping[str, str]]] = None,
 ) -> Tuple[Dict[str, Dict[str, int]], Dict[str, Dict[str, int]]]:
     """Minimum and desired per-mode core counts for one hardware PE.
 
@@ -202,10 +218,18 @@ def _per_mode_demand(
     desired: Dict[str, Dict[str, int]] = {}
     for mode in problem.omsm.modes:
         graph = mode.task_graph
+        mode_data = context.modes[mode.name] if context is not None else None
         groups: Dict[str, List[str]] = {}
-        for task in graph:
-            if mapping.pe_of(mode.name, task.name) == pe.name:
-                groups.setdefault(task.task_type, []).append(task.name)
+        if mode_data is not None and mode_mappings is not None:
+            pe_by_task = mode_mappings[mode.name]
+            task_types = mode_data.task_types
+            for name in mode_data.task_names:
+                if pe_by_task[name] == pe.name:
+                    groups.setdefault(task_types[name], []).append(name)
+        else:
+            for task in graph:
+                if mapping.pe_of(mode.name, task.name) == pe.name:
+                    groups.setdefault(task.task_type, []).append(task.name)
         base_counts: Dict[str, int] = {}
         desired_counts: Dict[str, int] = {}
         for task_type, members in groups.items():
@@ -218,11 +242,21 @@ def _per_mode_demand(
                     key=lambda n: mobilities[mode.name][n].mobility,
                 )
                 for position, name in enumerate(ordered[1:], start=1):
-                    parallel = any(
-                        graph.independent(name, other)
-                        for other in members
-                        if other != name
-                    )
+                    if mode_data is not None:
+                        independent = mode_data.independent_same_type.get(
+                            name, frozenset()
+                        )
+                        parallel = any(
+                            other in independent
+                            for other in members
+                            if other != name
+                        )
+                    else:
+                        parallel = any(
+                            graph.independent(name, other)
+                            for other in members
+                            if other != name
+                        )
                     urgent = (
                         mobilities[mode.name][name].mobility
                         < position * entry.exec_time

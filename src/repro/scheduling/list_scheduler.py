@@ -31,6 +31,7 @@ from repro.scheduling.schedule import (
 from repro.specification.mode import Mode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.decode_cache import DecodeContext
     from repro.mapping.cores import CoreAllocation
 
 
@@ -40,6 +41,7 @@ def schedule_mode(
     task_mapping: Mapping[str, str],
     cores: "CoreAllocation",
     mobilities: Optional[Mapping[str, MobilityInfo]] = None,
+    context: Optional["DecodeContext"] = None,
 ) -> ModeSchedule:
     """Construct the static schedule of one mode under a task mapping.
 
@@ -56,6 +58,10 @@ def schedule_mode(
         run in parallel on each component.
     mobilities:
         Optional precomputed mobility table for priority computation.
+    context:
+        Optional decode context with precomputed implementation tables,
+        adjacency and feasible-link tables; the produced schedule is
+        identical with and without it.
 
     Raises
     ------
@@ -67,19 +73,53 @@ def schedule_mode(
     graph = mode.task_graph
     technology = problem.technology
     architecture = problem.architecture
+    mode_data = context.modes[mode.name] if context is not None else None
 
     exec_times: Dict[str, float] = {}
     powers: Dict[str, float] = {}
-    for task in graph:
-        try:
-            pe_name = task_mapping[task.name]
-        except KeyError:
-            raise SchedulingError(
-                f"mode {mode.name!r}: no mapping for task {task.name!r}"
-            ) from None
-        entry = technology.implementation(task.task_type, pe_name)
-        exec_times[task.name] = entry.exec_time
-        powers[task.name] = entry.power
+    if mode_data is not None:
+        cached_times = mode_data.exec_times
+        cached_powers = mode_data.powers
+        for name in mode_data.task_names:
+            try:
+                pe_name = task_mapping[name]
+            except KeyError:
+                raise SchedulingError(
+                    f"mode {mode.name!r}: no mapping for task {name!r}"
+                ) from None
+            exec_times[name] = cached_times[name][pe_name]
+            powers[name] = cached_powers[name][pe_name]
+        task_types = mode_data.task_types
+        pe_objects = context.pes
+        feasible_links = context.links_between
+        predecessors = mode_data.predecessors
+        successors = mode_data.successors
+        in_edges = mode_data.in_edges
+        graph_rank = mode_data.graph_rank
+        task_names = mode_data.task_names
+    else:
+        for task in graph:
+            try:
+                pe_name = task_mapping[task.name]
+            except KeyError:
+                raise SchedulingError(
+                    f"mode {mode.name!r}: no mapping for task {task.name!r}"
+                ) from None
+            entry = technology.implementation(task.task_type, pe_name)
+            exec_times[task.name] = entry.exec_time
+            powers[task.name] = entry.power
+        task_types = {task.name: task.task_type for task in graph}
+        pe_objects = {pe.name: pe for pe in architecture.pes}
+        feasible_links = None
+        predecessors = {
+            name: graph.predecessors(name) for name in graph.task_names
+        }
+        successors = {
+            name: graph.successors(name) for name in graph.task_names
+        }
+        in_edges = {name: graph.in_edges(name) for name in graph.task_names}
+        graph_rank = {name: i for i, name in enumerate(graph.task_names)}
+        task_names = graph.task_names
 
     if mobilities is None:
         mobilities = compute_mobilities(mode, lambda name: exec_times[name])
@@ -95,13 +135,12 @@ def schedule_mode(
     scheduled_comms: Dict[Tuple[str, str], ScheduledComm] = {}
 
     pending_preds = {
-        name: len(graph.predecessors(name)) for name in graph.task_names
+        name: len(predecessors[name]) for name in task_names
     }
     # Priority queue: most urgent (lowest ALAP) ready task first; ties
     # broken by graph order for determinism.
-    graph_rank = {name: i for i, name in enumerate(graph.task_names)}
     ready: List[Tuple[float, int, str]] = []
-    for name in graph.task_names:
+    for name in task_names:
         if pending_preds[name] == 0:
             heapq.heappush(
                 ready, (mobilities[name].alap, graph_rank[name], name)
@@ -112,14 +151,14 @@ def schedule_mode(
         _, _, current = heapq.heappop(ready)
         processed += 1
         pe_name = task_mapping[current]
-        pe = architecture.pe(pe_name)
+        pe = pe_objects[pe_name]
 
         # ------------------------------------------------------------
         # Communication mapping: route every incoming edge, earliest
         # arrival wins (greedy link choice with contention awareness).
         # ------------------------------------------------------------
         data_ready = 0.0
-        for edge in graph.in_edges(current):
+        for edge in in_edges[current]:
             producer = scheduled_tasks[edge.src]
             if producer.pe == pe_name:
                 message = ScheduledComm(
@@ -141,6 +180,11 @@ def schedule_mode(
                     producer.end,
                     edge.data_bits,
                     mode.name,
+                    candidates=(
+                        feasible_links[(producer.pe, pe_name)]
+                        if feasible_links is not None
+                        else None
+                    ),
                 )
                 link_timelines[message.link].book(
                     message.start, message.duration
@@ -152,7 +196,7 @@ def schedule_mode(
         # Task placement on the execution resource.
         # ------------------------------------------------------------
         duration = exec_times[current]
-        task_type = graph.task(current).task_type
+        task_type = task_types[current]
         if pe.is_software:
             timeline = pe_timelines.setdefault(
                 pe_name, ResourceTimeline(pe_name)
@@ -192,7 +236,7 @@ def schedule_mode(
             core_index=core_index,
         )
 
-        for succ in graph.successors(current):
+        for succ in successors[current]:
             pending_preds[succ] -= 1
             if pending_preds[succ] == 0:
                 heapq.heappush(
@@ -223,9 +267,11 @@ def _route_message(
     ready: float,
     data_bits: float,
     mode_name: str,
+    candidates=None,
 ) -> ScheduledComm:
     """Pick the link delivering the message earliest and build the entry."""
-    candidates = architecture.links_between(src_pe, dst_pe)
+    if candidates is None:
+        candidates = architecture.links_between(src_pe, dst_pe)
     if not candidates:
         raise SchedulingError(
             f"mode {mode_name!r}: no communication link between "

@@ -351,9 +351,28 @@ class ModeSchedule:
                 list(self.comms_on(link.name)), f"link {link.name!r}"
             )
 
-    def timing_violations(self, mode: Mode) -> Dict[str, float]:
-        """Per-task deadline overshoot in seconds (only violating tasks)."""
+    def timing_violations(
+        self,
+        mode: Mode,
+        deadlines: Optional[Dict[str, float]] = None,
+    ) -> Dict[str, float]:
+        """Per-task deadline overshoot in seconds (only violating tasks).
+
+        ``deadlines`` optionally supplies precomputed effective
+        deadlines (``{task: seconds}``), saving the per-task graph walk
+        on the synthesis hot path.
+        """
         violations: Dict[str, float] = {}
+        if deadlines is not None:
+            tasks = self._tasks
+            for name, deadline in deadlines.items():
+                scheduled = tasks.get(name)
+                if scheduled is None:
+                    scheduled = self.task(name)
+                overshoot = scheduled.end - deadline
+                if overshoot > TIME_EPS:
+                    violations[name] = overshoot
+            return violations
         for task in mode.task_graph:
             scheduled = self.task(task.name)
             deadline = mode.effective_deadline(task.name)

@@ -82,6 +82,17 @@ class SynthesisConfig:
         Priority-refinement iterations of the list scheduler per mode
         and candidate (0 = plain ALAP priorities).  Improves schedule
         quality at a multiplicative inner-loop cost.
+    jobs:
+        Worker processes for population evaluation.  ``1`` (default)
+        evaluates in-process; ``N > 1`` dispatches each generation's
+        uncached genomes to a process pool.  Results are bit-identical
+        to serial evaluation for any job count.
+    decode_cache:
+        Use the prebuilt per-problem
+        :class:`~repro.engine.decode_cache.DecodeContext` fast paths
+        during candidate decoding.  ``False`` restores the legacy
+        recompute-per-candidate paths (ablation/benchmark hook); both
+        produce bit-identical results.
     seed:
         Seed of the synthesis RNG; runs are reproducible per seed.
     """
@@ -116,6 +127,9 @@ class SynthesisConfig:
 
     local_search_budget_factor: float = 3.0
     inner_loop_iterations: int = 0
+
+    jobs: int = 1
+    decode_cache: bool = True
 
     seed: int = 0
 
@@ -157,6 +171,8 @@ class SynthesisConfig:
             raise SynthesisError(
                 "inner loop iterations must be non-negative"
             )
+        if self.jobs < 1:
+            raise SynthesisError("jobs must be at least 1")
 
     def with_updates(self, **changes) -> "SynthesisConfig":
         """A copy of this configuration with some fields replaced."""

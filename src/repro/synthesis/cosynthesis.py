@@ -18,6 +18,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SynthesisError
+from repro.engine.decode_cache import context_for
+from repro.engine.parallel import ParallelEvaluator
+from repro.engine.profile import PROFILER, PerfStats
+from repro.engine.records import EvalRecord, record_from_implementation
 from repro.mapping.encoding import MappingString
 from repro.mapping.implementation import Implementation
 from repro.problem import Problem
@@ -26,16 +30,10 @@ from repro.synthesis import mutations
 from repro.synthesis.config import SynthesisConfig
 from repro.synthesis.evaluator import evaluate_mapping
 
-
-@dataclass(frozen=True)
-class _EvalRecord:
-    """Lightweight per-genome evaluation cache entry."""
-
-    fitness: float
-    area_violating_pes: Tuple[str, ...] = ()
-    timing_violating_modes: Tuple[str, ...] = ()
-    transition_violating: bool = False
-    feasible: bool = False
+# Backwards-compatible alias: the per-genome cache entry moved to
+# :mod:`repro.engine.records` so pool workers can ship it between
+# processes without importing the synthesis stack.
+_EvalRecord = EvalRecord
 
 
 @dataclass
@@ -45,7 +43,8 @@ class SynthesisResult:
     ``best`` is the fully decoded best implementation found; ``history``
     records the best fitness after every generation; ``cpu_time`` is the
     wall-clock optimisation time in seconds (the quantity the paper's
-    "CPU time" columns report).
+    "CPU time" columns report); ``perf`` carries the per-phase timing
+    and cache statistics collected by the evaluation engine.
     """
 
     best: Implementation
@@ -53,6 +52,7 @@ class SynthesisResult:
     evaluations: int
     cpu_time: float
     history: List[float] = field(default_factory=list)
+    perf: Optional[PerfStats] = None
 
     @property
     def average_power(self) -> float:
@@ -72,6 +72,8 @@ class MultiModeSynthesizer:
         self.config = config
         self._cache: Dict[MappingString, _EvalRecord] = {}
         self._evaluations = 0
+        self._cache_hits = 0
+        self._dedup_hits = 0
 
     # ------------------------------------------------------------------
     # Evaluation with caching
@@ -80,34 +82,91 @@ class MultiModeSynthesizer:
     def _evaluate(self, genome: MappingString) -> _EvalRecord:
         record = self._cache.get(genome)
         if record is not None:
+            self._cache_hits += 1
             return record
         self._evaluations += 1
         implementation = evaluate_mapping(self.problem, genome, self.config)
-        if implementation is None:
-            record = _EvalRecord(fitness=math.inf)
-        else:
-            metrics = implementation.metrics
-            record = _EvalRecord(
-                fitness=metrics.fitness,
-                area_violating_pes=tuple(sorted(metrics.area_violation)),
-                timing_violating_modes=tuple(
-                    sorted(metrics.timing_violation)
-                ),
-                transition_violating=bool(metrics.transition_violation),
-                feasible=metrics.is_feasible,
-            )
+        record = record_from_implementation(implementation)
         self._cache[genome] = record
         return record
+
+    def _evaluate_population(
+        self,
+        population: Sequence[MappingString],
+        evaluator: Optional[ParallelEvaluator],
+    ) -> List[_EvalRecord]:
+        """Evaluate one generation: dedup, cache lookup, batch dispatch.
+
+        Duplicate population slots (clones survive crossover and
+        elitism routinely) collapse to one evaluation, cached genomes
+        are answered without re-decoding, and only the remaining unique
+        misses reach the process pool — or the in-process loop when no
+        pool is active.  Results are returned per slot, in population
+        order.
+        """
+        unique: Dict[MappingString, None] = {}
+        for genome in population:
+            unique.setdefault(genome, None)
+        self._dedup_hits += len(population) - len(unique)
+        pending = [g for g in unique if g not in self._cache]
+        self._cache_hits += len(unique) - len(pending)
+        if pending:
+            if evaluator is not None:
+                results = evaluator.evaluate_batch(pending)
+            else:
+                context = (
+                    context_for(self.problem)
+                    if self.config.decode_cache
+                    else None
+                )
+                results = [
+                    record_from_implementation(
+                        evaluate_mapping(
+                            self.problem, genome, self.config, context
+                        )
+                    )
+                    for genome in pending
+                ]
+            self._evaluations += len(pending)
+            for genome, record in zip(pending, results):
+                self._cache[genome] = record
+        return [self._cache[genome] for genome in population]
 
     # ------------------------------------------------------------------
     # The optimisation loop
     # ------------------------------------------------------------------
 
     def run(self) -> SynthesisResult:
-        """Execute the GA and return the best implementation found."""
+        """Execute the GA and return the best implementation found.
+
+        With ``config.jobs > 1`` a :class:`ParallelEvaluator` (and its
+        process pool) lives for the duration of the run; evaluation
+        results are bit-identical to the serial path either way.
+        """
+        evaluator: Optional[ParallelEvaluator] = None
+        if self.config.jobs > 1:
+            evaluator = ParallelEvaluator(self.problem, self.config)
+        try:
+            result = self._run(evaluator)
+        except BaseException:
+            # Ctrl-C (or any error) can leave queued pool tasks whose
+            # feeder thread died with the interrupt; a graceful
+            # close()+join() would then wait forever for worker
+            # sentinels that never arrive.  Hard-stop instead.
+            if evaluator is not None:
+                evaluator.terminate()
+            raise
+        if evaluator is not None:
+            evaluator.close()
+        return result
+
+    def _run(
+        self, evaluator: Optional[ParallelEvaluator]
+    ) -> SynthesisResult:
         config = self.config
         rng = random.Random(config.seed)
         started = time.perf_counter()
+        profile_base = PROFILER.snapshot()
 
         # Half the initial population is uniformly random, half is
         # software-biased: on large problems uniform genomes map ~half
@@ -137,7 +196,7 @@ class MultiModeSynthesizer:
         generation = 0
 
         for generation in range(1, config.max_generations + 1):
-            records = [self._evaluate(genome) for genome in population]
+            records = self._evaluate_population(population, evaluator)
 
             improved = False
             for genome, record in zip(population, records):
@@ -162,9 +221,7 @@ class MultiModeSynthesizer:
                 population = self._partial_restart(
                     population, records, rng
                 )
-                records = [
-                    self._evaluate(genome) for genome in population
-                ]
+                records = self._evaluate_population(population, evaluator)
 
             # --- ranking, selection, crossover, insertion --------------
             ranked = ga.rank_population(
@@ -223,12 +280,26 @@ class MultiModeSynthesizer:
         if best is None:  # pragma: no cover - guarded by fitness < inf
             raise SynthesisError("best candidate became infeasible")
         elapsed = time.perf_counter() - started
+        perf = PerfStats(
+            evaluations=self._evaluations,
+            cache_hits=self._cache_hits,
+            dedup_hits=self._dedup_hits,
+            wall_time=elapsed,
+            jobs=config.jobs,
+        )
+        perf.merge_phase_totals(PROFILER.delta_since(profile_base))
+        if evaluator is not None:
+            perf.merge_phase_totals(evaluator.worker_phase_totals)
+            perf.batches = evaluator.batches
+            perf.parallel_evaluations = evaluator.parallel_evaluations
+            perf.pool_busy_seconds = evaluator.pool_busy_seconds
         return SynthesisResult(
             best=best,
             generations=generation,
             evaluations=self._evaluations,
             cpu_time=elapsed,
             history=history,
+            perf=perf,
         )
 
     def _maybe_group_move(

@@ -10,6 +10,15 @@ shut-down, and finally the penalty fitness.  The result is a complete
 A mapping can be *communication-infeasible* (two communicating tasks on
 PEs that share no link).  Such candidates evaluate to ``None`` and the
 GA assigns them an infinite fitness.
+
+Evaluation is the synthesis hot path: every phase is timed into the
+process-global :data:`~repro.engine.profile.PROFILER` and all
+mapping-independent data comes from a prebuilt
+:class:`~repro.engine.decode_cache.DecodeContext` (resolved per problem
+unless the caller threads one through, e.g. a pool worker).  The cached
+fast paths produce bit-identical results to the legacy recompute-per-
+candidate paths, which remain reachable via
+``SynthesisConfig.decode_cache = False`` for ablation benchmarks.
 """
 
 from __future__ import annotations
@@ -18,7 +27,13 @@ import math
 from typing import Dict, Optional
 
 from repro.errors import SchedulingError
+from repro.engine.decode_cache import DecodeContext, context_for
+from repro.engine.profile import PROFILER
 from repro.dvs.pv_dvs import scale_schedule, uniform_scale_schedule
+from repro.dvs._pv_dvs_reference import (
+    reference_scale_schedule,
+    reference_uniform_scale_schedule,
+)
 from repro.mapping.cores import allocate_cores
 from repro.mapping.encoding import MappingString
 from repro.mapping.implementation import Implementation, ImplementationMetrics
@@ -35,6 +50,7 @@ def evaluate_mapping(
     problem: Problem,
     mapping: MappingString,
     config: SynthesisConfig,
+    context: Optional[DecodeContext] = None,
 ) -> Optional[Implementation]:
     """Decode, schedule, scale and score one mapping candidate.
 
@@ -42,87 +58,137 @@ def evaluate_mapping(
     :class:`Implementation` whose ``metrics.fitness`` reflects the
     configuration's probability policy while ``metrics.average_power``
     is always the true-probability Equation (1) value.
+
+    ``context`` supplies the prebuilt mapping-independent decode tables;
+    when omitted it is resolved (and memoised) per problem, unless the
+    configuration disables the decode cache entirely.
     """
+    if context is None and config.decode_cache:
+        context = context_for(problem)
     technology = problem.technology
 
-    mobilities = {}
-    for mode in problem.omsm.modes:
-        mobilities[mode.name] = compute_mobilities(
-            mode,
-            lambda task, _mode=mode: technology.implementation(
-                _mode.task_graph.task(task).task_type,
-                mapping.pe_of(_mode.name, task),
-            ).exec_time,
-        )
+    with PROFILER.phase("mobility"):
+        mode_mappings: Dict[str, Dict[str, str]] = {
+            mode.name: mapping.mode_mapping(mode.name)
+            for mode in problem.omsm.modes
+        }
+        mobilities = {}
+        for mode in problem.omsm.modes:
+            if context is not None:
+                mobilities[mode.name] = context.compute_mobilities(
+                    mode.name, mode_mappings[mode.name]
+                )
+            else:
+                mobilities[mode.name] = compute_mobilities(
+                    mode,
+                    lambda task, _mode=mode: technology.implementation(
+                        _mode.task_graph.task(task).task_type,
+                        mapping.pe_of(_mode.name, task),
+                    ).exec_time,
+                )
 
-    cores = allocate_cores(problem, mapping, mobilities)
-    area_violations = cores.area_violations()
-    transition_violations = cores.transition_violations()
+    with PROFILER.phase("cores"):
+        cores = allocate_cores(
+            problem,
+            mapping,
+            mobilities,
+            context=context,
+            mode_mappings=mode_mappings,
+        )
+        area_violations = cores.area_violations()
+        transition_violations = cores.transition_violations()
 
     schedules: Dict[str, ModeSchedule] = {}
     timing_violations: Dict[str, Dict[str, float]] = {}
     for mode in problem.omsm.modes:
-        try:
-            if config.inner_loop_iterations > 0:
-                from repro.scheduling.priority_search import (
-                    refine_schedule,
-                )
+        with PROFILER.phase("schedule"):
+            try:
+                if config.inner_loop_iterations > 0:
+                    from repro.scheduling.priority_search import (
+                        refine_schedule,
+                    )
 
-                schedule = refine_schedule(
-                    problem,
-                    mode,
-                    mapping.mode_mapping(mode.name),
-                    cores,
-                    iterations=config.inner_loop_iterations,
-                )
-            else:
-                schedule = schedule_mode(
-                    problem,
-                    mode,
-                    mapping.mode_mapping(mode.name),
-                    cores,
-                    mobilities[mode.name],
-                )
-        except SchedulingError:
-            return None
-        if config.dvs is DvsMethod.GRADIENT:
-            schedule = scale_schedule(
-                problem,
-                mode,
-                schedule,
-                shared_rail=config.dvs_shared_rail,
-            )
-        elif config.dvs is DvsMethod.UNIFORM:
-            schedule = uniform_scale_schedule(problem, mode, schedule)
+                    schedule = refine_schedule(
+                        problem,
+                        mode,
+                        mode_mappings[mode.name],
+                        cores,
+                        iterations=config.inner_loop_iterations,
+                    )
+                else:
+                    schedule = schedule_mode(
+                        problem,
+                        mode,
+                        mode_mappings[mode.name],
+                        cores,
+                        mobilities[mode.name],
+                        context=context,
+                    )
+            except SchedulingError:
+                return None
+        if config.dvs is not DvsMethod.NONE:
+            with PROFILER.phase("dvs"):
+                if config.dvs is DvsMethod.GRADIENT:
+                    if config.decode_cache:
+                        schedule = scale_schedule(
+                            problem,
+                            mode,
+                            schedule,
+                            shared_rail=config.dvs_shared_rail,
+                            context=context,
+                        )
+                    else:
+                        schedule = reference_scale_schedule(
+                            problem,
+                            mode,
+                            schedule,
+                            shared_rail=config.dvs_shared_rail,
+                        )
+                elif config.decode_cache:
+                    schedule = uniform_scale_schedule(
+                        problem, mode, schedule, context=context
+                    )
+                else:
+                    schedule = reference_uniform_scale_schedule(
+                        problem, mode, schedule
+                    )
         schedules[mode.name] = schedule
-        violations = schedule.timing_violations(mode)
+        violations = schedule.timing_violations(
+            mode,
+            deadlines=(
+                context.modes[mode.name].deadlines
+                if context is not None
+                else None
+            ),
+        )
         if violations:
             timing_violations[mode.name] = violations
 
-    dynamic, static = power_breakdown(problem, schedules)
-    true_power = average_power(problem, schedules)
-    if config.use_probabilities:
-        optimised_power = true_power
-    else:
-        optimised_power = average_power(
-            problem,
-            schedules,
-            problem.omsm.uniform_probability_vector(),
-        )
+    with PROFILER.phase("power"):
+        dynamic, static = power_breakdown(problem, schedules)
+        true_power = average_power(problem, schedules)
+        if config.use_probabilities:
+            optimised_power = true_power
+        else:
+            optimised_power = average_power(
+                problem,
+                schedules,
+                problem.omsm.uniform_probability_vector(),
+            )
 
-    weights = FitnessWeights(
-        area=config.area_weight,
-        transition=config.transition_weight,
-        timing=config.timing_weight,
-    )
-    fitness = mapping_fitness(
-        problem,
-        optimised_power,
-        timing_violations,
-        area_violations,
-        transition_violations,
-        weights,
-    )
+        weights = FitnessWeights(
+            area=config.area_weight,
+            transition=config.transition_weight,
+            timing=config.timing_weight,
+        )
+        fitness = mapping_fitness(
+            problem,
+            optimised_power,
+            timing_violations,
+            area_violations,
+            transition_violations,
+            weights,
+        )
 
     metrics = ImplementationMetrics(
         average_power=true_power,

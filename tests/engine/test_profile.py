@@ -1,0 +1,108 @@
+"""Unit tests for the phase profiler and the PerfStats summary."""
+
+import time
+
+import pytest
+
+from repro.engine.profile import PerfStats, PhaseProfiler
+
+
+class TestPhaseProfiler:
+    def test_phase_accumulates_seconds_and_calls(self):
+        profiler = PhaseProfiler()
+        for _ in range(3):
+            with profiler.phase("dvs"):
+                time.sleep(0.001)
+        totals = profiler.snapshot()
+        seconds, calls = totals["dvs"]
+        assert calls == 3
+        assert seconds >= 0.003
+
+    def test_add_records_external_measurements(self):
+        profiler = PhaseProfiler()
+        profiler.add("schedule", 1.5, calls=4)
+        profiler.add("schedule", 0.5)
+        assert profiler.snapshot()["schedule"] == (2.0, 5)
+
+    def test_phase_records_even_on_exception(self):
+        profiler = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.phase("cores"):
+                raise RuntimeError("boom")
+        assert profiler.snapshot()["cores"][1] == 1
+
+    def test_reset_clears_everything(self):
+        profiler = PhaseProfiler()
+        profiler.add("power", 1.0)
+        profiler.reset()
+        assert profiler.snapshot() == {}
+
+    def test_delta_since_only_reports_new_work(self):
+        profiler = PhaseProfiler()
+        profiler.add("mobility", 1.0, calls=2)
+        base = profiler.snapshot()
+        profiler.add("mobility", 0.25)
+        profiler.add("power", 0.5)
+        delta = profiler.delta_since(base)
+        assert delta["mobility"] == (pytest.approx(0.25), 1)
+        assert delta["power"] == (0.5, 1)
+        assert "schedule" not in delta
+
+    def test_delta_since_empty_when_idle(self):
+        profiler = PhaseProfiler()
+        profiler.add("dvs", 1.0)
+        assert profiler.delta_since(profiler.snapshot()) == {}
+
+    def test_merge_folds_totals(self):
+        left = PhaseProfiler()
+        left.add("dvs", 1.0, calls=2)
+        right = PhaseProfiler()
+        right.add("dvs", 2.0, calls=3)
+        right.add("power", 1.0)
+        left.merge(right.snapshot())
+        assert left.snapshot()["dvs"] == (3.0, 5)
+        assert left.snapshot()["power"] == (1.0, 1)
+
+
+class TestPerfStats:
+    def test_evaluations_per_second(self):
+        stats = PerfStats(evaluations=100, wall_time=4.0)
+        assert stats.evaluations_per_second == pytest.approx(25.0)
+        assert PerfStats().evaluations_per_second == 0.0
+
+    def test_cache_hit_rate(self):
+        stats = PerfStats(evaluations=60, cache_hits=30, dedup_hits=10)
+        assert stats.cache_hit_rate == pytest.approx(0.4)
+        assert PerfStats().cache_hit_rate == 0.0
+
+    def test_pool_utilisation(self):
+        stats = PerfStats(wall_time=2.0, jobs=4, pool_busy_seconds=4.0)
+        assert stats.pool_utilisation == pytest.approx(0.5)
+        # Serial runs report zero utilisation by definition.
+        assert PerfStats(wall_time=2.0, jobs=1).pool_utilisation == 0.0
+
+    def test_merge_phase_totals(self):
+        stats = PerfStats()
+        stats.merge_phase_totals({"dvs": (1.0, 2)})
+        stats.merge_phase_totals({"dvs": (0.5, 1), "power": (0.25, 1)})
+        assert stats.phase_seconds["dvs"] == pytest.approx(1.5)
+        assert stats.phase_calls["dvs"] == 3
+        assert stats.phase_calls["power"] == 1
+
+    def test_to_dict_is_json_shaped(self):
+        stats = PerfStats(
+            evaluations=10,
+            cache_hits=5,
+            wall_time=1.0,
+            jobs=2,
+            batches=3,
+            parallel_evaluations=8,
+            pool_busy_seconds=1.2,
+        )
+        stats.merge_phase_totals({"schedule": (0.5, 10)})
+        payload = stats.to_dict()
+        assert payload["evaluations"] == 10
+        assert payload["jobs"] == 2
+        assert payload["phase_seconds"] == {"schedule": 0.5}
+        assert payload["phase_calls"] == {"schedule": 10}
+        assert 0.0 <= payload["cache_hit_rate"] <= 1.0

@@ -96,6 +96,24 @@ class TestBreeding:
         )
         assert len(offspring) == 5
 
+    @pytest.mark.parametrize("pool_size", [1, 2, 3, 4, 5, 8, 9])
+    @pytest.mark.parametrize("crossover_rate", [0.0, 0.5, 1.0])
+    def test_offspring_count_equals_pool_size(
+        self, problem, pool_size, crossover_rate
+    ):
+        # Regression guard: the GA replaces the non-elite population
+        # slots with exactly one offspring per parent, for odd and even
+        # mating pools alike — a shortfall would silently shrink the
+        # effective population.
+        parents = genomes(problem, pool_size)
+        offspring = ga.breed(
+            parents,
+            random.Random(7),
+            crossover_rate=crossover_rate,
+            per_gene_mutation_rate=0.1,
+        )
+        assert len(offspring) == pool_size
+
     def test_offspring_valid(self, problem):
         parents = genomes(problem, 8)
         offspring = ga.breed(
