@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-fast bench-smoke tables examples clean
+.PHONY: install test test-fast bench bench-fast bench-smoke tables examples verify clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -28,6 +28,14 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_engine.py --quick \
 	    --check benchmarks/results/bench_engine_quick_baseline.json
 
+# The full pre-merge gate: tier-1 test suite plus the engine smoke
+# benchmark (bit-identity + performance regression check).  Runs from
+# a bare checkout — no `make install` needed.
+verify:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
+	$(PYTHON) benchmarks/bench_engine.py --quick \
+	    --check benchmarks/results/bench_engine_quick_baseline.json
+
 tables:
 	$(PYTHON) -m repro.cli table1 --runs 5
 	$(PYTHON) -m repro.cli table2 --runs 2
@@ -40,6 +48,7 @@ examples:
 	$(PYTHON) examples/simulation_validation.py
 	$(PYTHON) examples/persist_simulate_battery.py
 	$(PYTHON) examples/explore_area_tradeoff.py
+	$(PYTHON) examples/campaign_resume.py
 	$(PYTHON) examples/smartphone_case_study.py
 
 clean:

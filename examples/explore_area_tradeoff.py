@@ -10,7 +10,7 @@ curve with the Pareto-optimal points marked.  Run it::
     python examples/explore_area_tradeoff.py
 """
 
-from repro import SynthesisConfig, suite_problem
+from repro import SynthesisConfig, load_problem
 from repro.synthesis.pareto import (
     area_power_tradeoff,
     format_tradeoff,
@@ -19,7 +19,7 @@ from repro.synthesis.pareto import (
 
 
 def main() -> None:
-    problem = suite_problem("mul11")
+    problem = load_problem("mul11")
     print(f"instance: {problem.name}")
     for pe in problem.architecture.hardware_pes():
         print(

@@ -18,12 +18,12 @@ Run it::
     python examples/simulation_validation.py
 """
 
-from repro import PEKind, SynthesisConfig, suite_problem, synthesize
+from repro import PEKind, SynthesisConfig, load_problem, synthesize
 from repro.simulation import ModeProcess, simulate
 
 
 def main() -> None:
-    problem = suite_problem("mul9")
+    problem = load_problem("mul9")
     result = synthesize(
         problem,
         SynthesisConfig(

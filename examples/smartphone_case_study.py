@@ -23,7 +23,7 @@ for a quicker look.  Run it::
 
 import statistics
 
-from repro import DvsMethod, SynthesisConfig, smartphone_problem, synthesize
+from repro import DvsMethod, SynthesisConfig, load_problem, synthesize
 
 #: Optimisation repetitions per configuration (the paper averages 40).
 RUNS = 2
@@ -53,7 +53,7 @@ def run_policy(problem, use_probabilities, dvs):
 
 
 def main() -> None:
-    problem = smartphone_problem()
+    problem = load_problem("smartphone")
     print("smart phone OMSM:")
     for mode in problem.omsm.modes:
         print(

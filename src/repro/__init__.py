@@ -16,22 +16,30 @@ algorithm, list scheduling, hardware core allocation and discrete
 voltage selection — including the paper's parallel-core-to-sequential
 DVS transformation for hardware components.
 
-Quick start::
+Quick start (the stable facade — see :mod:`repro.api`)::
 
-    from repro import (
-        SynthesisConfig, synthesize, smartphone_problem, DvsMethod,
-    )
+    from repro import SynthesisConfig, DvsMethod, load_problem, synthesize
 
-    problem = smartphone_problem()
+    problem = load_problem("smartphone")
     result = synthesize(
         problem,
         SynthesisConfig(use_probabilities=True, dvs=DvsMethod.GRADIENT),
     )
     print(result.best.summary())
+
+Long experiment campaigns (resumable, observable)::
+
+    from repro import run_campaign
+
+    campaign = run_campaign(
+        {"name": "table1", "instances": ["mul1", "mul2"], "runs": 5},
+        run_dir="runs/table1",   # re-running resumes from checkpoints
+    )
 """
 
 from repro.errors import (
     ArchitectureError,
+    CampaignError,
     MappingError,
     ReproError,
     SchedulingError,
@@ -39,6 +47,7 @@ from repro.errors import (
     SynthesisError,
     TechnologyError,
     VoltageScalingError,
+    WorkerPoolError,
 )
 from repro.specification import (
     CommEdge,
@@ -83,12 +92,30 @@ from repro.benchgen import (
     suite_problem,
 )
 from repro.validation import ValidationError, validate_implementation
+from repro.runtime import (
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
+    JobSpec,
+)
+from repro.api import (
+    load_problem,
+    problem_names,
+    resume_campaign,
+    run_campaign,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Architecture",
     "ArchitectureError",
+    "CampaignError",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "JobSpec",
+    "WorkerPoolError",
     "CommEdge",
     "CommunicationLink",
     "CoreAllocation",
@@ -124,9 +151,13 @@ __all__ = [
     "compute_mobilities",
     "evaluate_mapping",
     "generate_problem",
+    "load_problem",
     "load_suite",
     "mode_dynamic_power",
     "mode_static_power",
+    "problem_names",
+    "resume_campaign",
+    "run_campaign",
     "scale_schedule",
     "schedule_mode",
     "smartphone_problem",

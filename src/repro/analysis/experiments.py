@@ -6,20 +6,31 @@ probability-aware fitness — and averages the resulting true-probability
 powers over the repetitions, exactly the protocol behind the paper's
 Tables 1–3 (the paper averages 40 runs; the repetition count here is a
 parameter so test suites stay fast).
+
+Since PR 2 the drivers are thin wrappers over the campaign runtime
+(:mod:`repro.runtime`): every comparison expands to a
+:class:`~repro.runtime.spec.CampaignSpec`, executes on the
+:class:`~repro.runtime.runner.CampaignRunner` (durable checkpoints,
+bounded retry, JSONL events) and aggregates the per-job results.  Pass
+``run_dir`` to keep the run directory — re-invoking with the same
+directory resumes instead of recomputing — or leave it ``None`` for a
+throw-away temporary directory.
 """
 
 from __future__ import annotations
 
 import statistics
+import tempfile
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.benchgen.smartphone import smartphone_problem
-from repro.benchgen.suite import SUITE_SPECS, generate_problem
+from repro.benchgen.suite import SUITE_SPECS
+from repro.errors import CampaignError
 from repro.problem import Problem
+from repro.runtime.runner import CampaignRunner, JobResult, PathLike
+from repro.runtime.spec import CampaignSpec
 from repro.synthesis.config import DvsMethod, SynthesisConfig
-from repro.synthesis.cosynthesis import MultiModeSynthesizer
-from repro.validation import validate_implementation
 
 
 @dataclass
@@ -64,6 +75,11 @@ class PolicyOutcome:
             return 0.0
         return statistics.stdev(chosen)
 
+    def add(self, power: float, cpu_time: float, feasible: bool) -> None:
+        self.powers.append(power)
+        self.cpu_times.append(cpu_time)
+        self.feasible.append(feasible)
+
 
 @dataclass
 class ComparisonResult:
@@ -91,11 +107,74 @@ class ComparisonResult:
         )
 
 
+def comparison_from_job_results(
+    results: Sequence[JobResult],
+    example: Optional[str] = None,
+    modes: Optional[int] = None,
+) -> ComparisonResult:
+    """Fold one instance's job results into a Table-1/2 row.
+
+    ``results`` must all belong to the same instance (and DVS method);
+    runs of each policy are ordered by seed so the aggregation is
+    independent of the execution order.
+    """
+    if not results:
+        raise CampaignError("no job results to aggregate")
+    instances = {r.instance for r in results}
+    if len(instances) != 1:
+        raise CampaignError(
+            f"job results span several instances: {sorted(instances)}"
+        )
+    without = PolicyOutcome()
+    with_probabilities = PolicyOutcome()
+    for result in sorted(results, key=lambda r: r.seed):
+        outcome = (
+            with_probabilities if result.use_probabilities else without
+        )
+        outcome.add(result.power, result.cpu_time, result.feasible)
+    return ComparisonResult(
+        example=example if example is not None else results[0].instance,
+        modes=modes if modes is not None else results[0].modes,
+        without=without,
+        with_probabilities=with_probabilities,
+        runs=max(len(without.powers), len(with_probabilities.powers)),
+    )
+
+
+def _run_comparison_campaign(
+    spec: CampaignSpec,
+    run_dir: Optional[PathLike],
+    problem_loader: Optional[Callable[[str], Problem]] = None,
+) -> List[JobResult]:
+    """Execute ``spec`` (in a temp dir unless one is given).
+
+    A job failure in a comparison campaign invalidates the paired
+    aggregate, so failures raise instead of being summarised away.
+    """
+
+    def execute(directory: PathLike) -> List[JobResult]:
+        outcome = CampaignRunner(
+            spec, directory, problem_loader=problem_loader
+        ).run()
+        if outcome.failures:
+            raise CampaignError(
+                f"{len(outcome.failures)} campaign job(s) failed: "
+                f"{outcome.failures}"
+            )
+        return outcome.job_results()
+
+    if run_dir is not None:
+        return execute(run_dir)
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-") as tmp:
+        return execute(tmp)
+
+
 def compare_policies(
     problem: Problem,
     config: Optional[SynthesisConfig] = None,
     runs: int = 5,
     base_seed: int = 0,
+    run_dir: Optional[PathLike] = None,
 ) -> ComparisonResult:
     """Run both probability policies ``runs`` times and aggregate.
 
@@ -105,28 +184,20 @@ def compare_policies(
     """
     if config is None:
         config = SynthesisConfig()
-    without = PolicyOutcome()
-    with_probabilities = PolicyOutcome()
-    for run in range(runs):
-        for use_probabilities, outcome in (
-            (False, without),
-            (True, with_probabilities),
-        ):
-            run_config = config.with_updates(
-                use_probabilities=use_probabilities,
-                seed=base_seed + run,
-            )
-            result = MultiModeSynthesizer(problem, run_config).run()
-            validate_implementation(result.best)
-            outcome.powers.append(result.average_power)
-            outcome.cpu_times.append(result.cpu_time)
-            outcome.feasible.append(result.is_feasible)
-    return ComparisonResult(
-        example=problem.name,
-        modes=len(problem.omsm),
-        without=without,
-        with_probabilities=with_probabilities,
+    spec = CampaignSpec(
+        name=f"compare-{problem.name}",
+        instances=[problem.name],
+        dvs_methods=[config.dvs],
+        probability_settings=[False, True],
         runs=runs,
+        base_seed=base_seed,
+        config=config,
+    )
+    results = _run_comparison_campaign(
+        spec, run_dir, problem_loader=lambda name: problem
+    )
+    return comparison_from_job_results(
+        results, example=problem.name, modes=len(problem.omsm)
     )
 
 
@@ -136,6 +207,7 @@ def run_suite_experiment(
     config: Optional[SynthesisConfig] = None,
     examples: Optional[Sequence[str]] = None,
     base_seed: int = 400,
+    run_dir: Optional[PathLike] = None,
 ) -> List[ComparisonResult]:
     """Tables 1 and 2: the with/without-Ψ comparison over mul1–mul12.
 
@@ -145,39 +217,59 @@ def run_suite_experiment(
     if config is None:
         config = SynthesisConfig()
     config = config.with_updates(dvs=dvs)
-    results = []
-    for spec in SUITE_SPECS:
-        if examples is not None and spec.name not in examples:
-            continue
-        problem = generate_problem(spec)
-        results.append(
-            compare_policies(
-                problem, config, runs=runs, base_seed=base_seed
-            )
-        )
-    return results
+    instances = [
+        spec.name
+        for spec in SUITE_SPECS
+        if examples is None or spec.name in examples
+    ]
+    spec = CampaignSpec(
+        name=f"suite-{dvs.value}",
+        instances=instances,
+        dvs_methods=[dvs],
+        probability_settings=[False, True],
+        runs=runs,
+        base_seed=base_seed,
+        config=config,
+    )
+    job_results = _run_comparison_campaign(spec, run_dir)
+    by_instance: Dict[str, List[JobResult]] = {}
+    for result in job_results:
+        by_instance.setdefault(result.instance, []).append(result)
+    return [
+        comparison_from_job_results(by_instance[name])
+        for name in instances
+    ]
 
 
 def run_smartphone_experiment(
     runs: int = 3,
     config: Optional[SynthesisConfig] = None,
     base_seed: int = 400,
+    run_dir: Optional[PathLike] = None,
 ) -> Dict[str, ComparisonResult]:
     """Table 3: the smart phone, without and with DVS."""
     if config is None:
         config = SynthesisConfig()
-    problem = smartphone_problem()
+    spec = CampaignSpec(
+        name="smartphone",
+        instances=["smartphone"],
+        dvs_methods=[DvsMethod.NONE, DvsMethod.GRADIENT],
+        probability_settings=[False, True],
+        runs=runs,
+        base_seed=base_seed,
+        config=config,
+    )
+    job_results = _run_comparison_campaign(
+        spec, run_dir, problem_loader=lambda name: smartphone_problem()
+    )
+    by_dvs: Dict[str, List[JobResult]] = {}
+    for result in job_results:
+        by_dvs.setdefault(result.dvs, []).append(result)
     return {
-        "w/o DVS": compare_policies(
-            problem,
-            config.with_updates(dvs=DvsMethod.NONE),
-            runs=runs,
-            base_seed=base_seed,
+        "w/o DVS": comparison_from_job_results(
+            by_dvs.get(DvsMethod.NONE.value, [])
         ),
-        "with DVS": compare_policies(
-            problem,
-            config.with_updates(dvs=DvsMethod.GRADIENT),
-            runs=runs,
-            base_seed=base_seed,
+        "with DVS": comparison_from_job_results(
+            by_dvs.get(DvsMethod.GRADIENT.value, [])
         ),
     }

@@ -1,11 +1,19 @@
-"""Rendering experiment results in the paper's table layout."""
+"""Rendering experiment results in the paper's table layout.
+
+Results arrive either live (the :class:`ComparisonResult` aggregates
+the experiment drivers return) or *post hoc* from a campaign run
+directory: :func:`results_from_events` rebuilds the same aggregates
+from the structured ``events.jsonl`` stream alone, so a finished (or
+crashed) campaign can be re-reported without re-running anything.
+"""
 
 from __future__ import annotations
 
+import pathlib
 import statistics
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
-from repro.analysis.experiments import ComparisonResult
+from repro.analysis.experiments import ComparisonResult, PolicyOutcome
 from repro.analysis.paper_data import PaperRow
 
 
@@ -116,3 +124,62 @@ def format_smartphone_table(
             f"{overall:.1f}%"
         )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Re-aggregation from the campaign event stream
+# ----------------------------------------------------------------------
+
+
+def results_from_events(
+    events: Union[str, pathlib.Path, Iterable[Mapping[str, Any]]],
+) -> List[ComparisonResult]:
+    """Rebuild Table-1/2/3 aggregates from ``job_finished`` events.
+
+    ``events`` is either a path to an ``events.jsonl`` stream or an
+    already-loaded event sequence.  Jobs are grouped per (instance,
+    DVS method) in first-appearance order; within a group the runs of
+    each policy are ordered by seed, matching the live aggregation of
+    :mod:`repro.analysis.experiments` exactly.  When a campaign swept
+    several DVS methods, the row label carries the method
+    (``"smartphone [gradient]"``) so the rows stay distinguishable.
+    """
+    if isinstance(events, (str, pathlib.Path)):
+        from repro.runtime.events import iter_events
+
+        events = iter_events(events)
+    finished = [e for e in events if e.get("event") == "job_finished"]
+    groups: Dict[tuple, List[Mapping[str, Any]]] = {}
+    for event in finished:
+        groups.setdefault((event["instance"], event["dvs"]), []).append(
+            event
+        )
+    dvs_methods = {dvs for _, dvs in groups}
+    results: List[ComparisonResult] = []
+    for (instance, dvs), group in groups.items():
+        without = PolicyOutcome()
+        with_probabilities = PolicyOutcome()
+        for event in sorted(group, key=lambda e: e["seed"]):
+            outcome = (
+                with_probabilities
+                if event["use_probabilities"]
+                else without
+            )
+            outcome.add(
+                event["power"], event["cpu_time"], event["feasible"]
+            )
+        example = (
+            instance if len(dvs_methods) == 1 else f"{instance} [{dvs}]"
+        )
+        results.append(
+            ComparisonResult(
+                example=example,
+                modes=group[0]["modes"],
+                without=without,
+                with_probabilities=with_probabilities,
+                runs=max(
+                    len(without.powers), len(with_probabilities.powers)
+                ),
+            )
+        )
+    return results

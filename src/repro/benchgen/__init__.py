@@ -15,8 +15,10 @@ from repro.benchgen.multimode import MultiModeSpec, generate_problem
 from repro.benchgen.suite import SUITE_SPECS, load_suite, suite_problem
 from repro.benchgen.smartphone import smartphone_problem
 from repro.benchgen.tgff import dump_tgff, load_tgff, parse_tgff, save_tgff
+from repro.benchgen import registry
 
 __all__ = [
+    "registry",
     "MultiModeSpec",
     "SUITE_SPECS",
     "generate_problem",

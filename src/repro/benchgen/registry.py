@@ -1,0 +1,85 @@
+"""The problem registry: every named benchmark instance in one place.
+
+Historically each entry point (``cli.py``, the examples, the
+experiment drivers) carried its own ``if name == "smartphone" ...``
+branching; the registry replaces that with a single lookup shared by
+the CLI, the :mod:`repro.api` facade and the campaign runtime.
+
+Instances are registered as zero-argument *loaders* so that importing
+the registry stays cheap — a problem is only generated when actually
+requested.  The built-in names are the paper's ``mul1`` … ``mul12``
+suite and the ``smartphone`` case study; applications can
+:func:`register` their own instances (e.g. for campaign specs over
+custom problems).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.benchgen.smartphone import smartphone_problem
+from repro.benchgen.suite import SUITE_SPECS, suite_problem
+from repro.problem import Problem
+
+_LOADERS: Dict[str, Callable[[], Problem]] = {}
+
+
+def register(
+    name: str,
+    loader: Callable[[], Problem],
+    replace: bool = False,
+) -> None:
+    """Register ``loader`` under ``name``.
+
+    Re-registering an existing name raises unless ``replace=True`` —
+    silently shadowing a built-in benchmark would corrupt experiment
+    provenance.
+    """
+    if not replace and name in _LOADERS:
+        raise ValueError(
+            f"problem {name!r} is already registered; pass replace=True "
+            f"to override"
+        )
+    _LOADERS[name] = loader
+
+
+def unregister(name: str) -> None:
+    """Remove a registered name (missing names are ignored)."""
+    _LOADERS.pop(name, None)
+
+
+def names() -> List[str]:
+    """All registered instance names, sorted (suite order preserved
+    for ``mulN`` by zero-padding-free natural sort)."""
+
+    def key(name: str):
+        digits = "".join(ch for ch in name if ch.isdigit())
+        prefix = "".join(ch for ch in name if not ch.isdigit())
+        return (prefix, int(digits) if digits else -1)
+
+    return sorted(_LOADERS, key=key)
+
+
+def get(name: str) -> Problem:
+    """Load one registered instance by name.
+
+    Raises ``KeyError`` with the full list of valid names — the
+    message every entry point shows for an unknown instance.
+    """
+    try:
+        loader = _LOADERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown problem {name!r}; valid names: {', '.join(names())}"
+        ) from None
+    return loader()
+
+
+def _register_builtins() -> None:
+    for spec in SUITE_SPECS:
+        # Bind spec.name by value, not by loop variable.
+        register(spec.name, lambda name=spec.name: suite_problem(name))
+    register("smartphone", smartphone_problem)
+
+
+_register_builtins()

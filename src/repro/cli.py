@@ -7,6 +7,9 @@ Examples::
     repro-mm table3 --runs 2             # smart phone, both rows
     repro-mm synthesize mul5 --dvs gradient --probabilities
     repro-mm inspect smartphone          # print a problem's structure
+    repro-mm campaign spec.json --out runs/t1   # resumable campaign
+    repro-mm campaign --resume runs/t1          # continue after a kill
+    repro-mm campaign --report runs/t1          # tables from events only
 
 The module is also runnable as ``python -m repro.cli``.
 """
@@ -15,7 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.experiments import (
     run_smartphone_experiment,
@@ -26,18 +29,28 @@ from repro.analysis.reporting import (
     format_comparison_table,
     format_paper_comparison,
     format_smartphone_table,
+    results_from_events,
 )
-from repro.benchgen.smartphone import smartphone_problem
-from repro.benchgen.suite import SUITE_SPECS, suite_problem
+from repro.benchgen import registry
+from repro.benchgen.suite import SUITE_SPECS
+from repro.errors import CampaignError
 from repro.problem import Problem
+from repro.runtime import (
+    CampaignSpec,
+    events_path,
+    resume_campaign,
+    run_campaign,
+)
 from repro.synthesis.config import DvsMethod, SynthesisConfig
 from repro.synthesis.cosynthesis import MultiModeSynthesizer
 
 
 def _load_problem(name: str) -> Problem:
-    if name == "smartphone":
-        return smartphone_problem()
-    return suite_problem(name)
+    """Resolve an instance name via the registry (exit 2 on unknown)."""
+    try:
+        return registry.get(name)
+    except KeyError as exc:
+        raise SystemExit(f"repro-mm: error: {exc.args[0]}") from None
 
 
 def _config_from_args(args: argparse.Namespace) -> SynthesisConfig:
@@ -210,6 +223,93 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_campaign_event(event: Dict[str, object]) -> None:
+    """One terse progress line per job-level event."""
+    kind = event.get("event")
+    if kind == "campaign_started":
+        print(
+            f"campaign {event['campaign']!r}: "
+            f"{event['pending_jobs']}/{event['total_jobs']} jobs pending"
+        )
+    elif kind == "job_started":
+        resumed = event.get("resumed_from") or 0
+        suffix = f" (resuming from generation {resumed})" if resumed else ""
+        print(f"  [{event['job_id']}] started{suffix}")
+    elif kind == "job_finished":
+        print(
+            f"  [{event['job_id']}] finished: "
+            f"{float(event['power']) * 1e3:.3f} mW, "
+            f"{event['generations']} generations, "
+            f"{float(event['cpu_time']):.1f} s"
+        )
+    elif kind == "job_retried":
+        print(
+            f"  [{event['job_id']}] worker pool died; retrying in "
+            f"{event['backoff_seconds']} s"
+        )
+    elif kind == "job_failed":
+        print(f"  [{event['job_id']}] FAILED: {event['error']}")
+    elif kind == "job_skipped":
+        print(f"  [{event['job_id']}] already complete, skipped")
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.report is not None:
+        try:
+            results = results_from_events(events_path(args.report))
+        except CampaignError as exc:
+            raise SystemExit(f"repro-mm: error: {exc}") from None
+        if not results:
+            print("no finished jobs in the event stream yet")
+            return 1
+        print(
+            format_comparison_table(
+                results, title=f"Campaign report ({args.report})"
+            )
+        )
+        return 0
+    if args.init_spec is not None:
+        template = CampaignSpec(
+            name="example",
+            instances=["mul9", "mul11"],
+            dvs_methods=[DvsMethod.NONE],
+            probability_settings=[False, True],
+            runs=2,
+            base_seed=400,
+            config=SynthesisConfig(),
+        )
+        template.save(args.init_spec)
+        print(f"template campaign spec written to {args.init_spec}")
+        return 0
+    on_event = None if args.quiet else _print_campaign_event
+    try:
+        if args.resume is not None:
+            outcome = resume_campaign(args.resume, on_event=on_event)
+        else:
+            if args.spec is None or args.out is None:
+                raise SystemExit(
+                    "repro-mm: error: campaign needs either SPEC --out DIR, "
+                    "--resume DIR, --report DIR or --init-spec FILE"
+                )
+            spec = CampaignSpec.load(args.spec)
+            outcome = run_campaign(spec, args.out, on_event=on_event)
+    except CampaignError as exc:
+        raise SystemExit(f"repro-mm: error: {exc}") from None
+    print(
+        f"campaign done: {outcome.completed} jobs completed, "
+        f"{outcome.failed} failed (run dir: {outcome.run_dir})"
+    )
+    results = results_from_events(events_path(outcome.run_dir))
+    if results:
+        print()
+        print(
+            format_comparison_table(
+                results, title=f"Campaign {outcome.spec.name!r}"
+            )
+        )
+    return 1 if outcome.failures else 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.simulation.executor import simulate as run_simulation
 
@@ -255,11 +355,10 @@ def build_parser() -> argparse.ArgumentParser:
     table3.add_argument("--runs", type=int, default=3)
     _add_ga_options(table3)
 
+    instance_help = f"instance name: one of {', '.join(registry.names())}"
+
     synth = sub.add_parser("synthesize", help="synthesise one instance")
-    synth.add_argument(
-        "problem",
-        help="instance name: mul1..mul12 or 'smartphone'",
-    )
+    synth.add_argument("problem", help=instance_help)
     synth.add_argument(
         "--dvs",
         choices=[m.value for m in DvsMethod],
@@ -292,8 +391,56 @@ def build_parser() -> argparse.ArgumentParser:
     _add_ga_options(synth)
 
     inspect = sub.add_parser("inspect", help="print a problem's structure")
-    inspect.add_argument(
-        "problem", help="instance name: mul1..mul12 or 'smartphone'"
+    inspect.add_argument("problem", help=instance_help)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help=(
+            "run a declarative experiment campaign with durable "
+            "checkpoints, bounded retries and a JSONL event stream"
+        ),
+    )
+    campaign.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="campaign spec JSON (see docs/api.md for the format)",
+    )
+    campaign.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="run directory for checkpoints/results/events",
+    )
+    campaign.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help=(
+            "continue the campaign stored in DIR: completed jobs are "
+            "skipped, interrupted jobs resume bit-identically from "
+            "their latest checkpoint"
+        ),
+    )
+    campaign.add_argument(
+        "--report",
+        metavar="DIR",
+        default=None,
+        help=(
+            "print the comparison table re-aggregated from DIR's "
+            "events.jsonl, without running anything"
+        ),
+    )
+    campaign.add_argument(
+        "--init-spec",
+        metavar="FILE",
+        default=None,
+        help="write a template campaign spec to FILE and exit",
+    )
+    campaign.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-job progress lines",
     )
 
     simulate = sub.add_parser(
@@ -303,9 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
             "trace-driven simulation"
         ),
     )
-    simulate.add_argument(
-        "problem", help="instance name: mul1..mul12 or 'smartphone'"
-    )
+    simulate.add_argument("problem", help=instance_help)
     simulate.add_argument(
         "--horizon",
         type=float,
@@ -345,6 +490,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_inspect(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -10,8 +10,14 @@ per-candidate dispatch only ships raw gene tuples out and compact
 Evaluation is a pure function of the genome, so dispatch order cannot
 change results: a batch evaluated on ``jobs=N`` workers is bit-identical
 to the same batch evaluated serially (the determinism tests pin this).
-When ``jobs == 1``, or pool creation/dispatch fails for any reason, the
-evaluator degrades to in-process evaluation of the same batch.
+When ``jobs == 1`` the evaluator runs in-process.  What a *failed* pool
+(worker crash, pickling surprise, platform without multiprocessing)
+does is governed by ``pool_failure_mode``: ``"fallback"`` degrades to
+in-process evaluation — with the failure recorded on
+:attr:`ParallelEvaluator.pool_failures` and a :class:`RuntimeWarning`,
+never silently — while ``"raise"`` surfaces a
+:class:`~repro.errors.WorkerPoolError` so a supervising runtime (the
+campaign runner) can retry the job on a fresh pool.
 """
 
 from __future__ import annotations
@@ -20,11 +26,13 @@ import math
 import multiprocessing
 import pickle
 import time
+import warnings
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.decode_cache import DecodeContext, context_for
 from repro.engine.profile import PROFILER, PhaseProfiler, PhaseTotals
 from repro.engine.records import EvalRecord, evaluate_genes
+from repro.errors import WorkerPoolError
 from repro.problem import Problem
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -81,6 +89,9 @@ class ParallelEvaluator:
     jobs:
         Worker count; defaults to ``config.jobs``.  ``1`` means no pool
         is created and batches evaluate in-process.
+    failure_mode:
+        ``"fallback"`` or ``"raise"``; defaults to
+        ``config.pool_failure_mode``.  See the module docstring.
     """
 
     def __init__(
@@ -88,17 +99,45 @@ class ParallelEvaluator:
         problem: Problem,
         config: "SynthesisConfig",
         jobs: Optional[int] = None,
+        failure_mode: Optional[str] = None,
     ) -> None:
         self.problem = problem
         self.config = config
         self.jobs = max(1, jobs if jobs is not None else config.jobs)
+        self.failure_mode = (
+            failure_mode
+            if failure_mode is not None
+            else getattr(config, "pool_failure_mode", "fallback")
+        )
+        if self.failure_mode not in ("fallback", "raise"):
+            raise ValueError(
+                f"unknown pool failure mode {self.failure_mode!r}"
+            )
         self.batches = 0
         self.parallel_evaluations = 0
         self.pool_busy_seconds = 0.0
+        self.pool_failures = 0
+        self.last_pool_error: Optional[str] = None
         self.worker_phase_totals: Dict[str, Tuple[float, int]] = {}
         self._pool = None
         if self.jobs > 1:
             self._pool = self._create_pool()
+
+    def _record_failure(self, stage: str, exc: BaseException) -> None:
+        """Count a pool failure and either warn or raise, per mode."""
+        self.pool_failures += 1
+        self.last_pool_error = f"{stage}: {exc!r}"
+        if self.failure_mode == "raise":
+            raise WorkerPoolError(
+                f"worker pool {stage} failed after "
+                f"{self.parallel_evaluations} parallel evaluations: {exc!r}"
+            ) from exc
+        warnings.warn(
+            f"parallel evaluation pool {stage} failed ({exc!r}); "
+            f"continuing with in-process evaluation",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -138,7 +177,8 @@ class ParallelEvaluator:
                 initializer=_init_worker,
                 initargs=(payload,),
             )
-        except Exception:  # pragma: no cover - platform-dependent
+        except Exception as exc:  # pragma: no cover - platform-dependent
+            self._record_failure("creation", exc)
             return None
 
     def close(self) -> None:
@@ -195,15 +235,18 @@ class ParallelEvaluator:
         if self._pool is not None and len(genomes) >= self.jobs:
             try:
                 return self._evaluate_pooled(genomes)
-            except Exception:
+            except Exception as exc:
                 # The pool died (worker crash, interpreter teardown,
-                # unpicklable surprise).  Fall back to serial evaluation
-                # for this and all future batches.
+                # unpicklable surprise).  Retire it either way; then
+                # raise WorkerPoolError or fall back to serial
+                # evaluation for this and all future batches, per the
+                # configured failure mode.
                 try:  # pragma: no cover - defensive
                     self._pool.terminate()
                 except Exception:
                     pass
                 self._pool = None
+                self._record_failure("dispatch", exc)
         return self._evaluate_serial(genomes)
 
     def _evaluate_serial(self, genomes: Sequence) -> List[EvalRecord]:

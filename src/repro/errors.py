@@ -53,3 +53,23 @@ class VoltageScalingError(ReproError):
 
 class SynthesisError(ReproError):
     """The co-synthesis driver was configured or invoked incorrectly."""
+
+
+class WorkerPoolError(ReproError):
+    """A parallel evaluation worker pool died or could not be created.
+
+    Only raised when the evaluator runs with
+    ``pool_failure_mode="raise"``; the default mode degrades to
+    in-process evaluation instead.  A supervising runtime catches this
+    to retry the affected job on a fresh pool.
+    """
+
+
+class CampaignError(ReproError):
+    """A campaign spec or run directory is invalid or inconsistent.
+
+    Raised, for example, when a spec references unknown problem
+    instances, when ``--resume`` points at a directory without a
+    ``spec.json``, or when a checkpoint file does not match the job it
+    claims to belong to.
+    """

@@ -1,0 +1,136 @@
+"""The structured JSONL run-event stream.
+
+Every campaign writes an append-only ``events.jsonl`` into its run
+directory: one JSON object per line, each carrying at least an
+``event`` kind, a ``seq`` number and a wall-clock ``ts``.  The stream
+is the campaign's authoritative record — `repro.analysis.reporting`
+can re-aggregate the paper's Table 1/2/3 layouts from it without
+re-running anything, and a monitoring process can tail it live.
+
+Event kinds emitted by the runner:
+
+``campaign_started``
+    name, total job count, pending job count (on resume).
+``job_started``
+    job identity (instance/dvs/policy/seed), attempt number and the
+    generation the job resumes from (0 = fresh start).
+``generation``
+    per-generation progress: generation index, best fitness so far,
+    cumulative evaluations.
+``checkpointed``
+    a GA snapshot was persisted for the job.
+``job_retried``
+    a worker-pool death was caught; the job will be retried after the
+    reported backoff.
+``job_finished``
+    final metrics of one job: power, cpu_time, feasibility,
+    generations, evaluations, plus the ``SynthesisResult.perf``
+    counters.
+``job_failed``
+    the job exhausted its retries or raised a non-retryable error.
+``campaign_finished``
+    completed/failed totals.
+
+Writes are flushed line-by-line so the log survives a ``kill -9`` of
+the campaign process (the OS page cache holds flushed lines even when
+the process dies).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+from repro.errors import CampaignError
+
+PathLike = Union[str, pathlib.Path]
+
+#: File name of the event stream inside a campaign run directory.
+EVENTS_FILENAME = "events.jsonl"
+
+
+class EventLog:
+    """Append-only JSONL event writer with monotonic sequence numbers."""
+
+    def __init__(
+        self,
+        path: PathLike,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self._clock = clock
+        self._seq = self._next_seq()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _next_seq(self) -> int:
+        """Continue numbering after the last event already on disk."""
+        if not self.path.exists():
+            return 0
+        last = -1
+        for event in iter_events(self.path):
+            last = max(last, int(event.get("seq", -1)))
+        return last + 1
+
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event; returns the record as written."""
+        record: Dict[str, Any] = {
+            "seq": self._seq,
+            "ts": round(self._clock(), 6),
+            "event": event,
+        }
+        record.update(fields)
+        self._handle.write(json.dumps(record, sort_keys=False) + "\n")
+        self._handle.flush()
+        self._seq += 1
+        return record
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+def iter_events(path: PathLike) -> Iterator[Dict[str, Any]]:
+    """Yield events from a JSONL stream, tolerating a torn final line.
+
+    A crash can leave a partially written last line; that tail is
+    skipped (it carries no completed event by construction).  A torn
+    line anywhere *else* means real corruption and raises.
+    """
+    path = pathlib.Path(path)
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except FileNotFoundError:
+        raise CampaignError(f"no event stream at {path}") from None
+    with handle:
+        pending_error: Optional[str] = None
+        for line_number, line in enumerate(handle, 1):
+            if pending_error is not None:
+                raise CampaignError(pending_error)
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                yield json.loads(stripped)
+            except json.JSONDecodeError:
+                # Only legal as the very last line (torn write).
+                pending_error = (
+                    f"corrupt event at {path}:{line_number}: "
+                    f"{stripped[:80]!r}"
+                )
+
+
+def read_events(path: PathLike) -> List[Dict[str, Any]]:
+    """All events of a stream, in order."""
+    return list(iter_events(path))
+
+
+def events_path(run_dir: PathLike) -> pathlib.Path:
+    return pathlib.Path(run_dir) / EVENTS_FILENAME

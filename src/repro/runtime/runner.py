@@ -1,0 +1,419 @@
+"""The resilient campaign runner.
+
+:class:`CampaignRunner` executes a :class:`~repro.runtime.spec.CampaignSpec`
+as an ordered queue of synthesis jobs on top of the evaluation engine:
+
+* **Durable progress** — every job checkpoints its GA state every
+  ``checkpoint_every`` generations (atomic file writes), and finished
+  jobs persist a result record.  Re-running the same run directory
+  (``repro-mm campaign --resume <dir>``) skips completed jobs and
+  continues interrupted ones *bit-identically* from their last
+  snapshot — evaluation is a pure function of the genome, and the
+  snapshot carries the RNG state, so the replay takes the exact path
+  the uninterrupted run would have taken.
+* **Bounded retry with backoff** — jobs run with
+  ``pool_failure_mode="raise"``, so a died worker pool surfaces as
+  :class:`~repro.errors.WorkerPoolError` instead of silently falling
+  back to serial evaluation; the runner retries such jobs up to
+  ``max_retries`` times, sleeping ``retry_backoff × 2**attempt``
+  between attempts and resuming from the latest checkpoint.
+* **Structured observability** — every state change is appended to the
+  run directory's ``events.jsonl`` (see :mod:`repro.runtime.events`);
+  the final ``job_finished`` events carry enough (power, CPU time,
+  feasibility, perf counters) for
+  :func:`repro.analysis.reporting.results_from_events` to rebuild the
+  paper's comparison tables without re-running anything.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import CampaignError, ReproError, WorkerPoolError
+from repro.problem import Problem
+from repro.runtime import checkpoint as ckpt
+from repro.runtime.events import EventLog, events_path
+from repro.runtime.spec import CampaignSpec, JobSpec
+from repro.synthesis.cosynthesis import MultiModeSynthesizer
+from repro.synthesis.state import GAState
+from repro.validation import ValidationError, validate_implementation
+
+PathLike = Union[str, pathlib.Path]
+
+#: Result-record schema version; bump on incompatible change.
+RESULT_VERSION = 1
+
+
+@dataclass
+class JobResult:
+    """The persisted outcome of one campaign job."""
+
+    job_id: str
+    instance: str
+    modes: int
+    dvs: str
+    use_probabilities: bool
+    seed: int
+    power: float
+    cpu_time: float
+    feasible: bool
+    generations: int
+    evaluations: int
+    history: List[float] = field(default_factory=list)
+    best_genes: List[str] = field(default_factory=list)
+    attempts: int = 1
+    resumed_from: int = 0
+    perf: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": RESULT_VERSION,
+            "job_id": self.job_id,
+            "instance": self.instance,
+            "modes": self.modes,
+            "dvs": self.dvs,
+            "use_probabilities": self.use_probabilities,
+            "seed": self.seed,
+            "power": self.power,
+            "cpu_time": self.cpu_time,
+            "feasible": self.feasible,
+            "generations": self.generations,
+            "evaluations": self.evaluations,
+            "history": list(self.history),
+            "best_genes": list(self.best_genes),
+            "attempts": self.attempts,
+            "resumed_from": self.resumed_from,
+            "perf": dict(self.perf),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobResult":
+        values = dict(data)
+        version = values.pop("version", RESULT_VERSION)
+        if version != RESULT_VERSION:
+            raise CampaignError(
+                f"unsupported job result version {version!r}"
+            )
+        return cls(**values)
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished (or partially failed) campaign produced."""
+
+    spec: CampaignSpec
+    run_dir: pathlib.Path
+    results: Dict[str, JobResult] = field(default_factory=dict)
+    failures: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> int:
+        return len(self.results)
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    def job_results(self) -> List[JobResult]:
+        """Results in queue order (completed jobs only)."""
+        return list(self.results.values())
+
+
+class CampaignRunner:
+    """Executes one campaign spec against one run directory.
+
+    Parameters
+    ----------
+    spec / run_dir:
+        The campaign and its durable state directory.  An existing run
+        directory must carry the *same* spec; partially executed
+        campaigns continue where they stopped.
+    problem_loader:
+        ``name -> Problem`` resolver; defaults to the benchmark
+        registry.  Experiment drivers inject ad-hoc problems this way.
+    on_event:
+        Optional callback receiving every event record right after it
+        is appended to the JSONL stream (live progress display).
+    sleep:
+        Injected for tests; the retry backoff sleeper.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        run_dir: PathLike,
+        problem_loader: Optional[Callable[[str], Problem]] = None,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.spec = spec
+        self.run_dir = ckpt.prepare_run_dir(run_dir)
+        if problem_loader is None:
+            from repro.benchgen import registry
+
+            problem_loader = registry.get
+        self._problem_loader = problem_loader
+        self._on_event = on_event
+        self._sleep = sleep
+        self._problems: Dict[str, Problem] = {}
+        self._persist_spec()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def _persist_spec(self) -> None:
+        path = ckpt.spec_path(self.run_dir)
+        if path.exists():
+            existing = CampaignSpec.load(path)
+            if existing.to_dict() != self.spec.to_dict():
+                raise CampaignError(
+                    f"run directory {self.run_dir} already holds a "
+                    f"different campaign spec; use a fresh directory or "
+                    f"resume with the stored spec"
+                )
+        else:
+            self.spec.save(path)
+
+    def _problem(self, instance: str) -> Problem:
+        if instance not in self._problems:
+            try:
+                self._problems[instance] = self._problem_loader(instance)
+            except KeyError as exc:
+                raise CampaignError(
+                    f"campaign references unknown instance "
+                    f"{instance!r}: {exc.args[0] if exc.args else exc}"
+                ) from exc
+        return self._problems[instance]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Execute (or continue) the campaign; returns all results.
+
+        Individual job failures do not abort the campaign — they are
+        recorded, reported in events, and surfaced on
+        :attr:`CampaignResult.failures`.  ``KeyboardInterrupt``
+        *does* abort, after the interrupted job's latest checkpoint is
+        already on disk; resuming later continues bit-identically.
+        """
+        queue = self.spec.jobs()
+        outcome = CampaignResult(spec=self.spec, run_dir=self.run_dir)
+        with EventLog(events_path(self.run_dir)) as events:
+            pending = [
+                job
+                for job in queue
+                if ckpt.load_result(self.run_dir, job.job_id) is None
+            ]
+            self._emit(
+                events,
+                "campaign_started",
+                campaign=self.spec.name,
+                total_jobs=len(queue),
+                pending_jobs=len(pending),
+            )
+            try:
+                for job in queue:
+                    stored = ckpt.load_result(self.run_dir, job.job_id)
+                    if stored is not None:
+                        result = JobResult.from_dict(stored)
+                        outcome.results[job.job_id] = result
+                        self._emit(
+                            events,
+                            "job_skipped",
+                            job_id=job.job_id,
+                            reason="already complete",
+                        )
+                        continue
+                    try:
+                        result = self._run_job(job, events)
+                    except (ReproError, ValidationError) as exc:
+                        outcome.failures[job.job_id] = str(exc)
+                        self._emit(
+                            events,
+                            "job_failed",
+                            job_id=job.job_id,
+                            error=str(exc),
+                        )
+                        continue
+                    outcome.results[job.job_id] = result
+            except KeyboardInterrupt:
+                self._emit(
+                    events,
+                    "campaign_interrupted",
+                    campaign=self.spec.name,
+                    completed_jobs=len(outcome.results),
+                )
+                raise
+            self._emit(
+                events,
+                "campaign_finished",
+                campaign=self.spec.name,
+                completed_jobs=len(outcome.results),
+                failed_jobs=len(outcome.failures),
+            )
+        return outcome
+
+    def _emit(
+        self, events: EventLog, kind: str, **fields: Any
+    ) -> Dict[str, Any]:
+        record = events.emit(kind, **fields)
+        if self._on_event is not None:
+            self._on_event(record)
+        return record
+
+    def _run_job(self, job: JobSpec, events: EventLog) -> JobResult:
+        problem = self._problem(job.instance)
+        config = job.configure(self.spec.config).with_updates(
+            pool_failure_mode="raise"
+        )
+        attempts = self.spec.max_retries + 1
+        first_resumed_from = 0
+        for attempt in range(attempts):
+            state = ckpt.load_checkpoint(self.run_dir, job.job_id, config)
+            resumed_from = state.generation if state is not None else 0
+            if attempt == 0:
+                first_resumed_from = resumed_from
+            self._emit(
+                events,
+                "job_started",
+                job_id=job.job_id,
+                instance=job.instance,
+                dvs=job.dvs.value,
+                use_probabilities=job.use_probabilities,
+                seed=job.seed,
+                attempt=attempt + 1,
+                resumed_from=resumed_from,
+            )
+
+            def on_generation(snapshot: GAState) -> None:
+                self._emit(
+                    events,
+                    "generation",
+                    job_id=job.job_id,
+                    generation=snapshot.generation,
+                    best_fitness=(
+                        snapshot.best_fitness
+                        if snapshot.best_genes is not None
+                        else None
+                    ),
+                    evaluations=snapshot.evaluations,
+                )
+                if snapshot.generation % self.spec.checkpoint_every == 0:
+                    ckpt.write_checkpoint(
+                        self.run_dir, job.job_id, snapshot, config
+                    )
+                    self._emit(
+                        events,
+                        "checkpointed",
+                        job_id=job.job_id,
+                        generation=snapshot.generation,
+                    )
+
+            try:
+                synthesis = MultiModeSynthesizer(problem, config).run(
+                    resume=state, on_generation=on_generation
+                )
+            except WorkerPoolError as exc:
+                if attempt + 1 >= attempts:
+                    raise
+                backoff = self.spec.retry_backoff * (2**attempt)
+                self._emit(
+                    events,
+                    "job_retried",
+                    job_id=job.job_id,
+                    attempt=attempt + 1,
+                    backoff_seconds=backoff,
+                    error=str(exc),
+                )
+                if backoff > 0:
+                    self._sleep(backoff)
+                continue
+
+            validate_implementation(synthesis.best)
+            converged = (
+                synthesis.generations < config.max_generations
+            )
+            result = JobResult(
+                job_id=job.job_id,
+                instance=job.instance,
+                modes=len(problem.omsm),
+                dvs=job.dvs.value,
+                use_probabilities=job.use_probabilities,
+                seed=job.seed,
+                power=synthesis.average_power,
+                cpu_time=synthesis.cpu_time,
+                feasible=synthesis.is_feasible,
+                generations=synthesis.generations,
+                evaluations=synthesis.evaluations,
+                history=list(synthesis.history),
+                best_genes=list(synthesis.best.mapping.genes),
+                attempts=attempt + 1,
+                resumed_from=first_resumed_from,
+                perf=(
+                    synthesis.perf.to_dict()
+                    if synthesis.perf is not None
+                    else {}
+                ),
+            )
+            ckpt.write_result(self.run_dir, job.job_id, result.to_dict())
+            ckpt.clear_checkpoint(self.run_dir, job.job_id)
+            self._emit(
+                events,
+                "job_finished",
+                job_id=job.job_id,
+                instance=job.instance,
+                modes=result.modes,
+                dvs=result.dvs,
+                use_probabilities=result.use_probabilities,
+                seed=result.seed,
+                power=result.power,
+                cpu_time=result.cpu_time,
+                feasible=result.feasible,
+                converged=converged,
+                generations=result.generations,
+                evaluations=result.evaluations,
+                attempts=result.attempts,
+                perf=result.perf,
+            )
+            return result
+        raise AssertionError("unreachable: retry loop exits via return/raise")
+
+
+# ----------------------------------------------------------------------
+# Convenience entry points
+# ----------------------------------------------------------------------
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    run_dir: PathLike,
+    problem_loader: Optional[Callable[[str], Problem]] = None,
+    on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> CampaignResult:
+    """Execute ``spec`` against ``run_dir`` (creating it as needed)."""
+    return CampaignRunner(
+        spec, run_dir, problem_loader=problem_loader, on_event=on_event
+    ).run()
+
+
+def resume_campaign(
+    run_dir: PathLike,
+    problem_loader: Optional[Callable[[str], Problem]] = None,
+    on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> CampaignResult:
+    """Continue the campaign stored in ``run_dir``.
+
+    Loads the directory's ``spec.json`` and re-runs the queue:
+    completed jobs are skipped, checkpointed jobs resume
+    bit-identically from their latest snapshot.
+    """
+    spec = CampaignSpec.load(ckpt.spec_path(run_dir))
+    return CampaignRunner(
+        spec, run_dir, problem_loader=problem_loader, on_event=on_event
+    ).run()

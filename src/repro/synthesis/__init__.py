@@ -18,9 +18,11 @@ from repro.synthesis.cosynthesis import (
 )
 from repro.synthesis.evaluator import evaluate_mapping
 from repro.synthesis.fitness import FitnessWeights, mapping_fitness
+from repro.synthesis.state import GAState
 
 __all__ = [
     "FitnessWeights",
+    "GAState",
     "MultiModeSynthesizer",
     "SynthesisConfig",
     "SynthesisResult",

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Dict, Mapping, Optional
 
 from repro.errors import SynthesisError
 
@@ -87,6 +88,12 @@ class SynthesisConfig:
         evaluates in-process; ``N > 1`` dispatches each generation's
         uncached genomes to a process pool.  Results are bit-identical
         to serial evaluation for any job count.
+    pool_failure_mode:
+        What a dead/unusable worker pool does to the run.
+        ``"fallback"`` (default) degrades to in-process evaluation and
+        records the failure; ``"raise"`` surfaces it as a
+        :class:`~repro.errors.WorkerPoolError` so a supervising runtime
+        (the campaign runner) can retry the job on a fresh pool.
     decode_cache:
         Use the prebuilt per-problem
         :class:`~repro.engine.decode_cache.DecodeContext` fast paths
@@ -130,6 +137,7 @@ class SynthesisConfig:
 
     jobs: int = 1
     decode_cache: bool = True
+    pool_failure_mode: str = "fallback"
 
     seed: int = 0
 
@@ -173,9 +181,50 @@ class SynthesisConfig:
             )
         if self.jobs < 1:
             raise SynthesisError("jobs must be at least 1")
+        if self.pool_failure_mode not in ("fallback", "raise"):
+            raise SynthesisError(
+                "pool failure mode must be 'fallback' or 'raise'"
+            )
 
     def with_updates(self, **changes) -> "SynthesisConfig":
         """A copy of this configuration with some fields replaced."""
-        import dataclasses
-
         return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialisation (checkpoint files, campaign specs, run metadata)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable view of every field (enums as values)."""
+        data = dataclasses.asdict(self)
+        data["dvs"] = self.dvs.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SynthesisConfig":
+        """Rebuild a validated config from :meth:`to_dict` output.
+
+        Unknown keys are rejected (a typo in a hand-written campaign
+        spec must not silently fall back to a default), and field
+        values pass through ``__post_init__`` validation as usual.
+        """
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - field_names)
+        if unknown:
+            raise SynthesisError(
+                f"unknown configuration keys: {unknown}; valid keys are "
+                f"{sorted(field_names)}"
+            )
+        values = dict(data)
+        if "dvs" in values and not isinstance(values["dvs"], DvsMethod):
+            try:
+                values["dvs"] = DvsMethod(values["dvs"])
+            except ValueError:
+                raise SynthesisError(
+                    f"unknown DVS method {values['dvs']!r}; valid values "
+                    f"are {[m.value for m in DvsMethod]}"
+                ) from None
+        for name in ("per_gene_mutation_rate",):
+            if values.get(name) is not None:
+                values[name] = float(values[name])
+        return cls(**values)

@@ -15,7 +15,7 @@ import math
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SynthesisError
 from repro.engine.decode_cache import context_for
@@ -29,6 +29,7 @@ from repro.synthesis import ga
 from repro.synthesis import mutations
 from repro.synthesis.config import SynthesisConfig
 from repro.synthesis.evaluator import evaluate_mapping
+from repro.synthesis.state import GAState
 
 # Backwards-compatible alias: the per-genome cache entry moved to
 # :mod:`repro.engine.records` so pool workers can ship it between
@@ -136,18 +137,29 @@ class MultiModeSynthesizer:
     # The optimisation loop
     # ------------------------------------------------------------------
 
-    def run(self) -> SynthesisResult:
+    def run(
+        self,
+        resume: Optional[GAState] = None,
+        on_generation: Optional[Callable[[GAState], None]] = None,
+    ) -> SynthesisResult:
         """Execute the GA and return the best implementation found.
 
         With ``config.jobs > 1`` a :class:`ParallelEvaluator` (and its
         process pool) lives for the duration of the run; evaluation
         results are bit-identical to the serial path either way.
+
+        ``resume`` continues a previous run from a
+        :class:`~repro.synthesis.state.GAState` snapshot —
+        bit-identically, because the snapshot carries the RNG state and
+        the full population.  ``on_generation`` is called with a fresh
+        snapshot after every completed generation; a checkpointing
+        runtime persists (some of) these snapshots to disk.
         """
         evaluator: Optional[ParallelEvaluator] = None
         if self.config.jobs > 1:
             evaluator = ParallelEvaluator(self.problem, self.config)
         try:
-            result = self._run(evaluator)
+            result = self._run(evaluator, resume, on_generation)
         except BaseException:
             # Ctrl-C (or any error) can leave queued pool tasks whose
             # feeder thread died with the interrupt; a graceful
@@ -161,41 +173,78 @@ class MultiModeSynthesizer:
         return result
 
     def _run(
-        self, evaluator: Optional[ParallelEvaluator]
+        self,
+        evaluator: Optional[ParallelEvaluator],
+        resume: Optional[GAState] = None,
+        on_generation: Optional[Callable[[GAState], None]] = None,
     ) -> SynthesisResult:
         config = self.config
-        rng = random.Random(config.seed)
         started = time.perf_counter()
         profile_base = PROFILER.snapshot()
-
-        # Half the initial population is uniformly random, half is
-        # software-biased: on large problems uniform genomes map ~half
-        # of all tasks into hardware and violate every area constraint,
-        # leaving the GA without a feasible foothold.
-        population: List[MappingString] = []
-        for index in range(config.population_size):
-            if index % 2 == 0:
-                population.append(MappingString.random(self.problem, rng))
-            else:
-                population.append(
-                    MappingString.random_software_biased(
-                        self.problem, rng, bias=rng.uniform(0.6, 0.98)
-                    )
-                )
         mutation_rate = config.per_gene_mutation_rate
         if mutation_rate is None:
             mutation_rate = 1.0 / max(1, self.problem.genome_length())
 
-        best_genome: Optional[MappingString] = None
-        best_fitness = math.inf
-        stagnant = 0
-        area_stall = 0
-        timing_stall = 0
-        transition_stall = 0
-        history: List[float] = []
-        generation = 0
+        if resume is not None:
+            # Continue exactly where the snapshot left off: the RNG
+            # resumes mid-stream, the population is the bred-and-mutated
+            # one the interrupted run would have evaluated next.
+            rng = resume.restore_rng()
+            population = [
+                MappingString(self.problem, genes)
+                for genes in resume.population
+            ]
+            if len(population) != config.population_size:
+                raise SynthesisError(
+                    f"resume snapshot has population "
+                    f"{len(population)}, configuration expects "
+                    f"{config.population_size}"
+                )
+            best_genome = (
+                MappingString(self.problem, resume.best_genes)
+                if resume.best_genes is not None
+                else None
+            )
+            best_fitness = resume.best_fitness
+            stagnant = resume.stagnant
+            area_stall = resume.area_stall
+            timing_stall = resume.timing_stall
+            transition_stall = resume.transition_stall
+            history = list(resume.history)
+            self._evaluations = resume.evaluations
+            generation = resume.generation
+            start_generation = resume.generation + 1
+        else:
+            rng = random.Random(config.seed)
+            # Half the initial population is uniformly random, half is
+            # software-biased: on large problems uniform genomes map
+            # ~half of all tasks into hardware and violate every area
+            # constraint, leaving the GA without a feasible foothold.
+            population = []
+            for index in range(config.population_size):
+                if index % 2 == 0:
+                    population.append(
+                        MappingString.random(self.problem, rng)
+                    )
+                else:
+                    population.append(
+                        MappingString.random_software_biased(
+                            self.problem, rng, bias=rng.uniform(0.6, 0.98)
+                        )
+                    )
+            best_genome = None
+            best_fitness = math.inf
+            stagnant = 0
+            area_stall = 0
+            timing_stall = 0
+            transition_stall = 0
+            history = []
+            generation = 0
+            start_generation = 1
 
-        for generation in range(1, config.max_generations + 1):
+        for generation in range(
+            start_generation, config.max_generations + 1
+        ):
             records = self._evaluate_population(population, evaluator)
 
             improved = False
@@ -268,6 +317,31 @@ class MultiModeSynthesizer:
                 timing_stall = 0
             if transition_stall >= config.stall_generations:
                 transition_stall = 0
+
+            if on_generation is not None:
+                # The end of the generation body is the one clean
+                # resume point: the next-generation population is bred,
+                # the counters are settled, and no RNG draw separates
+                # this state from the top of the next iteration.
+                on_generation(
+                    GAState(
+                        generation=generation,
+                        rng_state=rng.getstate(),
+                        population=[g.genes for g in population],
+                        best_genes=(
+                            best_genome.genes
+                            if best_genome is not None
+                            else None
+                        ),
+                        best_fitness=best_fitness,
+                        stagnant=stagnant,
+                        area_stall=area_stall,
+                        timing_stall=timing_stall,
+                        transition_stall=transition_stall,
+                        history=list(history),
+                        evaluations=self._evaluations,
+                    )
+                )
 
         if best_genome is None:
             raise SynthesisError(

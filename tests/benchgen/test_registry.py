@@ -1,0 +1,65 @@
+"""The named problem registry shared by CLI, facade and runtime."""
+
+import pytest
+
+from repro.benchgen import registry
+from repro.benchgen.suite import SUITE_SPECS
+from repro.problem import Problem
+
+
+class TestBuiltins:
+    def test_suite_and_smartphone_registered(self):
+        names = registry.names()
+        for spec in SUITE_SPECS:
+            assert spec.name in names
+        assert "smartphone" in names
+
+    def test_natural_sort_order(self):
+        names = [n for n in registry.names() if n.startswith("mul")]
+        # mul10 must come after mul9, not after mul1.
+        assert names == [f"mul{i}" for i in range(1, len(names) + 1)]
+
+    def test_get_loads_the_right_instance(self):
+        problem = registry.get("mul3")
+        assert isinstance(problem, Problem)
+        assert problem.name == "mul3"
+
+    def test_loaders_are_lazy_and_fresh(self):
+        first = registry.get("mul1")
+        second = registry.get("mul1")
+        assert first is not second  # loader runs per call, no cache
+
+    def test_unknown_name_lists_valid_ones(self):
+        with pytest.raises(KeyError) as excinfo:
+            registry.get("mul99")
+        message = excinfo.value.args[0]
+        assert "mul99" in message
+        assert "smartphone" in message  # message enumerates valid names
+
+
+class TestRegistration:
+    def test_register_and_unregister(self):
+        sentinel = object()
+        registry.register("t-custom", lambda: sentinel)
+        try:
+            assert registry.get("t-custom") is sentinel
+            assert "t-custom" in registry.names()
+        finally:
+            registry.unregister("t-custom")
+        assert "t-custom" not in registry.names()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("mul1", lambda: None)
+
+    def test_replace_allows_override(self):
+        original = registry._LOADERS["mul1"]
+        sentinel = object()
+        registry.register("mul1", lambda: sentinel, replace=True)
+        try:
+            assert registry.get("mul1") is sentinel
+        finally:
+            registry.register("mul1", original, replace=True)
+
+    def test_unregister_missing_is_noop(self):
+        registry.unregister("never-registered")

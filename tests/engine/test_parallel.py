@@ -86,15 +86,38 @@ class TestPooledPath:
             if not evaluator.uses_pool:  # pragma: no cover - platform
                 pytest.skip("process pool unavailable on this platform")
             # Simulate a worker crash by tearing the pool down behind
-            # the evaluator's back; the batch must still be answered.
+            # the evaluator's back; the batch must still be answered,
+            # and the degradation must be *surfaced* (warning + counter),
+            # never silent.
             evaluator._pool.terminate()
             evaluator._pool.join()
-            records = evaluator.evaluate_batch(genomes)
+            with pytest.warns(RuntimeWarning, match="in-process"):
+                records = evaluator.evaluate_batch(genomes)
             assert not evaluator.uses_pool
+            assert evaluator.pool_failures == 1
+            assert evaluator.last_pool_error is not None
             assert records == _serial_records(problem, config, genomes)
             # Later batches stay on the serial path without error.
             again = evaluator.evaluate_batch(genomes)
             assert again == records
+        finally:
+            evaluator.close()
+
+    def test_dead_pool_raises_in_raise_mode(self, problem):
+        from repro.errors import WorkerPoolError
+
+        config = SynthesisConfig(jobs=2, pool_failure_mode="raise")
+        genomes = _genomes(problem, 4)
+        evaluator = ParallelEvaluator(problem, config)
+        try:
+            if not evaluator.uses_pool:  # pragma: no cover - platform
+                pytest.skip("process pool unavailable on this platform")
+            assert evaluator.failure_mode == "raise"
+            evaluator._pool.terminate()
+            evaluator._pool.join()
+            with pytest.raises(WorkerPoolError):
+                evaluator.evaluate_batch(genomes)
+            assert evaluator.pool_failures == 1
         finally:
             evaluator.close()
 

@@ -1,0 +1,243 @@
+"""CampaignRunner behaviour: queue execution, durability, retry, failure."""
+
+import pytest
+
+from repro.errors import CampaignError, SynthesisError, WorkerPoolError
+from repro.runtime import runner as runner_mod
+from repro.runtime.checkpoint import load_result, spec_path
+from repro.runtime.events import events_path, read_events
+from repro.runtime.runner import (
+    CampaignRunner,
+    JobResult,
+    resume_campaign,
+    run_campaign,
+)
+from repro.runtime.spec import CampaignSpec
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.cosynthesis import MultiModeSynthesizer
+
+from tests.conftest import make_two_mode_problem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_two_mode_problem()
+
+
+def tiny_config(**overrides):
+    values = dict(
+        population_size=10,
+        max_generations=10,
+        convergence_generations=6,
+    )
+    values.update(overrides)
+    return SynthesisConfig(**values)
+
+
+def tiny_spec(**overrides):
+    values = dict(
+        name="smoke",
+        instances=["two_mode"],
+        runs=1,
+        base_seed=3,
+        config=tiny_config(),
+        checkpoint_every=2,
+        retry_backoff=0.0,
+    )
+    values.update(overrides)
+    return CampaignSpec(**values)
+
+
+def loader_for(problem):
+    return lambda name: problem
+
+
+class TestSmokeRun:
+    def test_full_campaign(self, problem, tmp_path):
+        spec = tiny_spec(runs=2)
+        outcome = run_campaign(
+            spec, tmp_path / "run", problem_loader=loader_for(problem)
+        )
+        assert outcome.completed == 4  # 2 runs x 2 policies
+        assert outcome.failed == 0
+        for job in spec.jobs():
+            result = outcome.results[job.job_id]
+            assert result.power > 0
+            assert result.history
+            assert result.attempts == 1
+            assert result.perf  # SynthesisResult.perf counters present
+            # Result record survives on disk and round-trips.
+            stored = load_result(tmp_path / "run", job.job_id)
+            assert JobResult.from_dict(stored).to_dict() == result.to_dict()
+        events = read_events(events_path(tmp_path / "run"))
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "campaign_started"
+        assert kinds[-1] == "campaign_finished"
+        assert kinds.count("job_finished") == 4
+        assert "generation" in kinds and "checkpointed" in kinds
+
+    def test_spec_is_persisted(self, problem, tmp_path):
+        spec = tiny_spec()
+        run_campaign(
+            spec, tmp_path / "run", problem_loader=loader_for(problem)
+        )
+        assert CampaignSpec.load(
+            spec_path(tmp_path / "run")
+        ).to_dict() == spec.to_dict()
+
+    def test_differing_spec_in_same_dir_rejected(self, problem, tmp_path):
+        run_campaign(
+            tiny_spec(), tmp_path / "run", problem_loader=loader_for(problem)
+        )
+        with pytest.raises(CampaignError, match="different campaign spec"):
+            CampaignRunner(
+                tiny_spec(base_seed=99),
+                tmp_path / "run",
+                problem_loader=loader_for(problem),
+            )
+
+    def test_rerun_skips_completed_jobs(self, problem, tmp_path):
+        spec = tiny_spec()
+        first = run_campaign(
+            spec, tmp_path / "run", problem_loader=loader_for(problem)
+        )
+        again = run_campaign(
+            spec, tmp_path / "run", problem_loader=loader_for(problem)
+        )
+        assert again.completed == first.completed
+        for job_id, result in first.results.items():
+            assert again.results[job_id].to_dict() == result.to_dict()
+        skipped = [
+            e
+            for e in read_events(events_path(tmp_path / "run"))
+            if e["event"] == "job_skipped"
+        ]
+        assert len(skipped) == first.completed
+
+
+class TestRetry:
+    def _flaky_synthesizer(self, monkeypatch, failures):
+        """Make the first ``failures`` run() calls die like a dead pool."""
+        calls = {"n": 0}
+
+        class Flaky(MultiModeSynthesizer):
+            def run(self, resume=None, on_generation=None):
+                calls["n"] += 1
+                if calls["n"] <= failures:
+                    raise WorkerPoolError("worker pool died")
+                return super().run(
+                    resume=resume, on_generation=on_generation
+                )
+
+        monkeypatch.setattr(runner_mod, "MultiModeSynthesizer", Flaky)
+        return calls
+
+    def test_pool_death_is_retried_with_backoff(
+        self, problem, tmp_path, monkeypatch
+    ):
+        self._flaky_synthesizer(monkeypatch, failures=1)
+        sleeps = []
+        spec = tiny_spec(
+            probability_settings=[True], max_retries=2, retry_backoff=0.5
+        )
+        outcome = CampaignRunner(
+            spec,
+            tmp_path / "run",
+            problem_loader=loader_for(problem),
+            sleep=sleeps.append,
+        ).run()
+        assert outcome.failed == 0
+        (result,) = outcome.job_results()
+        assert result.attempts == 2
+        assert sleeps == [0.5]  # retry_backoff * 2**0
+        retried = [
+            e
+            for e in read_events(events_path(tmp_path / "run"))
+            if e["event"] == "job_retried"
+        ]
+        assert len(retried) == 1
+        assert retried[0]["backoff_seconds"] == 0.5
+
+    def test_retries_exhausted_fails_job_not_campaign(
+        self, problem, tmp_path, monkeypatch
+    ):
+        self._flaky_synthesizer(monkeypatch, failures=100)
+        spec = tiny_spec(max_retries=1)
+        outcome = run_campaign(
+            spec, tmp_path / "run", problem_loader=loader_for(problem)
+        )
+        assert outcome.completed == 0
+        assert outcome.failed == 2
+        kinds = [
+            e["event"]
+            for e in read_events(events_path(tmp_path / "run"))
+        ]
+        assert kinds.count("job_failed") == 2
+        assert kinds[-1] == "campaign_finished"
+
+    def test_jobs_run_in_raise_mode(self, problem, tmp_path, monkeypatch):
+        seen = []
+        original = MultiModeSynthesizer.__init__
+
+        def spy(self, prob, config):
+            seen.append(config.pool_failure_mode)
+            original(self, prob, config)
+
+        monkeypatch.setattr(MultiModeSynthesizer, "__init__", spy)
+        run_campaign(
+            tiny_spec(probability_settings=[False]),
+            tmp_path / "run",
+            problem_loader=loader_for(problem),
+        )
+        assert seen == ["raise"]
+
+
+class TestFailureIsolation:
+    def test_job_failure_does_not_abort_campaign(
+        self, problem, tmp_path, monkeypatch
+    ):
+        calls = {"n": 0}
+
+        class FailsFirst(MultiModeSynthesizer):
+            def run(self, resume=None, on_generation=None):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise SynthesisError("no feasible mapping")
+                return super().run(
+                    resume=resume, on_generation=on_generation
+                )
+
+        monkeypatch.setattr(
+            runner_mod, "MultiModeSynthesizer", FailsFirst
+        )
+        spec = tiny_spec()
+        outcome = run_campaign(
+            spec, tmp_path / "run", problem_loader=loader_for(problem)
+        )
+        assert outcome.completed == 1
+        assert outcome.failed == 1
+        (failure,) = outcome.failures.values()
+        assert "no feasible mapping" in failure
+
+    def test_unknown_instance_fails_that_job_only(self, tmp_path):
+        problem = make_two_mode_problem()
+
+        def loader(name):
+            if name == "bogus":
+                raise KeyError(f"unknown problem {name!r}")
+            return problem
+
+        spec = tiny_spec(
+            instances=["two_mode", "bogus"],
+            probability_settings=[False],
+        )
+        outcome = run_campaign(
+            spec, tmp_path / "run", problem_loader=loader
+        )
+        assert outcome.completed == 1
+        assert list(outcome.failures) == ["bogus-none-noprob-s3"]
+        assert "unknown instance" in outcome.failures["bogus-none-noprob-s3"]
+
+    def test_resume_campaign_requires_spec(self, tmp_path):
+        with pytest.raises(CampaignError, match="no campaign spec"):
+            resume_campaign(tmp_path)

@@ -1,0 +1,152 @@
+"""Acceptance: kill a campaign mid-job, resume, get bit-identical results.
+
+The ISSUE acceptance criteria verified here:
+
+* a campaign interrupted after N generations and resumed produces the
+  same best fitness / history as an uninterrupted run with the same
+  seeds (bit-identical, not just statistically close);
+* the JSONL event log alone suffices to regenerate the Table-1 style
+  comparison output.
+"""
+
+import pytest
+
+from repro.analysis.experiments import comparison_from_job_results
+from repro.analysis.reporting import results_from_events
+from repro.runtime.checkpoint import checkpoint_path
+from repro.runtime.events import events_path, read_events
+from repro.runtime.runner import resume_campaign, run_campaign
+from repro.runtime.spec import CampaignSpec
+from repro.synthesis.config import SynthesisConfig
+
+from tests.conftest import make_two_mode_problem
+
+
+class _Kill(KeyboardInterrupt):
+    """Stand-in for Ctrl-C / OOM-kill mid-campaign."""
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_two_mode_problem()
+
+
+def _spec():
+    return CampaignSpec(
+        name="resume-acceptance",
+        instances=["two_mode"],
+        runs=2,
+        base_seed=11,
+        config=SynthesisConfig(
+            population_size=10,
+            max_generations=12,
+            convergence_generations=8,
+        ),
+        checkpoint_every=2,
+        retry_backoff=0.0,
+    )
+
+
+def _interrupt_after(n_generations):
+    seen = {"generations": 0}
+
+    def on_event(event):
+        if event["event"] == "generation":
+            seen["generations"] += 1
+            if seen["generations"] == n_generations:
+                raise _Kill
+
+    return on_event
+
+
+@pytest.fixture(scope="module")
+def reference(problem, tmp_path_factory):
+    """The uninterrupted campaign every resumed run must match."""
+    run_dir = tmp_path_factory.mktemp("reference")
+    return run_campaign(
+        _spec(), run_dir, problem_loader=lambda name: problem
+    )
+
+
+class TestKillResume:
+    @pytest.mark.parametrize("kill_after", [3, 9])
+    def test_resume_is_bit_identical(
+        self, problem, tmp_path, reference, kill_after
+    ):
+        run_dir = tmp_path / "crashed"
+        with pytest.raises(_Kill):
+            run_campaign(
+                _spec(),
+                run_dir,
+                problem_loader=lambda name: problem,
+                on_event=_interrupt_after(kill_after),
+            )
+        events = read_events(events_path(run_dir))
+        assert events[-1]["event"] == "campaign_interrupted"
+
+        resumed = resume_campaign(
+            run_dir, problem_loader=lambda name: problem
+        )
+        assert resumed.completed == reference.completed
+        assert resumed.failed == 0
+        for job_id, expected in reference.results.items():
+            got = resumed.results[job_id]
+            assert got.power == expected.power
+            assert got.history == expected.history
+            assert got.best_genes == expected.best_genes
+            assert got.generations == expected.generations
+
+    def test_interrupted_job_actually_resumes_mid_flight(
+        self, problem, tmp_path
+    ):
+        """The resumed job continues from its checkpoint, not from gen 0."""
+        run_dir = tmp_path / "crashed"
+        with pytest.raises(_Kill):
+            run_campaign(
+                _spec(),
+                run_dir,
+                problem_loader=lambda name: problem,
+                on_event=_interrupt_after(5),
+            )
+        # A checkpoint for some job must have survived the kill.
+        spec = _spec()
+        checkpointed = [
+            job.job_id
+            for job in spec.jobs()
+            if checkpoint_path(run_dir, job.job_id).exists()
+        ]
+        assert checkpointed
+        resume_campaign(run_dir, problem_loader=lambda name: problem)
+        started = [
+            e
+            for e in read_events(events_path(run_dir))
+            if e["event"] == "job_started"
+            and e["job_id"] == checkpointed[0]
+        ]
+        assert started[-1]["resumed_from"] > 0
+        # Checkpoints are cleared once their job completes.
+        assert not checkpoint_path(run_dir, checkpointed[0]).exists()
+
+    def test_events_alone_rebuild_comparison(self, problem, tmp_path):
+        run_dir = tmp_path / "crashed"
+        with pytest.raises(_Kill):
+            run_campaign(
+                _spec(),
+                run_dir,
+                problem_loader=lambda name: problem,
+                on_event=_interrupt_after(4),
+            )
+        resumed = resume_campaign(
+            run_dir, problem_loader=lambda name: problem
+        )
+        (rebuilt,) = results_from_events(events_path(run_dir))
+        live = comparison_from_job_results(resumed.job_results())
+        assert rebuilt.example == live.example
+        assert rebuilt.modes == live.modes
+        assert rebuilt.runs == live.runs
+        assert rebuilt.without.powers == live.without.powers
+        assert (
+            rebuilt.with_probabilities.powers
+            == live.with_probabilities.powers
+        )
+        assert rebuilt.reduction_pct == live.reduction_pct

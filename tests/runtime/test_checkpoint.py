@@ -1,0 +1,107 @@
+"""Durable checkpoint/result storage in the run directory."""
+
+import random
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.runtime.checkpoint import (
+    checkpoint_path,
+    clear_checkpoint,
+    load_checkpoint,
+    load_result,
+    prepare_run_dir,
+    result_path,
+    write_checkpoint,
+    write_result,
+)
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.state import GAState
+
+
+def _state(generation=3):
+    rng = random.Random(7)
+    return GAState(
+        generation=generation,
+        rng_state=rng.getstate(),
+        population=[(0, 1), (1, 0)],
+        best_genes=(0, 1),
+        best_fitness=42.5,
+        stagnant=1,
+        area_stall=0,
+        timing_stall=2,
+        transition_stall=0,
+        history=[50.0, 45.0, 42.5],
+        evaluations=30,
+    )
+
+
+@pytest.fixture
+def run_dir(tmp_path):
+    return prepare_run_dir(tmp_path / "run")
+
+
+class TestLayout:
+    def test_prepare_is_idempotent(self, run_dir):
+        again = prepare_run_dir(run_dir)
+        assert again == run_dir
+        assert (run_dir / "checkpoints").is_dir()
+        assert (run_dir / "results").is_dir()
+
+
+class TestCheckpoints:
+    def test_round_trip(self, run_dir):
+        config = SynthesisConfig(population_size=12, seed=5)
+        state = _state()
+        write_checkpoint(run_dir, "job-a", state, config)
+        loaded = load_checkpoint(run_dir, "job-a", config)
+        assert loaded is not None
+        assert loaded.to_dict() == state.to_dict()
+        assert loaded.rng_state == state.rng_state
+
+    def test_missing_returns_none(self, run_dir):
+        assert load_checkpoint(run_dir, "absent") is None
+
+    def test_no_tmp_file_left_behind(self, run_dir):
+        write_checkpoint(run_dir, "job-a", _state(), SynthesisConfig())
+        leftovers = list((run_dir / "checkpoints").glob("*.tmp"))
+        assert leftovers == []
+
+    def test_config_mismatch_raises(self, run_dir):
+        write_checkpoint(
+            run_dir, "job-a", _state(), SynthesisConfig(seed=5)
+        )
+        with pytest.raises(CampaignError, match="different synthesis"):
+            load_checkpoint(run_dir, "job-a", SynthesisConfig(seed=6))
+
+    def test_job_id_mismatch_raises(self, run_dir):
+        write_checkpoint(run_dir, "job-a", _state(), SynthesisConfig())
+        # Simulate a file copied/renamed into the wrong slot.
+        checkpoint_path(run_dir, "job-a").rename(
+            checkpoint_path(run_dir, "job-b")
+        )
+        with pytest.raises(CampaignError, match="belongs to job"):
+            load_checkpoint(run_dir, "job-b")
+
+    def test_corrupt_checkpoint_raises(self, run_dir):
+        path = checkpoint_path(run_dir, "job-a")
+        path.write_text("{ torn")
+        with pytest.raises(CampaignError, match="corrupt checkpoint"):
+            load_checkpoint(run_dir, "job-a")
+
+    def test_clear_is_idempotent(self, run_dir):
+        write_checkpoint(run_dir, "job-a", _state(), SynthesisConfig())
+        clear_checkpoint(run_dir, "job-a")
+        clear_checkpoint(run_dir, "job-a")
+        assert load_checkpoint(run_dir, "job-a") is None
+
+
+class TestResults:
+    def test_round_trip(self, run_dir):
+        record = {"job_id": "job-a", "power": 1.25, "history": [2.0, 1.25]}
+        write_result(run_dir, "job-a", record)
+        assert load_result(run_dir, "job-a") == record
+        assert result_path(run_dir, "job-a").exists()
+
+    def test_missing_returns_none(self, run_dir):
+        assert load_result(run_dir, "absent") is None

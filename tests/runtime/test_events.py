@@ -1,0 +1,83 @@
+"""EventLog / event stream behaviour."""
+
+import json
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.runtime.events import (
+    EventLog,
+    events_path,
+    iter_events,
+    read_events,
+)
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    return tmp_path / "events.jsonl"
+
+
+class TestEmit:
+    def test_records_carry_seq_ts_and_fields(self, log_path):
+        clock = iter([10.0, 11.5]).__next__
+        with EventLog(log_path, clock=clock) as log:
+            first = log.emit("campaign_started", name="t", jobs=4)
+            second = log.emit("job_started", job_id="a")
+        assert first == {
+            "seq": 0,
+            "ts": 10.0,
+            "event": "campaign_started",
+            "name": "t",
+            "jobs": 4,
+        }
+        assert second["seq"] == 1 and second["ts"] == 11.5
+        assert read_events(log_path) == [first, second]
+
+    def test_lines_are_flushed_immediately(self, log_path):
+        # The stream must be readable while the writer is still open —
+        # that's what lets a kill -9 lose at most the torn final line.
+        with EventLog(log_path) as log:
+            log.emit("generation", generation=1)
+            assert len(read_events(log_path)) == 1
+
+    def test_seq_continues_across_reopen(self, log_path):
+        with EventLog(log_path) as log:
+            log.emit("a")
+            log.emit("b")
+        with EventLog(log_path) as log:
+            record = log.emit("c")
+        assert record["seq"] == 2
+        assert [e["seq"] for e in read_events(log_path)] == [0, 1, 2]
+
+
+class TestReading:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CampaignError, match="no event stream"):
+            read_events(tmp_path / "absent.jsonl")
+
+    def test_torn_final_line_is_skipped(self, log_path):
+        with EventLog(log_path) as log:
+            log.emit("a")
+            log.emit("b")
+        with open(log_path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "event": "tru')  # kill -9 mid-write
+        events = read_events(log_path)
+        assert [e["event"] for e in events] == ["a", "b"]
+
+    def test_corruption_mid_file_raises(self, log_path):
+        with open(log_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"seq": 0, "event": "a"}) + "\n")
+            handle.write("not json\n")
+            handle.write(json.dumps({"seq": 2, "event": "b"}) + "\n")
+        with pytest.raises(CampaignError, match="corrupt event"):
+            read_events(log_path)
+
+    def test_blank_lines_ignored(self, log_path):
+        with open(log_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"seq": 0, "event": "a"}) + "\n\n")
+        assert len(list(iter_events(log_path))) == 1
+
+
+def test_events_path_layout(tmp_path):
+    assert events_path(tmp_path) == tmp_path / "events.jsonl"

@@ -63,6 +63,57 @@ class TestValidation:
             SynthesisConfig(repair_fraction=0.0)
 
 
+class TestPoolFailureMode:
+    def test_default_is_fallback(self):
+        assert SynthesisConfig().pool_failure_mode == "fallback"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(SynthesisError, match="pool failure mode"):
+            SynthesisConfig(pool_failure_mode="explode")
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        config = SynthesisConfig(
+            population_size=24,
+            dvs=DvsMethod.GRADIENT,
+            use_probabilities=False,
+            per_gene_mutation_rate=0.05,
+            seed=9,
+            jobs=2,
+            pool_failure_mode="raise",
+        )
+        data = config.to_dict()
+        assert data["dvs"] == "gradient"  # enum serialised by value
+        restored = SynthesisConfig.from_dict(data)
+        assert restored == config
+        assert restored.dvs is DvsMethod.GRADIENT
+
+    def test_default_round_trip(self):
+        config = SynthesisConfig()
+        assert SynthesisConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_keys_rejected(self):
+        data = SynthesisConfig().to_dict()
+        data["poplation_size"] = 10  # typo must not pass silently
+        with pytest.raises(SynthesisError, match="poplation_size"):
+            SynthesisConfig.from_dict(data)
+
+    def test_from_dict_validates(self):
+        data = SynthesisConfig().to_dict()
+        data["population_size"] = 1
+        with pytest.raises(SynthesisError):
+            SynthesisConfig.from_dict(data)
+
+    def test_from_dict_accepts_dvs_string(self):
+        data = SynthesisConfig().to_dict()
+        data["dvs"] = "uniform"
+        assert SynthesisConfig.from_dict(data).dvs is DvsMethod.UNIFORM
+        data["dvs"] = "sawtooth"
+        with pytest.raises(SynthesisError):
+            SynthesisConfig.from_dict(data)
+
+
 class TestWithUpdates:
     def test_returns_modified_copy(self):
         base = SynthesisConfig(seed=1)

@@ -43,6 +43,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_campaign_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "spec.json", "--out", "runs/demo", "--quiet"]
+        )
+        assert args.command == "campaign"
+        assert args.spec == "spec.json"
+        assert args.out == "runs/demo"
+        assert args.quiet
+
+    def test_campaign_resume_and_report(self):
+        args = build_parser().parse_args(["campaign", "--resume", "runs/x"])
+        assert args.resume == "runs/x"
+        assert args.spec is None
+        args = build_parser().parse_args(["campaign", "--report", "runs/x"])
+        assert args.report == "runs/x"
+
 
 class TestInspect:
     def test_inspect_suite_instance(self, capsys):
@@ -57,6 +73,15 @@ class TestInspect:
         out = capsys.readouterr().out
         assert "rlc" in out
         assert "GPP" in out
+
+
+class TestUnknownInstance:
+    def test_error_lists_valid_names(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inspect", "mul99"])
+        message = str(excinfo.value)
+        assert "unknown problem 'mul99'" in message
+        assert "smartphone" in message  # full list of valid names
 
 
 class TestSynthesize:
@@ -143,6 +168,83 @@ class TestGanttFlag:
 
         data = json.loads(target.read_text())
         assert data["problem"] == "mul9"
+
+
+class TestCampaign:
+    def _write_spec(self, tmp_path):
+        import json
+
+        from repro.runtime.spec import CampaignSpec
+        from repro.synthesis.config import SynthesisConfig
+
+        spec = CampaignSpec(
+            name="cli-smoke",
+            instances=["mul9"],
+            runs=1,
+            base_seed=400,
+            config=SynthesisConfig(
+                population_size=10,
+                max_generations=8,
+                convergence_generations=4,
+            ),
+            checkpoint_every=2,
+        )
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert json.loads(path.read_text())["name"] == "cli-smoke"
+        return path
+
+    def test_init_spec_writes_loadable_template(self, capsys, tmp_path):
+        from repro.runtime.spec import CampaignSpec
+
+        target = tmp_path / "template.json"
+        assert main(["campaign", "--init-spec", str(target)]) == 0
+        assert "template campaign spec" in capsys.readouterr().out
+        template = CampaignSpec.load(target)
+        assert template.jobs()
+
+    def test_run_report_resume_cycle(self, capsys, tmp_path):
+        spec = self._write_spec(tmp_path)
+        run_dir = tmp_path / "run"
+        code = main(["campaign", str(spec), "--out", str(run_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign done: 2 jobs completed, 0 failed" in out
+        assert "Campaign 'cli-smoke'" in out
+        assert "mul9" in out
+
+        # Reporting needs only the event stream.
+        assert main(["campaign", "--report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign report" in out
+        assert "mul9" in out
+
+        # Resuming a finished campaign skips every job.
+        assert main(["campaign", "--resume", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "already complete, skipped" in out
+        assert "campaign done: 2 jobs completed" in out
+
+    def test_report_without_events_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--report", str(tmp_path / "nowhere")])
+
+    def test_missing_arguments_rejected(self):
+        with pytest.raises(SystemExit, match="campaign needs"):
+            main(["campaign"])
+
+    def test_unknown_instance_in_spec_fails_job(self, capsys, tmp_path):
+        import json
+
+        spec = self._write_spec(tmp_path)
+        data = json.loads(spec.read_text())
+        data["instances"] = ["mul99"]
+        spec.write_text(json.dumps(data))
+        code = main(["campaign", str(spec), "--out", str(tmp_path / "r")])
+        out = capsys.readouterr().out
+        assert code == 1  # failures reported via exit code
+        assert "FAILED" in out
+        assert "unknown instance" in out
 
 
 class TestTables:

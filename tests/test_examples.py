@@ -77,6 +77,19 @@ class TestSimulationValidation:
         assert "Eq. (1)" in out
 
 
+class TestCampaignResume:
+    @pytest.mark.slow
+    def test_kill_and_resume_bit_identical(self, capsys):
+        module = runpy.run_path(
+            f"{EXAMPLES}/campaign_resume.py", run_name="not_main"
+        )
+        module["main"]()
+        out = capsys.readouterr().out
+        assert "campaign killed mid-job (simulated crash)" in out
+        assert "bit-identical to the uninterrupted campaign: True" in out
+        assert "Recovered from events.jsonl" in out
+
+
 class TestSmartphoneCaseStudy:
     @pytest.mark.slow
     def test_runs_with_tiny_budget(self, capsys):
