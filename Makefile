@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-fast bench-smoke tables examples verify clean
+.PHONY: install test test-fast lint bench bench-fast bench-smoke tables examples verify clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,16 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+# Static lint over the sources and tests.  ruff is pinned in the
+# `dev` optional-dependency group; environments without it (e.g. the
+# hermetic test container) skip the check instead of failing.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+	    ruff check src tests; \
+	else \
+	    echo "ruff not installed (pip install -e '.[dev]'); skipping lint"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -28,10 +38,11 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_engine.py --quick \
 	    --check benchmarks/results/bench_engine_quick_baseline.json
 
-# The full pre-merge gate: tier-1 test suite plus the engine smoke
-# benchmark (bit-identity + performance regression check).  Runs from
-# a bare checkout — no `make install` needed.
-verify:
+# The full pre-merge gate: lint (when available), tier-1 test suite,
+# plus the engine smoke benchmark (bit-identity + performance
+# regression check).  Runs from a bare checkout — no `make install`
+# needed.
+verify: lint
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 	$(PYTHON) benchmarks/bench_engine.py --quick \
 	    --check benchmarks/results/bench_engine_quick_baseline.json

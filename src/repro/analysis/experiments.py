@@ -22,7 +22,7 @@ from __future__ import annotations
 import statistics
 import tempfile
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.benchgen.smartphone import smartphone_problem
 from repro.benchgen.suite import SUITE_SPECS

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pathlib
 import statistics
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Union
 
 from repro.analysis.experiments import ComparisonResult, PolicyOutcome
 from repro.analysis.paper_data import PaperRow

@@ -11,7 +11,7 @@ between unconnected PEs makes a mapping infeasible).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, Sequence, Tuple
 
 from repro.errors import ArchitectureError
 from repro.architecture.communication_link import CommunicationLink

@@ -12,7 +12,7 @@ several processing elements; those are its *implementation alternatives*
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 from repro.errors import TechnologyError
 from repro.architecture.platform import Architecture

@@ -15,8 +15,8 @@ Everything is derived deterministically from the spec's seed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.architecture.communication_link import CommunicationLink
 from repro.architecture.platform import Architecture

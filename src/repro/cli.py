@@ -10,6 +10,8 @@ Examples::
     repro-mm campaign spec.json --out runs/t1   # resumable campaign
     repro-mm campaign --resume runs/t1          # continue after a kill
     repro-mm campaign --report runs/t1          # tables from events only
+    repro-mm campaign --status runs/t1          # progress + ETA snapshot
+    repro-mm campaign --tail runs/t1            # follow the event stream
 
 The module is also runnable as ``python -m repro.cli``.
 """
@@ -18,7 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.analysis.experiments import (
     run_smartphone_experiment,
@@ -254,6 +256,27 @@ def _print_campaign_event(event: Dict[str, object]) -> None:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.status is not None:
+        from repro.obs import campaign_status, format_status
+
+        try:
+            print(format_status(campaign_status(args.status)))
+        except CampaignError as exc:
+            raise SystemExit(f"repro-mm: error: {exc}") from None
+        return 0
+    if args.tail is not None:
+        from repro.obs import format_event, tail_events
+
+        try:
+            for event in tail_events(
+                events_path(args.tail), follow=not args.no_follow
+            ):
+                print(format_event(event), flush=True)
+        except CampaignError as exc:
+            raise SystemExit(f"repro-mm: error: {exc}") from None
+        except KeyboardInterrupt:
+            pass
+        return 0
     if args.report is not None:
         try:
             results = results_from_events(events_path(args.report))
@@ -436,6 +459,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write a template campaign spec to FILE and exit",
+    )
+    campaign.add_argument(
+        "--status",
+        metavar="DIR",
+        default=None,
+        help=(
+            "print a progress report for the campaign in DIR "
+            "(completed/failed/running jobs, retries, ETA) and exit"
+        ),
+    )
+    campaign.add_argument(
+        "--tail",
+        metavar="DIR",
+        default=None,
+        help=(
+            "follow DIR's events.jsonl live, one human-readable line "
+            "per event; stops at campaign end (Ctrl-C to detach)"
+        ),
+    )
+    campaign.add_argument(
+        "--no-follow",
+        action="store_true",
+        help="with --tail: print the events already on disk and exit",
     )
     campaign.add_argument(
         "--quiet",

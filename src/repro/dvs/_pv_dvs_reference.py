@@ -19,8 +19,8 @@ reference.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import VoltageScalingError
 from repro.dvs.transform import VirtualSegment, transform_parallel_tasks

@@ -19,7 +19,7 @@ parallel tasks afterwards.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.errors import VoltageScalingError
 from repro.scheduling.schedule import TIME_EPS, ScheduledTask

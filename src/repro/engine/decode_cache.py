@@ -16,7 +16,7 @@ with and without the context — asserted by the engine test suite.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Tuple
 
 from repro.problem import Problem
 from repro.scheduling.mobility import MobilityInfo

@@ -30,9 +30,10 @@ import warnings
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.decode_cache import DecodeContext, context_for
-from repro.engine.profile import PROFILER, PhaseProfiler, PhaseTotals
+from repro.engine.profile import PROFILER, PhaseTotals
 from repro.engine.records import EvalRecord, evaluate_genes
 from repro.errors import WorkerPoolError
+from repro.obs.metrics import REGISTRY, MetricsSnapshot
 from repro.problem import Problem
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -54,29 +55,38 @@ def _init_worker(payload: bytes) -> None:
     _worker_context = (
         DecodeContext.build(_worker_problem) if config.decode_cache else None
     )
-    # Forked workers inherit the parent's accumulated phase totals;
-    # deltas shipped back must only cover work done in this process.
+    # Forked workers inherit the parent's accumulated phase totals and
+    # metrics; deltas shipped back must only cover work done in this
+    # process.
     PROFILER.reset()
+    REGISTRY.reset()
 
 
 def _init_forked_worker() -> None:
     """Initialise a fork-start worker: state arrived copy-on-write."""
     PROFILER.reset()
+    REGISTRY.reset()
 
 
 def _eval_chunk(
     chunk: Sequence[Tuple[str, ...]],
-) -> Tuple[List[EvalRecord], PhaseTotals, float]:
-    """Evaluate one chunk of genomes; returns records + profile delta."""
+) -> Tuple[List[EvalRecord], PhaseTotals, MetricsSnapshot, float]:
+    """Evaluate one chunk of genomes; returns records + profile/metric deltas."""
     assert _worker_problem is not None and _worker_config is not None
     base = PROFILER.snapshot()
+    metrics_base = REGISTRY.snapshot()
     started = time.perf_counter()
     records = [
         evaluate_genes(_worker_problem, genes, _worker_config, _worker_context)
         for genes in chunk
     ]
     busy = time.perf_counter() - started
-    return records, PROFILER.delta_since(base), busy
+    return (
+        records,
+        PROFILER.delta_since(base),
+        REGISTRY.delta_since(metrics_base),
+        busy,
+    )
 
 
 class ParallelEvaluator:
@@ -119,19 +129,49 @@ class ParallelEvaluator:
         self.pool_failures = 0
         self.last_pool_error: Optional[str] = None
         self.worker_phase_totals: Dict[str, Tuple[float, int]] = {}
+        #: Workers actually placed in service (0 = never had a pool).
+        self.pool_workers = 0
         self._pool = None
+        self._pool_started: Optional[float] = None
+        self._pool_service_seconds = 0.0
         if self.jobs > 1:
             self._pool = self._create_pool()
+            if self._pool is not None:
+                self.pool_workers = self.jobs
+                self._pool_started = time.perf_counter()
+                REGISTRY.set_gauge("engine_pool_workers", self.jobs)
+
+    @property
+    def pool_service_seconds(self) -> float:
+        """Wall-clock seconds the pool has been (or was) in service."""
+        total = self._pool_service_seconds
+        if self._pool_started is not None:
+            total += time.perf_counter() - self._pool_started
+        return total
+
+    def _stop_service_clock(self) -> None:
+        if self._pool_started is not None:
+            self._pool_service_seconds += (
+                time.perf_counter() - self._pool_started
+            )
+            self._pool_started = None
 
     def _record_failure(self, stage: str, exc: BaseException) -> None:
         """Count a pool failure and either warn or raise, per mode."""
         self.pool_failures += 1
         self.last_pool_error = f"{stage}: {exc!r}"
+        self._stop_service_clock()
+        REGISTRY.inc("engine_pool_failures_total", stage=stage)
         if self.failure_mode == "raise":
             raise WorkerPoolError(
                 f"worker pool {stage} failed after "
                 f"{self.parallel_evaluations} parallel evaluations: {exc!r}"
             ) from exc
+        # The fallback transition is surfaced three ways: the counter
+        # below, the pool_workers gauge dropping to zero, and the
+        # RuntimeWarning for interactive runs.
+        REGISTRY.inc("engine_pool_fallbacks_total")
+        REGISTRY.set_gauge("engine_pool_workers", 0)
         warnings.warn(
             f"parallel evaluation pool {stage} failed ({exc!r}); "
             f"continuing with in-process evaluation",
@@ -184,6 +224,7 @@ class ParallelEvaluator:
     def close(self) -> None:
         """Shut the pool down gracefully (idempotent)."""
         if self._pool is not None:
+            self._stop_service_clock()
             try:
                 self._pool.close()
                 self._pool.join()
@@ -200,6 +241,7 @@ class ParallelEvaluator:
         block forever waiting for worker sentinels.
         """
         if self._pool is not None:
+            self._stop_service_clock()
             try:  # pragma: no cover - teardown robustness
                 self._pool.terminate()
                 self._pool.join()
@@ -282,7 +324,7 @@ class ParallelEvaluator:
         ]
         results = pending.get()
         records: List[EvalRecord] = []
-        for chunk_records, phase_delta, busy in results:
+        for chunk_records, phase_delta, metrics_delta, busy in results:
             records.extend(chunk_records)
             self.pool_busy_seconds += busy
             for name, (seconds, calls) in phase_delta.items():
@@ -293,7 +335,12 @@ class ParallelEvaluator:
                     prev_seconds + seconds,
                     prev_calls + calls,
                 )
+            # Fold the worker's metric delta into this process's
+            # registry: the pool is transparent to observability.
+            REGISTRY.merge(metrics_delta)
+            REGISTRY.observe("engine_chunk_seconds", busy)
         self.parallel_evaluations += len(records)
         records.extend(local_records)
         self.batches += 1
+        REGISTRY.inc("engine_pool_batches_total")
         return records

@@ -8,6 +8,15 @@ ship deltas back with every result chunk, so the synthesizer can merge a
 complete picture into :class:`PerfStats` regardless of where candidates
 were evaluated.
 
+Phases can additionally be attributed to one *operational mode*
+(``PROFILER.phase("schedule", mode="gsm")``): per-mode buckets travel
+through the same snapshot/delta/merge machinery (keys become
+``(name, mode)`` tuples) and :class:`PerfStats` derives both the
+aggregate per-phase totals and the per-mode breakdown from them, so the
+mode buckets of a phase always sum exactly to its aggregate.  Work that
+spans all modes at once (core allocation, the power model) is recorded
+without a mode and lands in the reserved :data:`SHARED_MODE` bucket.
+
 The timers are two ``perf_counter`` calls per phase — cheap enough to
 stay enabled unconditionally.
 """
@@ -17,10 +26,24 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Tuple, Union
 
-#: A snapshot/delta of accumulated phase data: name -> (seconds, calls).
-PhaseTotals = Dict[str, Tuple[float, int]]
+#: Phase identity: a bare name, or ``(name, mode)`` for mode-attributed
+#: accumulation.
+PhaseKey = Union[str, Tuple[str, str]]
+
+#: A snapshot/delta of accumulated phase data: key -> (seconds, calls).
+PhaseTotals = Dict[PhaseKey, Tuple[float, int]]
+
+#: Pseudo-mode for phase work that spans all operational modes at once.
+SHARED_MODE = "*"
+
+
+def split_phase_key(key: PhaseKey) -> Tuple[str, Optional[str]]:
+    """``(name, mode)`` of a phase key (mode ``None`` when unattributed)."""
+    if isinstance(key, tuple):
+        return key[0], key[1]
+    return key, None
 
 
 class PhaseProfiler:
@@ -29,24 +52,34 @@ class PhaseProfiler:
     __slots__ = ("_seconds", "_calls")
 
     def __init__(self) -> None:
-        self._seconds: Dict[str, float] = {}
-        self._calls: Dict[str, int] = {}
+        self._seconds: Dict[PhaseKey, float] = {}
+        self._calls: Dict[PhaseKey, int] = {}
 
     @contextmanager
-    def phase(self, name: str) -> Iterator[None]:
+    def phase(
+        self, name: str, mode: Optional[str] = None
+    ) -> Iterator[None]:
         """Time one phase execution (re-entrant accumulation)."""
+        key: PhaseKey = name if mode is None else (name, mode)
         started = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - started
-            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
-            self._calls[name] = self._calls.get(name, 0) + 1
+            self._seconds[key] = self._seconds.get(key, 0.0) + elapsed
+            self._calls[key] = self._calls.get(key, 0) + 1
 
-    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+    def add(
+        self,
+        name: str,
+        seconds: float,
+        calls: int = 1,
+        mode: Optional[str] = None,
+    ) -> None:
         """Record an externally measured phase duration."""
-        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
-        self._calls[name] = self._calls.get(name, 0) + calls
+        key: PhaseKey = name if mode is None else (name, mode)
+        self._seconds[key] = self._seconds.get(key, 0.0) + seconds
+        self._calls[key] = self._calls.get(key, 0) + calls
 
     def reset(self) -> None:
         self._seconds.clear()
@@ -55,25 +88,26 @@ class PhaseProfiler:
     def snapshot(self) -> PhaseTotals:
         """Current totals, safe to keep across further accumulation."""
         return {
-            name: (self._seconds[name], self._calls[name])
-            for name in self._seconds
+            key: (self._seconds[key], self._calls[key])
+            for key in self._seconds
         }
 
     def delta_since(self, base: PhaseTotals) -> PhaseTotals:
         """Accumulation that happened after ``base`` was snapshotted."""
         delta: PhaseTotals = {}
-        for name, seconds in self._seconds.items():
-            base_seconds, base_calls = base.get(name, (0.0, 0))
+        for key, seconds in self._seconds.items():
+            base_seconds, base_calls = base.get(key, (0.0, 0))
             extra_seconds = seconds - base_seconds
-            extra_calls = self._calls[name] - base_calls
+            extra_calls = self._calls[key] - base_calls
             if extra_calls > 0 or extra_seconds > 1e-12:
-                delta[name] = (extra_seconds, extra_calls)
+                delta[key] = (extra_seconds, extra_calls)
         return delta
 
-    def merge(self, totals: Mapping[str, Tuple[float, int]]) -> None:
+    def merge(self, totals: Mapping[PhaseKey, Tuple[float, int]]) -> None:
         """Fold another profiler's totals (or a delta) into this one."""
-        for name, (seconds, calls) in totals.items():
-            self.add(name, seconds, calls)
+        for key, (seconds, calls) in totals.items():
+            name, mode = split_phase_key(key)
+            self.add(name, seconds, calls, mode=mode)
 
 
 #: The process-global profiler the evaluator records into.
@@ -89,6 +123,11 @@ class PerfStats:
     phase_seconds / phase_calls:
         Accumulated evaluator phase timings (mobility, cores, schedule,
         dvs, power) across the main process and all pool workers.
+    mode_phase_seconds / mode_phase_calls:
+        The same timings split per operational mode
+        (``phase -> mode -> value``).  Phases that run once across all
+        modes appear under the :data:`SHARED_MODE` (``"*"``) bucket;
+        per phase, the mode buckets sum exactly to the aggregate.
     evaluations:
         Full candidate evaluations actually performed (cache misses).
     cache_hits:
@@ -106,10 +145,27 @@ class PerfStats:
         Evaluations that ran inside pool workers.
     pool_busy_seconds:
         Summed wall-clock seconds workers spent evaluating chunks.
+    pool_workers:
+        Worker processes actually placed in service (0 when no pool was
+        ever created — including runs configured with ``jobs > 1``
+        whose pool failed at creation).
+    pool_service_seconds:
+        Wall-clock seconds the pool was in service (creation until
+        close, death or fallback) — the denominator basis of
+        :attr:`pool_utilisation`, so a mid-run serial fallback stops
+        accruing capacity instead of reporting nonsense utilisation.
+    pool_fallbacks:
+        Pool failures that degraded the run to in-process evaluation.
     """
 
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     phase_calls: Dict[str, int] = field(default_factory=dict)
+    mode_phase_seconds: Dict[str, Dict[str, float]] = field(
+        default_factory=dict
+    )
+    mode_phase_calls: Dict[str, Dict[str, int]] = field(
+        default_factory=dict
+    )
     evaluations: int = 0
     cache_hits: int = 0
     dedup_hits: int = 0
@@ -118,6 +174,9 @@ class PerfStats:
     batches: int = 0
     parallel_evaluations: int = 0
     pool_busy_seconds: float = 0.0
+    pool_workers: int = 0
+    pool_service_seconds: float = 0.0
+    pool_fallbacks: int = 0
 
     @property
     def evaluations_per_second(self) -> float:
@@ -135,16 +194,32 @@ class PerfStats:
 
     @property
     def pool_utilisation(self) -> float:
-        """Worker busy-time as a fraction of ``wall_time × jobs``."""
-        if self.wall_time <= 0 or self.jobs <= 1:
+        """Worker busy-time as a fraction of the pool's *actual* capacity.
+
+        Capacity is ``pool_service_seconds × pool_workers`` — the
+        workers genuinely in service, for the time the pool was alive.
+        A run that fell back to serial evaluation mid-way therefore
+        reports the utilisation of the pool *while it existed*, and a
+        run that never had a pool reports 0.
+        """
+        capacity = self.pool_service_seconds * self.pool_workers
+        if capacity <= 0:
             return 0.0
-        return self.pool_busy_seconds / (self.wall_time * self.jobs)
+        return self.pool_busy_seconds / capacity
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable view (used by the benchmark harness)."""
         return {
             "phase_seconds": dict(self.phase_seconds),
             "phase_calls": dict(self.phase_calls),
+            "mode_phase_seconds": {
+                phase: dict(modes)
+                for phase, modes in self.mode_phase_seconds.items()
+            },
+            "mode_phase_calls": {
+                phase: dict(modes)
+                for phase, modes in self.mode_phase_calls.items()
+            },
             "evaluations": self.evaluations,
             "cache_hits": self.cache_hits,
             "dedup_hits": self.dedup_hits,
@@ -155,11 +230,31 @@ class PerfStats:
             "batches": self.batches,
             "parallel_evaluations": self.parallel_evaluations,
             "pool_utilisation": self.pool_utilisation,
+            "pool_busy_seconds": self.pool_busy_seconds,
+            "pool_workers": self.pool_workers,
+            "pool_service_seconds": self.pool_service_seconds,
+            "pool_fallbacks": self.pool_fallbacks,
         }
 
-    def merge_phase_totals(self, totals: Mapping[str, Tuple[float, int]]) -> None:
-        for name, (seconds, calls) in totals.items():
+    def merge_phase_totals(
+        self, totals: Mapping[PhaseKey, Tuple[float, int]]
+    ) -> None:
+        """Fold a :class:`PhaseProfiler` snapshot/delta into this summary.
+
+        Mode-attributed keys feed both the aggregate per-phase totals
+        and the per-mode breakdown, which keeps the two views exactly
+        consistent by construction.
+        """
+        for key, (seconds, calls) in totals.items():
+            name, mode = split_phase_key(key)
             self.phase_seconds[name] = (
                 self.phase_seconds.get(name, 0.0) + seconds
             )
             self.phase_calls[name] = self.phase_calls.get(name, 0) + calls
+            bucket = mode if mode is not None else SHARED_MODE
+            seconds_by_mode = self.mode_phase_seconds.setdefault(name, {})
+            seconds_by_mode[bucket] = (
+                seconds_by_mode.get(bucket, 0.0) + seconds
+            )
+            calls_by_mode = self.mode_phase_calls.setdefault(name, {})
+            calls_by_mode[bucket] = calls_by_mode.get(bucket, 0) + calls

@@ -15,6 +15,8 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
+from repro.obs.metrics import REGISTRY
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.decode_cache import DecodeContext
     from repro.mapping.implementation import Implementation
@@ -36,10 +38,20 @@ class EvalRecord:
 def record_from_implementation(
     implementation: Optional["Implementation"],
 ) -> EvalRecord:
-    """Summarise one decoded implementation (``None`` = comm-infeasible)."""
+    """Summarise one decoded implementation (``None`` = comm-infeasible).
+
+    Every candidate evaluation in the system funnels through here —
+    serial, cached-context or pool-worker alike — which makes it the
+    one place to meter evaluation throughput and feasibility.
+    """
     if implementation is None:
+        REGISTRY.inc("engine_evaluations_total", outcome="infeasible")
         return EvalRecord(fitness=math.inf)
     metrics = implementation.metrics
+    REGISTRY.inc(
+        "engine_evaluations_total",
+        outcome="feasible" if metrics.is_feasible else "violating",
+    )
     return EvalRecord(
         fitness=metrics.fitness,
         area_violating_pes=tuple(sorted(metrics.area_violation)),

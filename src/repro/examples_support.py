@@ -15,7 +15,7 @@ model can be checked against published numbers to the printed digit.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Tuple
 
 from repro.architecture.communication_link import CommunicationLink
 from repro.architecture.platform import Architecture

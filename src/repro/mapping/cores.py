@@ -21,10 +21,9 @@ Area accounting distinguishes the two hardware kinds:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
-from repro.errors import MappingError
 from repro.architecture.processing_element import PEKind, ProcessingElement
 from repro.mapping.encoding import MappingString
 from repro.problem import Problem

@@ -12,7 +12,7 @@ order.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.errors import MappingError
 from repro.problem import Problem

@@ -9,8 +9,8 @@ area, mode-transition time).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.mapping.cores import CoreAllocation
 from repro.mapping.encoding import MappingString

@@ -62,16 +62,96 @@ class EventLog:
         self.path = pathlib.Path(path)
         self._clock = clock
         self._seq = self._next_seq()
+        self._trim_torn_tail()
         self._handle = open(self.path, "a", encoding="utf-8")
 
+    def _trim_torn_tail(self) -> None:
+        """Drop a partially written final line before appending.
+
+        Without the trim, the next emit would glue its record onto the
+        torn tail of a killed writer, turning a harmless skipped tail
+        into real mid-file corruption once further events follow.  The
+        torn tail carries no complete event by construction, so
+        truncating it loses nothing.
+        """
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            return
+        if size == 0:
+            return
+        with open(self.path, "rb+") as handle:
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return
+            # Walk back in chunks to the last newline (file offset of
+            # the torn line's start); no newline at all means the whole
+            # file is the torn line.
+            end = size
+            chunk = 8192
+            while end > 0:
+                take = min(chunk, end)
+                handle.seek(end - take)
+                data = handle.read(take)
+                newline = data.rfind(b"\n")
+                if newline != -1:
+                    handle.truncate(end - take + newline + 1)
+                    return
+                end -= take
+            handle.truncate(0)
+
     def _next_seq(self) -> int:
-        """Continue numbering after the last event already on disk."""
-        if not self.path.exists():
+        """Continue numbering after the last event already on disk.
+
+        Reads only the *tail* of the stream — seeking backwards in
+        growing chunks for the last complete line — so reopening the
+        log of a long campaign (every retry and resume does) stays
+        O(1) instead of JSON-parsing the entire file.  A torn final
+        line (crash mid-write) is skipped, like :func:`iter_events`
+        does.
+        """
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
             return 0
-        last = -1
-        for event in iter_events(self.path):
-            last = max(last, int(event.get("seq", -1)))
-        return last + 1
+        chunk = 8192
+        buffer = b""
+        position = size
+        with open(self.path, "rb") as handle:
+            while position > 0:
+                take = min(chunk, position)
+                position -= take
+                handle.seek(position)
+                buffer = handle.read(take) + buffer
+                seq = self._last_seq_in(buffer, complete=position == 0)
+                if seq is not None:
+                    return seq + 1
+                chunk *= 2
+        return 0
+
+    @staticmethod
+    def _last_seq_in(buffer: bytes, complete: bool) -> Optional[int]:
+        """Sequence number of the last parseable event in ``buffer``.
+
+        ``complete`` says the buffer starts at the beginning of the
+        file; otherwise its first line may be cut mid-way by the chunk
+        boundary and cannot be trusted.  Returns ``None`` when no
+        complete event line is present (caller reads further back).
+        """
+        lines = buffer.split(b"\n")
+        candidates = lines if complete else lines[1:]
+        for raw in reversed(candidates):
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            try:
+                event = json.loads(stripped.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                # The torn tail of a killed writer; look further back.
+                continue
+            if isinstance(event, dict):
+                return int(event.get("seq", -1))
+        return None
 
     def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
         """Append one event; returns the record as written."""
@@ -101,8 +181,11 @@ def iter_events(path: PathLike) -> Iterator[Dict[str, Any]]:
     """Yield events from a JSONL stream, tolerating a torn final line.
 
     A crash can leave a partially written last line; that tail is
-    skipped (it carries no completed event by construction).  A torn
-    line anywhere *else* means real corruption and raises.
+    skipped (it carries no completed event by construction).  Blank or
+    whitespace-only lines — including any that follow the torn tail,
+    e.g. a trailing newline flushed by a dying writer — never count as
+    events.  A torn line followed by a further *non-empty* line means
+    real corruption and raises.
     """
     path = pathlib.Path(path)
     try:
@@ -112,15 +195,15 @@ def iter_events(path: PathLike) -> Iterator[Dict[str, Any]]:
     with handle:
         pending_error: Optional[str] = None
         for line_number, line in enumerate(handle, 1):
-            if pending_error is not None:
-                raise CampaignError(pending_error)
             stripped = line.strip()
             if not stripped:
                 continue
+            if pending_error is not None:
+                raise CampaignError(pending_error)
             try:
                 yield json.loads(stripped)
             except json.JSONDecodeError:
-                # Only legal as the very last line (torn write).
+                # Only legal as the last non-empty line (torn write).
                 pending_error = (
                     f"corrupt event at {path}:{line_number}: "
                     f"{stripped[:80]!r}"

@@ -22,7 +22,11 @@ as an ordered queue of synthesis jobs on top of the evaluation engine:
   the final ``job_finished`` events carry enough (power, CPU time,
   feasibility, perf counters) for
   :func:`repro.analysis.reporting.results_from_events` to rebuild the
-  paper's comparison tables without re-running anything.
+  paper's comparison tables without re-running anything.  On exit
+  (finished *or* interrupted) the runner also exports a machine-
+  readable ``run_summary.json`` (see :mod:`repro.obs.summary`) and
+  campaign-level counters/gauges land in the process-global metrics
+  registry (:mod:`repro.obs.metrics`).
 """
 
 from __future__ import annotations
@@ -30,12 +34,14 @@ from __future__ import annotations
 import pathlib
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.errors import CampaignError, ReproError, WorkerPoolError
+from repro.obs.metrics import REGISTRY
+from repro.obs.summary import build_run_summary, write_run_summary
 from repro.problem import Problem
 from repro.runtime import checkpoint as ckpt
-from repro.runtime.events import EventLog, events_path
+from repro.runtime.events import EventLog, events_path, read_events
 from repro.runtime.spec import CampaignSpec, JobSpec
 from repro.synthesis.cosynthesis import MultiModeSynthesizer
 from repro.synthesis.state import GAState
@@ -210,6 +216,8 @@ class CampaignRunner:
                 for job in queue
                 if ckpt.load_result(self.run_dir, job.job_id) is None
             ]
+            remaining = len(pending)
+            REGISTRY.set_gauge("campaign_jobs_pending", remaining)
             self._emit(
                 events,
                 "campaign_started",
@@ -223,6 +231,7 @@ class CampaignRunner:
                     if stored is not None:
                         result = JobResult.from_dict(stored)
                         outcome.results[job.job_id] = result
+                        REGISTRY.inc("campaign_jobs_skipped_total")
                         self._emit(
                             events,
                             "job_skipped",
@@ -234,6 +243,7 @@ class CampaignRunner:
                         result = self._run_job(job, events)
                     except (ReproError, ValidationError) as exc:
                         outcome.failures[job.job_id] = str(exc)
+                        REGISTRY.inc("campaign_jobs_failed_total")
                         self._emit(
                             events,
                             "job_failed",
@@ -241,6 +251,11 @@ class CampaignRunner:
                             error=str(exc),
                         )
                         continue
+                    finally:
+                        remaining -= 1
+                        REGISTRY.set_gauge(
+                            "campaign_jobs_pending", remaining
+                        )
                     outcome.results[job.job_id] = result
             except KeyboardInterrupt:
                 self._emit(
@@ -249,6 +264,7 @@ class CampaignRunner:
                     campaign=self.spec.name,
                     completed_jobs=len(outcome.results),
                 )
+                self._export_summary(outcome, interrupted=True)
                 raise
             self._emit(
                 events,
@@ -257,7 +273,35 @@ class CampaignRunner:
                 completed_jobs=len(outcome.results),
                 failed_jobs=len(outcome.failures),
             )
+            self._export_summary(outcome, interrupted=False)
         return outcome
+
+    def _export_summary(
+        self, outcome: CampaignResult, interrupted: bool
+    ) -> None:
+        """Write ``run_summary.json`` next to the event stream.
+
+        Best-effort on the interrupt path — a summary problem must not
+        mask the ``KeyboardInterrupt`` already propagating.
+        """
+        try:
+            events = read_events(events_path(self.run_dir))
+            summary = build_run_summary(
+                campaign=self.spec.name,
+                total_jobs=len(self.spec.jobs()),
+                job_results={
+                    job_id: result.to_dict()
+                    for job_id, result in outcome.results.items()
+                },
+                failures=dict(outcome.failures),
+                events=events,
+                metrics=REGISTRY.to_dict(),
+                interrupted=interrupted,
+            )
+            write_run_summary(self.run_dir, summary)
+        except Exception:
+            if not interrupted:
+                raise
 
     def _emit(
         self, events: EventLog, kind: str, **fields: Any
@@ -274,6 +318,7 @@ class CampaignRunner:
         )
         attempts = self.spec.max_retries + 1
         first_resumed_from = 0
+        job_started = time.perf_counter()
         for attempt in range(attempts):
             state = ckpt.load_checkpoint(self.run_dir, job.job_id, config)
             resumed_from = state.generation if state is not None else 0
@@ -304,7 +349,13 @@ class CampaignRunner:
                     ),
                     evaluations=snapshot.evaluations,
                 )
-                if snapshot.generation % self.spec.checkpoint_every == 0:
+                # The final generation always checkpoints, whatever the
+                # cadence: a crash between the last periodic snapshot
+                # and job completion must not lose finished work.
+                if (
+                    snapshot.generation % self.spec.checkpoint_every == 0
+                    or snapshot.generation >= config.max_generations
+                ):
                     ckpt.write_checkpoint(
                         self.run_dir, job.job_id, snapshot, config
                     )
@@ -323,6 +374,7 @@ class CampaignRunner:
                 if attempt + 1 >= attempts:
                     raise
                 backoff = self.spec.retry_backoff * (2**attempt)
+                REGISTRY.inc("campaign_job_retries_total")
                 self._emit(
                     events,
                     "job_retried",
@@ -363,6 +415,11 @@ class CampaignRunner:
             )
             ckpt.write_result(self.run_dir, job.job_id, result.to_dict())
             ckpt.clear_checkpoint(self.run_dir, job.job_id)
+            REGISTRY.inc("campaign_jobs_finished_total")
+            REGISTRY.observe(
+                "campaign_job_seconds",
+                time.perf_counter() - job_started,
+            )
             self._emit(
                 events,
                 "job_finished",

@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 import pathlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Sequence, Union
+from typing import Any, Dict, List, Mapping, Union
 
 from repro.errors import CampaignError
 from repro.synthesis.config import DvsMethod, SynthesisConfig

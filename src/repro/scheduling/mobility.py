@@ -17,7 +17,7 @@ mapping-level heuristic needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping
+from typing import Callable, Dict
 
 from repro.errors import SchedulingError
 from repro.specification.mode import Mode

@@ -15,9 +15,7 @@ earliest-gap insertion.
 from __future__ import annotations
 
 import bisect
-import dataclasses
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SchedulingError

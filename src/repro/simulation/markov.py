@@ -30,7 +30,7 @@ loudly.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import SpecificationError
 from repro.specification.omsm import OMSM

@@ -9,7 +9,6 @@ device's operational lifetime spent in this mode (paper Section 2.1.1).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import SpecificationError
 from repro.specification.task_graph import TaskGraph

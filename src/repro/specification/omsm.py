@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, Sequence, Set, Tuple
 
 from repro.errors import SpecificationError
 from repro.specification.mode import Mode

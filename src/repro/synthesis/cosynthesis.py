@@ -22,6 +22,7 @@ from repro.engine.decode_cache import context_for
 from repro.engine.parallel import ParallelEvaluator
 from repro.engine.profile import PROFILER, PerfStats
 from repro.engine.records import EvalRecord, record_from_implementation
+from repro.obs.metrics import REGISTRY
 from repro.mapping.encoding import MappingString
 from repro.mapping.implementation import Implementation
 from repro.problem import Problem
@@ -245,6 +246,7 @@ class MultiModeSynthesizer:
         for generation in range(
             start_generation, config.max_generations + 1
         ):
+            generation_started = time.perf_counter()
             records = self._evaluate_population(population, evaluator)
 
             improved = False
@@ -255,8 +257,15 @@ class MultiModeSynthesizer:
                     improved = True
             stagnant = 0 if improved else stagnant + 1
             history.append(best_fitness)
+            REGISTRY.inc("ga_generations_total")
+            if math.isfinite(best_fitness):
+                REGISTRY.set_gauge("ga_best_fitness", best_fitness)
 
             if stagnant >= config.convergence_generations:
+                REGISTRY.observe(
+                    "ga_generation_seconds",
+                    time.perf_counter() - generation_started,
+                )
                 break
             if (
                 stagnant > 0
@@ -318,6 +327,10 @@ class MultiModeSynthesizer:
             if transition_stall >= config.stall_generations:
                 transition_stall = 0
 
+            REGISTRY.observe(
+                "ga_generation_seconds",
+                time.perf_counter() - generation_started,
+            )
             if on_generation is not None:
                 # The end of the generation body is the one clean
                 # resume point: the next-generation population is bred,
@@ -367,6 +380,12 @@ class MultiModeSynthesizer:
             perf.batches = evaluator.batches
             perf.parallel_evaluations = evaluator.parallel_evaluations
             perf.pool_busy_seconds = evaluator.pool_busy_seconds
+            perf.pool_workers = evaluator.pool_workers
+            perf.pool_service_seconds = evaluator.pool_service_seconds
+            perf.pool_fallbacks = evaluator.pool_failures
+        REGISTRY.inc("ga_runs_total")
+        REGISTRY.inc("ga_cache_hits_total", self._cache_hits)
+        REGISTRY.inc("ga_dedup_hits_total", self._dedup_hits)
         return SynthesisResult(
             best=best,
             generations=generation,

@@ -23,7 +23,6 @@ candidate paths, which remain reachable via
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Optional
 
 from repro.errors import SchedulingError
@@ -67,13 +66,13 @@ def evaluate_mapping(
         context = context_for(problem)
     technology = problem.technology
 
-    with PROFILER.phase("mobility"):
-        mode_mappings: Dict[str, Dict[str, str]] = {
-            mode.name: mapping.mode_mapping(mode.name)
-            for mode in problem.omsm.modes
-        }
-        mobilities = {}
-        for mode in problem.omsm.modes:
+    mode_mappings: Dict[str, Dict[str, str]] = {}
+    mobilities = {}
+    for mode in problem.omsm.modes:
+        # Mode-attributed timing: the per-mode buckets of each phase
+        # sum exactly to its aggregate (see repro.engine.profile).
+        with PROFILER.phase("mobility", mode=mode.name):
+            mode_mappings[mode.name] = mapping.mode_mapping(mode.name)
             if context is not None:
                 mobilities[mode.name] = context.compute_mobilities(
                     mode.name, mode_mappings[mode.name]
@@ -101,7 +100,7 @@ def evaluate_mapping(
     schedules: Dict[str, ModeSchedule] = {}
     timing_violations: Dict[str, Dict[str, float]] = {}
     for mode in problem.omsm.modes:
-        with PROFILER.phase("schedule"):
+        with PROFILER.phase("schedule", mode=mode.name):
             try:
                 if config.inner_loop_iterations > 0:
                     from repro.scheduling.priority_search import (
@@ -127,7 +126,7 @@ def evaluate_mapping(
             except SchedulingError:
                 return None
         if config.dvs is not DvsMethod.NONE:
-            with PROFILER.phase("dvs"):
+            with PROFILER.phase("dvs", mode=mode.name):
                 if config.dvs is DvsMethod.GRADIENT:
                     if config.decode_cache:
                         schedule = scale_schedule(

@@ -21,7 +21,7 @@ met, and ``1 + w_T · Σ overshoot/deadline`` otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Mapping, Tuple
 
 from repro.problem import Problem
 

@@ -23,7 +23,7 @@ individual then.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.architecture.processing_element import PEKind
 from repro.mapping.encoding import MappingString

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.io import problem_from_dict, problem_to_dict
 from repro.problem import Problem

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.analysis.gantt import render_all_modes, render_gantt
 from repro.mapping.cores import allocate_cores

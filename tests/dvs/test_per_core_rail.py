@@ -1,8 +1,6 @@
 """Tests for the per-core-rail DVS variant (shared_rail=False)."""
 
-import random
 
-import pytest
 
 from repro.dvs.pv_dvs import scale_schedule
 from repro.mapping.cores import allocate_cores

@@ -8,7 +8,6 @@ run is a pure function of (problem, config-minus-jobs, seed).
 
 import random
 
-import pytest
 
 from repro.benchgen.suite import suite_problem
 from repro.mapping.encoding import MappingString

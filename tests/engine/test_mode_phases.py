@@ -1,0 +1,59 @@
+"""Acceptance: per-mode phase timings sum exactly to the aggregates.
+
+The ISSUE criterion verified here: for a real synthesis run the
+per-mode breakdown of every phase (``perf.mode_phase_seconds``) sums,
+within float tolerance, to that phase's aggregate ``phase_seconds`` —
+with serial evaluation and with a worker pool, whose per-mode buckets
+travel back to the parent as profiler deltas.
+"""
+
+import pytest
+
+from repro.engine.profile import SHARED_MODE
+from repro.synthesis.config import DvsMethod, SynthesisConfig
+from repro.synthesis.cosynthesis import MultiModeSynthesizer
+
+from tests.conftest import make_two_mode_problem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_two_mode_problem()
+
+
+def _run(problem, jobs):
+    config = SynthesisConfig(
+        population_size=10,
+        max_generations=4,
+        convergence_generations=10,
+        dvs=DvsMethod.GRADIENT,
+        jobs=jobs,
+        seed=5,
+    )
+    return MultiModeSynthesizer(problem, config).run()
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_mode_buckets_sum_to_phase_aggregates(problem, jobs):
+    perf = _run(problem, jobs).perf
+    assert perf is not None
+    assert perf.phase_seconds, "no phases were profiled"
+    assert set(perf.mode_phase_seconds) == set(perf.phase_seconds)
+    for phase, total in perf.phase_seconds.items():
+        buckets = perf.mode_phase_seconds[phase]
+        assert sum(buckets.values()) == pytest.approx(total)
+        assert sum(
+            perf.mode_phase_calls[phase].values()
+        ) == perf.phase_calls[phase]
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_mode_attribution_matches_phase_kind(problem, jobs):
+    perf = _run(problem, jobs).perf
+    mode_names = {mode.name for mode in problem.omsm.modes}
+    # Per-mode phases are attributed to real modes...
+    for phase in ("mobility", "schedule", "dvs"):
+        assert set(perf.mode_phase_seconds[phase]) == mode_names
+    # ...while whole-mapping phases land in the shared bucket.
+    for phase in ("cores", "power"):
+        assert set(perf.mode_phase_seconds[phase]) == {SHARED_MODE}

@@ -4,7 +4,12 @@ import time
 
 import pytest
 
-from repro.engine.profile import PerfStats, PhaseProfiler
+from repro.engine.profile import (
+    SHARED_MODE,
+    PerfStats,
+    PhaseProfiler,
+    split_phase_key,
+)
 
 
 class TestPhaseProfiler:
@@ -53,6 +58,34 @@ class TestPhaseProfiler:
         profiler.add("dvs", 1.0)
         assert profiler.delta_since(profiler.snapshot()) == {}
 
+    def test_mode_attribution_uses_tuple_keys(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("schedule", mode="gsm"):
+            pass
+        profiler.add("schedule", 0.5, mode="mp3")
+        profiler.add("cores", 0.25)
+        totals = profiler.snapshot()
+        assert ("schedule", "gsm") in totals
+        assert totals[("schedule", "mp3")] == (0.5, 1)
+        assert totals["cores"] == (0.25, 1)
+        assert split_phase_key(("schedule", "gsm")) == ("schedule", "gsm")
+        assert split_phase_key("cores") == ("cores", None)
+
+    def test_delta_and_merge_preserve_mode_keys(self):
+        profiler = PhaseProfiler()
+        profiler.add("dvs", 1.0, mode="gsm")
+        base = profiler.snapshot()
+        profiler.add("dvs", 0.5, mode="gsm")
+        profiler.add("dvs", 0.25, mode="mp3")
+        delta = profiler.delta_since(base)
+        assert delta == {
+            ("dvs", "gsm"): (pytest.approx(0.5), 1),
+            ("dvs", "mp3"): (0.25, 1),
+        }
+        other = PhaseProfiler()
+        other.merge(delta)
+        assert other.snapshot()[("dvs", "gsm")] == (pytest.approx(0.5), 1)
+
     def test_merge_folds_totals(self):
         left = PhaseProfiler()
         left.add("dvs", 1.0, calls=2)
@@ -76,10 +109,47 @@ class TestPerfStats:
         assert PerfStats().cache_hit_rate == 0.0
 
     def test_pool_utilisation(self):
-        stats = PerfStats(wall_time=2.0, jobs=4, pool_busy_seconds=4.0)
+        # busy / (service × workers): 4 workers in service for 2 s
+        # with 4 s of aggregate busy time were 50% utilised.
+        stats = PerfStats(
+            wall_time=2.0,
+            jobs=4,
+            pool_busy_seconds=4.0,
+            pool_workers=4,
+            pool_service_seconds=2.0,
+        )
         assert stats.pool_utilisation == pytest.approx(0.5)
-        # Serial runs report zero utilisation by definition.
+        # No pool in service (serial run) → zero by definition.
         assert PerfStats(wall_time=2.0, jobs=1).pool_utilisation == 0.0
+
+    def test_pool_utilisation_jobs_field_is_irrelevant(self):
+        # Regression: utilisation used to hard-return 0.0 whenever
+        # ``jobs <= 1`` and divide by the *configured* job count, even
+        # when the pool that actually serviced the run was smaller
+        # (post-fallback) or its service window shorter than wall time.
+        stats = PerfStats(
+            wall_time=10.0,
+            jobs=1,  # e.g. stats merged after a config override
+            pool_busy_seconds=3.0,
+            pool_workers=2,
+            pool_service_seconds=1.5,
+        )
+        assert stats.pool_utilisation == pytest.approx(1.0)
+
+    def test_pool_utilisation_after_fallback(self):
+        # A pool that died and fell back to serial stops its service
+        # clock; the short service window still yields a finite,
+        # meaningful ratio instead of dividing wall time by jobs.
+        stats = PerfStats(
+            wall_time=100.0,
+            jobs=4,
+            pool_busy_seconds=2.0,
+            pool_workers=4,
+            pool_service_seconds=1.0,
+            pool_fallbacks=1,
+        )
+        assert stats.pool_utilisation == pytest.approx(0.5)
+        assert stats.to_dict()["pool_fallbacks"] == 1
 
     def test_merge_phase_totals(self):
         stats = PerfStats()
@@ -88,6 +158,32 @@ class TestPerfStats:
         assert stats.phase_seconds["dvs"] == pytest.approx(1.5)
         assert stats.phase_calls["dvs"] == 3
         assert stats.phase_calls["power"] == 1
+
+    def test_mode_buckets_sum_to_aggregate(self):
+        stats = PerfStats()
+        stats.merge_phase_totals(
+            {
+                ("schedule", "gsm"): (0.5, 2),
+                ("schedule", "mp3"): (0.25, 1),
+                "cores": (0.125, 3),
+            }
+        )
+        stats.merge_phase_totals({("schedule", "gsm"): (0.5, 1)})
+        assert stats.phase_seconds["schedule"] == pytest.approx(1.25)
+        assert stats.phase_calls["schedule"] == 4
+        assert stats.mode_phase_seconds["schedule"] == {
+            "gsm": pytest.approx(1.0),
+            "mp3": pytest.approx(0.25),
+        }
+        assert stats.mode_phase_calls["schedule"] == {"gsm": 3, "mp3": 1}
+        # Unattributed phases land in the shared bucket.
+        assert stats.mode_phase_seconds["cores"] == {
+            SHARED_MODE: pytest.approx(0.125)
+        }
+        for phase, total in stats.phase_seconds.items():
+            assert sum(
+                stats.mode_phase_seconds[phase].values()
+            ) == pytest.approx(total)
 
     def test_to_dict_is_json_shaped(self):
         stats = PerfStats(

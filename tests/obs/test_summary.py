@@ -1,0 +1,149 @@
+"""run_summary.json: building, atomic writing, loading."""
+
+import json
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.obs.summary import (
+    build_run_summary,
+    load_run_summary,
+    run_summary_path,
+    write_run_summary,
+)
+
+
+def job_record(power=0.5, attempts=1, perf=None):
+    return {
+        "power": power,
+        "cpu_time": 2.0,
+        "feasible": True,
+        "generations": 10,
+        "evaluations": 100,
+        "attempts": attempts,
+        "history": [1.0, 0.5],  # not copied into summary rows
+        "perf": perf or {},
+    }
+
+
+def make_perf(mobility=1.0, o1=0.25, o2=0.75):
+    return {
+        "evaluations": 50,
+        "cache_hits": 10,
+        "wall_time": 2.0,
+        "pool_busy_seconds": 1.0,
+        "phase_seconds": {"mobility": mobility},
+        "phase_calls": {"mobility": 50},
+        "mode_phase_seconds": {"mobility": {"O1": o1, "O2": o2}},
+    }
+
+
+class TestBuild:
+    def test_totals_and_rows(self):
+        summary = build_run_summary(
+            campaign="t1",
+            total_jobs=4,
+            job_results={"a": job_record(), "b": job_record(power=0.4)},
+            failures={"c": "no mapping"},
+            events=[
+                {"ts": 100.0, "event": "campaign_started"},
+                {"ts": 130.0, "event": "campaign_finished"},
+                {"event": "no-ts"},
+            ],
+            clock=lambda: 1000.0,
+        )
+        assert summary["version"] == 1
+        assert summary["campaign"] == "t1"
+        assert summary["generated_at"] == 1000.0
+        assert summary["interrupted"] is False
+        assert summary["jobs"] == {
+            "total": 4,
+            "completed": 2,
+            "failed": 1,
+            "pending": 1,
+        }
+        assert summary["wall_seconds"] == pytest.approx(30.0)
+        assert summary["failures"] == {"c": "no mapping"}
+        assert summary["job_results"]["b"]["power"] == 0.4
+        # Rows carry the scalar outcome, not the bulky payloads.
+        assert "history" not in summary["job_results"]["a"]
+
+    def test_retries_counted_from_events(self):
+        summary = build_run_summary(
+            campaign="t",
+            total_jobs=1,
+            job_results={},
+            failures={},
+            events=[
+                {"ts": 1.0, "event": "job_retried"},
+                {"ts": 2.0, "event": "job_retried"},
+            ],
+        )
+        assert summary["retries"] == 2
+        assert summary["wall_seconds"] == pytest.approx(1.0)
+
+    def test_perf_aggregates_across_jobs(self):
+        summary = build_run_summary(
+            campaign="t",
+            total_jobs=2,
+            job_results={
+                "a": job_record(perf=make_perf(mobility=1.0)),
+                "b": job_record(perf=make_perf(mobility=0.5,
+                                               o1=0.1, o2=0.4)),
+            },
+            failures={},
+            events=[],
+        )
+        perf = summary["perf"]
+        assert perf["evaluations"] == 100
+        assert perf["cache_hits"] == 20
+        assert perf["phase_seconds"]["mobility"] == pytest.approx(1.5)
+        assert perf["phase_calls"]["mobility"] == 100
+        assert perf["mode_phase_seconds"]["mobility"] == {
+            "O1": pytest.approx(0.35),
+            "O2": pytest.approx(1.15),
+        }
+        # Per-mode buckets still sum to the aggregate after folding.
+        assert sum(
+            perf["mode_phase_seconds"]["mobility"].values()
+        ) == pytest.approx(perf["phase_seconds"]["mobility"])
+
+    def test_wall_seconds_none_without_two_timestamps(self):
+        summary = build_run_summary(
+            campaign="t", total_jobs=0, job_results={}, failures={},
+            events=[{"ts": 5.0, "event": "campaign_started"}],
+        )
+        assert summary["wall_seconds"] is None
+
+
+class TestWriteLoad:
+    def test_roundtrip_through_json_load(self, tmp_path):
+        summary = build_run_summary(
+            campaign="t", total_jobs=1,
+            job_results={"a": job_record(perf=make_perf())},
+            failures={}, events=[], metrics={"counters": {"x": 1.0}},
+        )
+        path = write_run_summary(tmp_path, summary)
+        assert path == run_summary_path(tmp_path)
+        with open(path) as handle:
+            raw = json.load(handle)
+        assert raw == json.loads(json.dumps(summary))
+        assert load_run_summary(tmp_path) == raw
+        assert raw["metrics"] == {"counters": {"x": 1.0}}
+
+    def test_write_replaces_atomically(self, tmp_path):
+        write_run_summary(tmp_path, {"version": 1, "campaign": "old"})
+        write_run_summary(tmp_path, {"version": 1, "campaign": "new"})
+        assert load_run_summary(tmp_path)["campaign"] == "new"
+        assert not run_summary_path(tmp_path).with_suffix(
+            ".json.tmp"
+        ).exists()
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(CampaignError, match="no run summary"):
+            load_run_summary(tmp_path)
+
+    def test_load_corrupt_raises(self, tmp_path):
+        run_summary_path(tmp_path).write_text("{not json")
+        with pytest.raises(CampaignError, match="corrupt run summary"):
+            load_run_summary(tmp_path)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import CampaignError, SynthesisError, WorkerPoolError
+from repro.obs.summary import load_run_summary, run_summary_path
 from repro.runtime import runner as runner_mod
 from repro.runtime.checkpoint import load_result, spec_path
 from repro.runtime.events import events_path, read_events
@@ -241,3 +242,116 @@ class TestFailureIsolation:
     def test_resume_campaign_requires_spec(self, tmp_path):
         with pytest.raises(CampaignError, match="no campaign spec"):
             resume_campaign(tmp_path)
+
+
+class TestFinalCheckpoint:
+    def test_last_generation_is_always_checkpointed(
+        self, problem, tmp_path
+    ):
+        # Regression: with checkpoint_every=4 and max_generations=6 the
+        # cadence alone would last snapshot generation 4, leaving
+        # generations 5-6 unprotected against a crash landing between
+        # the final snapshot and job completion.
+        spec = tiny_spec(
+            probability_settings=[True],
+            checkpoint_every=4,
+            config=tiny_config(
+                max_generations=6, convergence_generations=100
+            ),
+        )
+        run_campaign(
+            spec, tmp_path / "run", problem_loader=loader_for(problem)
+        )
+        checkpointed = [
+            e["generation"]
+            for e in read_events(events_path(tmp_path / "run"))
+            if e["event"] == "checkpointed"
+        ]
+        assert 4 in checkpointed
+        assert checkpointed[-1] == 6
+
+
+class TestRunSummary:
+    def test_summary_exported_on_finish(self, problem, tmp_path):
+        spec = tiny_spec()
+        outcome = run_campaign(
+            spec, tmp_path / "run", problem_loader=loader_for(problem)
+        )
+        summary = load_run_summary(tmp_path / "run")
+        assert summary["version"] == 1
+        assert summary["campaign"] == "smoke"
+        assert summary["interrupted"] is False
+        assert summary["jobs"] == {
+            "total": 2,
+            "completed": 2,
+            "failed": 0,
+            "pending": 0,
+        }
+        assert set(summary["job_results"]) == set(outcome.results)
+        for job_id, row in summary["job_results"].items():
+            assert row["power"] == outcome.results[job_id].power
+            assert row["feasible"] is True
+        # The aggregate engine perf counters made it into the document.
+        assert summary["perf"]["evaluations"] > 0
+        assert summary["perf"]["phase_seconds"]
+        for phase, modes in summary["perf"][
+            "mode_phase_seconds"
+        ].items():
+            assert sum(modes.values()) == pytest.approx(
+                summary["perf"]["phase_seconds"][phase]
+            )
+        # Campaign metrics are dumped alongside (process-global
+        # registry, so only lower bounds are stable across a test run).
+        counters = summary["metrics"]["counters"]
+        assert counters["campaign_jobs_finished_total"] >= 2
+        assert counters["ga_generations_total"] >= 2
+
+    def test_summary_includes_failures(self, problem, tmp_path):
+        def loader(name):
+            if name == "bogus":
+                raise KeyError(f"unknown problem {name!r}")
+            return problem
+
+        spec = tiny_spec(
+            instances=["two_mode", "bogus"],
+            probability_settings=[False],
+        )
+        run_campaign(spec, tmp_path / "run", problem_loader=loader)
+        summary = load_run_summary(tmp_path / "run")
+        assert summary["jobs"]["completed"] == 1
+        assert summary["jobs"]["failed"] == 1
+        assert "bogus-none-noprob-s3" in summary["failures"]
+
+    def test_summary_written_on_interrupt(self, problem, tmp_path):
+        def explode(event):
+            if event["event"] == "generation":
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                tiny_spec(),
+                tmp_path / "run",
+                problem_loader=loader_for(problem),
+                on_event=explode,
+            )
+        summary = load_run_summary(tmp_path / "run")
+        assert summary["interrupted"] is True
+        assert summary["jobs"]["completed"] == 0
+        # The finished run overwrites the interrupted snapshot.
+        resume_campaign(
+            tmp_path / "run", problem_loader=loader_for(problem)
+        )
+        final = load_run_summary(tmp_path / "run")
+        assert final["interrupted"] is False
+        assert final["jobs"]["completed"] == 2
+
+    def test_summary_roundtrips_through_json_load(self, problem, tmp_path):
+        import json
+
+        run_campaign(
+            tiny_spec(probability_settings=[True]),
+            tmp_path / "run",
+            problem_loader=loader_for(problem),
+        )
+        with open(run_summary_path(tmp_path / "run")) as handle:
+            assert json.load(handle)["version"] == 1

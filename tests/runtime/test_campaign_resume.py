@@ -13,6 +13,7 @@ import pytest
 
 from repro.analysis.experiments import comparison_from_job_results
 from repro.analysis.reporting import results_from_events
+from repro.runtime import runner as runner_mod
 from repro.runtime.checkpoint import checkpoint_path
 from repro.runtime.events import events_path, read_events
 from repro.runtime.runner import resume_campaign, run_campaign
@@ -126,6 +127,75 @@ class TestKillResume:
         assert started[-1]["resumed_from"] > 0
         # Checkpoints are cleared once their job completes.
         assert not checkpoint_path(run_dir, checkpointed[0]).exists()
+
+    def test_crash_between_final_checkpoint_and_completion(
+        self, problem, tmp_path, monkeypatch
+    ):
+        """Kill in the window after the GA ends, before the result lands.
+
+        With checkpoint_every=3 and max_generations=8 the periodic
+        cadence alone would last snapshot generation 6; the runner must
+        also checkpoint the final generation 8, so a crash between that
+        snapshot and ``job_finished`` resumes from 8 (a no-op replay of
+        zero generations) instead of re-running 7-8 — and the result is
+        bit-identical to an uninterrupted run either way.
+        """
+        spec = CampaignSpec(
+            name="crash-window",
+            instances=["two_mode"],
+            probability_settings=[True],
+            runs=1,
+            base_seed=11,
+            config=SynthesisConfig(
+                population_size=10,
+                max_generations=8,
+                convergence_generations=100,
+            ),
+            checkpoint_every=3,
+            retry_backoff=0.0,
+        )
+        reference = run_campaign(
+            spec, tmp_path / "reference",
+            problem_loader=lambda name: problem,
+        )
+
+        real_validate = runner_mod.validate_implementation
+        calls = {"n": 0}
+
+        def crash_once(implementation):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise _Kill
+            return real_validate(implementation)
+
+        monkeypatch.setattr(
+            runner_mod, "validate_implementation", crash_once
+        )
+        run_dir = tmp_path / "crashed"
+        with pytest.raises(_Kill):
+            run_campaign(
+                spec, run_dir, problem_loader=lambda name: problem
+            )
+        # The synthesis finished but the result never landed: the final
+        # generation's snapshot must be on disk.
+        (job,) = spec.jobs()
+        assert checkpoint_path(run_dir, job.job_id).exists()
+
+        resumed = resume_campaign(
+            run_dir, problem_loader=lambda name: problem
+        )
+        restarts = [
+            e
+            for e in read_events(events_path(run_dir))
+            if e["event"] == "job_started"
+        ]
+        assert restarts[-1]["resumed_from"] == 8
+        expected = reference.results[job.job_id]
+        got = resumed.results[job.job_id]
+        assert got.power == expected.power
+        assert got.history == expected.history
+        assert got.best_genes == expected.best_genes
+        assert got.generations == expected.generations
 
     def test_events_alone_rebuild_comparison(self, problem, tmp_path):
         run_dir = tmp_path / "crashed"

@@ -50,6 +50,56 @@ class TestEmit:
         assert record["seq"] == 2
         assert [e["seq"] for e in read_events(log_path)] == [0, 1, 2]
 
+    def test_seq_continues_past_torn_tail(self, log_path):
+        # A kill -9 can leave a partially written final line; reopening
+        # must number from the last *complete* event, and the appended
+        # line must start on a fresh line of its own.
+        with EventLog(log_path) as log:
+            log.emit("a")
+            log.emit("b")
+        with open(log_path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "event": "tru')
+        with EventLog(log_path) as log:
+            record = log.emit("c")
+        assert record["seq"] == 2
+        # The torn tail was trimmed, so the stream stays fully readable.
+        assert [e["event"] for e in read_events(log_path)] == [
+            "a", "b", "c",
+        ]
+
+    def test_seq_reopen_tolerates_early_corruption(self, log_path):
+        # Regression: _next_seq used to JSON-parse the entire stream,
+        # so one corrupt line anywhere made the log un-reopenable (and
+        # reopening cost O(file size) on every retry/resume).  The
+        # tail-read only ever looks at the last complete line.
+        with open(log_path, "w", encoding="utf-8") as handle:
+            handle.write("corrupt garbage not json\n")
+            for seq in range(50):
+                handle.write(
+                    json.dumps({"seq": seq, "event": "generation"}) + "\n"
+                )
+        with EventLog(log_path) as log:
+            record = log.emit("resumed")
+        assert record["seq"] == 50
+
+    def test_seq_reopen_scans_back_past_large_lines(self, log_path):
+        # The last line can exceed the initial 8 KiB read chunk (e.g. a
+        # job_finished event with a big perf payload); the backwards
+        # scan must keep widening until it holds a complete line.
+        with EventLog(log_path) as log:
+            log.emit("small")
+            log.emit("big", payload="x" * 50_000)
+        with EventLog(log_path) as log:
+            record = log.emit("next")
+        assert record["seq"] == 2
+
+    def test_seq_reopen_with_only_torn_content(self, log_path):
+        log_path.write_text('{"seq": 0, "event": "tru')
+        with EventLog(log_path) as log:
+            record = log.emit("a")
+        assert record["seq"] == 0
+        assert [e["event"] for e in read_events(log_path)] == ["a"]
+
 
 class TestReading:
     def test_missing_file_raises(self, tmp_path):
@@ -77,6 +127,38 @@ class TestReading:
         with open(log_path, "w", encoding="utf-8") as handle:
             handle.write(json.dumps({"seq": 0, "event": "a"}) + "\n\n")
         assert len(list(iter_events(log_path))) == 1
+
+    def test_torn_line_followed_by_blank_is_still_readable(self, log_path):
+        # Regression: a dying writer can flush a torn record and then a
+        # bare newline (or the next writer can start with one).  That
+        # trailing whitespace used to count as a "line after the torn
+        # one" and turned the recoverable torn-tail skip into a hard
+        # corruption error, making the whole stream unreadable.
+        with open(log_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"seq": 0, "event": "a"}) + "\n")
+            handle.write('{"seq": 1, "event": "tru\n')
+            handle.write("\n")
+        events = read_events(log_path)
+        assert [e["event"] for e in events] == ["a"]
+
+    def test_torn_line_followed_by_whitespace_lines_is_readable(
+        self, log_path
+    ):
+        with open(log_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"seq": 0, "event": "a"}) + "\n")
+            handle.write('{"seq": 1, "ev\n')
+            handle.write("   \n\n  \n")
+        assert [e["event"] for e in read_events(log_path)] == ["a"]
+
+    def test_torn_line_followed_by_real_event_still_raises(self, log_path):
+        # The blank-line tolerance must not weaken the corruption check:
+        # a non-empty line after a torn one means the file is damaged.
+        with open(log_path, "w", encoding="utf-8") as handle:
+            handle.write('{"seq": 0, "ev\n')
+            handle.write("\n")  # blanks in between change nothing
+            handle.write(json.dumps({"seq": 1, "event": "b"}) + "\n")
+        with pytest.raises(CampaignError, match="corrupt event"):
+            read_events(log_path)
 
 
 def test_events_path_layout(tmp_path):

@@ -19,7 +19,7 @@ from repro.problem import Problem
 from repro.scheduling.list_scheduler import schedule_mode
 from repro.specification import CommEdge, Mode, OMSM, Task, TaskGraph
 
-from tests.conftest import make_parallel_hw_problem, make_two_mode_problem
+from tests.conftest import make_parallel_hw_problem
 
 
 def schedule_with(problem, mode_name, mapping_dict):

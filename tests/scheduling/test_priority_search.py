@@ -9,7 +9,7 @@ from repro.mapping.encoding import MappingString
 from repro.scheduling.list_scheduler import schedule_mode
 from repro.scheduling.priority_search import refine_schedule
 
-from tests.conftest import make_parallel_hw_problem, make_two_mode_problem
+from tests.conftest import make_parallel_hw_problem
 
 
 def setup_case(problem, mode_name, mapping):

@@ -1,6 +1,5 @@
 """Tests for the trace executor and Equation-(1) validation."""
 
-import random
 
 import pytest
 
@@ -8,7 +7,6 @@ from repro.architecture import PEKind
 from repro.errors import SpecificationError
 from repro.mapping.encoding import MappingString
 from repro.simulation.executor import simulate
-from repro.simulation.markov import ModeProcess
 from repro.simulation.trace import ModeVisit
 from repro.synthesis.config import SynthesisConfig
 from repro.synthesis.evaluator import evaluate_mapping

@@ -5,14 +5,7 @@ import math
 import pytest
 
 from repro.errors import SpecificationError
-from repro.specification import (
-    CommEdge,
-    Mode,
-    ModeTransition,
-    OMSM,
-    Task,
-    TaskGraph,
-)
+from repro.specification import Mode, ModeTransition, OMSM, Task, TaskGraph
 
 
 def graph(name: str, types) -> TaskGraph:

@@ -1,6 +1,5 @@
 """Integration tests for the complete co-synthesis loop."""
 
-import math
 import random
 
 import pytest
@@ -10,7 +9,6 @@ from repro.synthesis.config import DvsMethod, SynthesisConfig
 from repro.synthesis.cosynthesis import MultiModeSynthesizer, synthesize
 from repro.synthesis.evaluator import evaluate_mapping
 
-from tests.conftest import make_two_mode_problem
 
 FAST = dict(
     population_size=16, max_generations=30, convergence_generations=8

@@ -2,12 +2,11 @@
 
 import random
 
-import pytest
 
 from repro.mapping.encoding import MappingString
 from repro.synthesis.mutations import type_group_move
 
-from tests.conftest import make_parallel_hw_problem, make_two_mode_problem
+from tests.conftest import make_parallel_hw_problem
 
 
 class TestTypeGroupMove:

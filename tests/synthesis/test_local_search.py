@@ -8,7 +8,6 @@ from repro.mapping.encoding import MappingString
 from repro.synthesis.config import SynthesisConfig
 from repro.synthesis.cosynthesis import MultiModeSynthesizer
 
-from tests.conftest import make_two_mode_problem
 
 
 class TestSoftwareBiasedSeeding:

@@ -247,6 +247,130 @@ class TestCampaign:
         assert "unknown instance" in out
 
 
+class TestCampaignStatusTail:
+    """--status / --tail work from an event stream alone."""
+
+    def _write_run_dir(self, tmp_path, *, finished):
+        import json
+
+        events = [
+            {"seq": 0, "ts": 100.0, "event": "campaign_started",
+             "campaign": "obs", "total_jobs": 3, "pending_jobs": 3},
+            {"seq": 1, "ts": 100.0, "event": "job_started",
+             "job_id": "a", "attempt": 1, "resumed_from": 0},
+            {"seq": 2, "ts": 110.0, "event": "job_finished",
+             "job_id": "a", "power": 0.05, "cpu_time": 9.5,
+             "generations": 8, "evaluations": 80},
+            {"seq": 3, "ts": 110.0, "event": "job_started",
+             "job_id": "b", "attempt": 1, "resumed_from": 0},
+            {"seq": 4, "ts": 111.0, "event": "job_failed",
+             "job_id": "b", "error": "no feasible mapping"},
+            {"seq": 5, "ts": 111.0, "event": "job_started",
+             "job_id": "c", "attempt": 1, "resumed_from": 0},
+            {"seq": 6, "ts": 115.0, "event": "generation",
+             "job_id": "c", "generation": 4, "best_fitness": 1.25,
+             "evaluations": 40},
+        ]
+        if finished:
+            events += [
+                {"seq": 7, "ts": 120.0, "event": "job_finished",
+                 "job_id": "c", "power": 0.04, "cpu_time": 8.0,
+                 "generations": 8, "evaluations": 80},
+                {"seq": 8, "ts": 120.0, "event": "campaign_finished",
+                 "campaign": "obs", "completed_jobs": 2,
+                 "failed_jobs": 1},
+            ]
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        with open(run_dir / "events.jsonl", "w") as handle:
+            for event in events:
+                handle.write(json.dumps(event) + "\n")
+        return run_dir
+
+    def test_status_mid_campaign(self, capsys, tmp_path):
+        run_dir = self._write_run_dir(tmp_path, finished=False)
+        assert main(["campaign", "--status", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign 'obs': running" in out
+        assert "2/3 jobs (67%)" in out
+        assert "1 completed" in out and "1 failed" in out
+        assert "running: c (generation 4)" in out
+        assert "failed: b: no feasible mapping" in out
+        assert "eta:" in out
+
+    def test_status_finished_campaign(self, capsys, tmp_path):
+        run_dir = self._write_run_dir(tmp_path, finished=True)
+        assert main(["campaign", "--status", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign 'obs': finished" in out
+        assert "3/3 jobs (100%)" in out
+        assert "eta" not in out
+
+    def test_status_missing_run_dir_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="no event stream"):
+            main(["campaign", "--status", str(tmp_path / "nowhere")])
+
+    def test_tail_no_follow_prints_existing_events(self, capsys, tmp_path):
+        run_dir = self._write_run_dir(tmp_path, finished=False)
+        code = main(["campaign", "--tail", str(run_dir), "--no-follow"])
+        out = capsys.readouterr().out
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert len(lines) == 7
+        assert "campaign 'obs' started: 3/3 jobs pending" in lines[0]
+        assert "[a] finished: 50.000 mW" in out
+        assert "[b] FAILED: no feasible mapping" in out
+        assert "[c] generation 4" in out
+
+    def test_tail_follow_stops_at_campaign_end(self, capsys, tmp_path):
+        # On a finished stream, follow mode terminates by itself at the
+        # campaign_finished event — no --no-follow needed.
+        run_dir = self._write_run_dir(tmp_path, finished=True)
+        assert main(["campaign", "--tail", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().splitlines()[-1].endswith(
+            "campaign 'obs' finished: 2 completed, 1 failed"
+        )
+
+    def test_tail_missing_run_dir_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="no event stream"):
+            main(
+                ["campaign", "--tail", str(tmp_path / "gone"),
+                 "--no-follow"]
+            )
+
+    def test_status_on_real_run_dir(self, capsys, tmp_path):
+        # End-to-end: a real (tiny) campaign leaves a run directory
+        # that --status reads back as finished, with a summary on disk.
+        from repro.obs.summary import load_run_summary
+        from repro.runtime.spec import CampaignSpec
+        from repro.synthesis.config import SynthesisConfig
+
+        spec = CampaignSpec(
+            name="cli-status",
+            instances=["mul9"],
+            runs=1,
+            base_seed=7,
+            config=SynthesisConfig(
+                population_size=10,
+                max_generations=4,
+                convergence_generations=10,
+            ),
+        )
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        run_dir = tmp_path / "run"
+        assert main(
+            ["campaign", str(path), "--out", str(run_dir), "--quiet"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["campaign", "--status", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign 'cli-status': finished" in out
+        assert "2/2 jobs (100%)" in out
+        assert load_run_summary(run_dir)["jobs"]["completed"] == 2
+
+
 class TestTables:
     def test_table1_single_instance(self, capsys):
         code = main(

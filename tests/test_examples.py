@@ -5,7 +5,6 @@ constants monkey-patched down to a minimal budget.
 """
 
 import runpy
-import sys
 
 import pytest
 

@@ -55,7 +55,6 @@ class TestProblemRoundtrip:
             assert twin.threshold_voltage == pe.threshold_voltage
 
     def test_infinite_transition_limit(self):
-        from repro.specification import ModeTransition
 
         original = make_two_mode_problem(transition_limit=math.inf)
         data = problem_to_dict(original)

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import SpecificationError, TechnologyError
 from repro.problem import Problem
 
-from tests.conftest import make_two_mode_problem
 
 
 class TestProblem:
