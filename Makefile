@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast lint bench bench-fast bench-smoke tables examples verify clean
+.PHONY: install test test-fast lint typecheck bench bench-fast bench-smoke tables examples verify clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,6 +23,17 @@ lint:
 	    echo "ruff not installed (pip install -e '.[dev]'); skipping lint"; \
 	fi
 
+# Static type check.  mypy is pinned in the `dev` optional-dependency
+# group; environments without it skip the check instead of failing.
+# Scope: the strictly annotated subsystems ([tool.mypy] in
+# pyproject.toml) — currently the adaptive package.
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+	    mypy --config-file pyproject.toml; \
+	else \
+	    echo "mypy not installed (pip install -e '.[dev]'); skipping typecheck"; \
+	fi
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -38,11 +49,11 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_engine.py --quick \
 	    --check benchmarks/results/bench_engine_quick_baseline.json
 
-# The full pre-merge gate: lint (when available), tier-1 test suite,
-# plus the engine smoke benchmark (bit-identity + performance
-# regression check).  Runs from a bare checkout — no `make install`
-# needed.
-verify: lint
+# The full pre-merge gate: lint + typecheck (when available), tier-1
+# test suite, plus the engine smoke benchmark (bit-identity +
+# performance regression check).  Runs from a bare checkout — no
+# `make install` needed.
+verify: lint typecheck
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 	$(PYTHON) benchmarks/bench_engine.py --quick \
 	    --check benchmarks/results/bench_engine_quick_baseline.json
@@ -60,6 +71,7 @@ examples:
 	$(PYTHON) examples/persist_simulate_battery.py
 	$(PYTHON) examples/explore_area_tradeoff.py
 	$(PYTHON) examples/campaign_resume.py
+	$(PYTHON) examples/online_adaptation.py
 	$(PYTHON) examples/smartphone_case_study.py
 
 clean:

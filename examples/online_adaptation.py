@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Closed-loop Ψ-adaptation demo on the smart phone case study.
+
+The paper synthesises the smart phone for a *given* probability vector
+Ψ (Table 3), but a deployed phone only reveals its true usage at run
+time — and usage shifts.  This demo plays that scenario end to end:
+
+1. A design-time design is synthesised for the paper's Ψ (standby/RLC
+   dominated) and deployed.
+2. The phone runs; mid-trace the user's behaviour changes — dwell
+   times shift towards MP3 playback (a commuter starts streaming
+   music), so the observed mode-time fractions drift away from the
+   design-time Ψ.
+3. The streaming estimator tracks the shift, the drift detector fires,
+   and — the library holding no better design — the controller
+   launches a *warm-started* re-synthesis at the estimated Ψ (initial
+   GA population seeded from the deployed design), admits the result
+   and swaps to it, charging the OMSM mode-transition time as
+   switching cost.
+4. The closed loop ends with measurably less energy than the static
+   design-time deployment, and every decision is on the obs metrics
+   and the event log.
+
+Run it::
+
+    python examples/online_adaptation.py
+"""
+
+import random
+
+from repro import SynthesisConfig, smartphone_problem
+from repro.adaptive import (
+    AdaptationConfig,
+    AdaptationController,
+    DesignLibrary,
+    DesignRecord,
+    DriftConfig,
+)
+from repro.adaptive.controller import trace_energy
+from repro.simulation.markov import ModeProcess
+from repro.simulation.trace import generate_trace
+from repro.synthesis.cosynthesis import MultiModeSynthesizer
+
+#: Design-time synthesis budget (calibrated: feasible in ~1 s).
+DESIGN_CONFIG = SynthesisConfig(
+    population_size=16,
+    max_generations=25,
+    convergence_generations=8,
+    local_search_budget_factor=0.5,
+    seed=1,
+)
+
+#: Re-synthesis budget — smaller: it starts from a warm population.
+RESYNTHESIS_CONFIG = SynthesisConfig(
+    population_size=16,
+    max_generations=15,
+    convergence_generations=6,
+    local_search_budget_factor=0.5,
+    seed=1,
+)
+
+#: The usage shift: MP3 playback dominates, standby shrinks.
+SHIFTED_PSI = {
+    "rlc": 0.15,
+    "mp3_rlc": 0.55,
+    "mp3_network_search": 0.10,
+    "gsm_codec_rlc": 0.05,
+    "network_search": 0.02,
+    "photo_rlc": 0.05,
+    "photo_network_search": 0.02,
+    "take_photo": 0.06,
+}
+
+#: Simulated seconds before / after the behaviour change.
+PHASE1_HORIZON = 60.0
+PHASE2_HORIZON = 240.0
+
+ADAPTATION_CONFIG = AdaptationConfig(
+    half_life=20.0,
+    prior_weight=5.0,
+    drift=DriftConfig(
+        regret_threshold=0.05,
+        # Estimator noise during phase 1 peaks near TV ≈ 0.28; the true
+        # shift drives the distance past 0.5 — 0.35 separates the two.
+        distance_threshold=0.35,
+        hysteresis=0.5,
+        cooldown=30.0,
+        min_confidence=0.6,
+    ),
+    resynthesis_regret=0.05,
+    resynthesis_novelty=0.10,
+    synthesis=RESYNTHESIS_CONFIG,
+    max_resyntheses=1,
+    seed=1,
+)
+
+
+def make_trace(problem, seed=1):
+    """A mode trace whose dwell statistics shift mid-stream."""
+    rng = random.Random(seed)
+    design_process = ModeProcess(problem.omsm)
+    phase1 = generate_trace(design_process, PHASE1_HORIZON, rng)
+    shifted_process = ModeProcess(
+        problem.with_probabilities(SHIFTED_PSI).omsm
+    )
+    phase2 = generate_trace(shifted_process, PHASE2_HORIZON, rng)
+    return [(v.mode, v.duration) for v in phase1 + phase2]
+
+
+def main(seed=1):
+    problem = smartphone_problem()
+    print("1. design-time synthesis at the paper's Ψ ...")
+    result = MultiModeSynthesizer(problem, DESIGN_CONFIG).run()
+    print(
+        f"   deployed: {result.average_power * 1e3:.3f} mW "
+        f"({'feasible' if result.is_feasible else 'INFEASIBLE'}, "
+        f"{result.generations} generations)"
+    )
+    library = DesignLibrary(
+        [DesignRecord.from_result("design-time", result)]
+    )
+
+    trace = make_trace(problem, seed=seed)
+    print(
+        f"2. simulating {sum(d for _, d in trace):.0f} s of operation; "
+        f"usage shifts to MP3-heavy after {PHASE1_HORIZON:.0f} s ..."
+    )
+    controller = AdaptationController(
+        problem, library, ADAPTATION_CONFIG
+    )
+    report = controller.run(trace)
+
+    static_energy = trace_energy(library.get("design-time"), trace)
+    print("3. adaptation decisions:")
+    for decision in report.decisions:
+        print(
+            f"   t={decision.time:7.1f} s  {decision.kind:<12} "
+            f"-> {decision.design!r} ({decision.reason})"
+        )
+    print(
+        f"   drift events: {report.drift_events}, swaps: "
+        f"{report.swaps}, re-syntheses: {report.resyntheses}"
+    )
+    print(
+        f"4. final Ψ estimate (top 3): "
+        + ", ".join(
+            f"{m}={v:.2f}"
+            for m, v in sorted(
+                report.psi_estimate.items(), key=lambda kv: -kv[1]
+            )[:3]
+        )
+    )
+    saved = static_energy - report.energy
+    print(
+        f"   static deployment : {static_energy:8.4f} J\n"
+        f"   closed-loop       : {report.energy:8.4f} J "
+        f"(saves {saved / static_energy:.1%})"
+    )
+    return {
+        "report": report,
+        "static_energy": static_energy,
+        "adaptive_energy": report.energy,
+        "library": library,
+    }
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Online Ψ-adaptation: close the loop from observed usage to synthesis.
+
+The paper optimises for a *given* mode-execution probability vector Ψ
+(Equation 1), but deployed devices only reveal their true Ψ at run
+time — and it drifts per user and over time.  This package keeps a
+deployed design near-optimal as the observed Ψ moves:
+
+* :mod:`~repro.adaptive.estimator` — streaming Ψ estimation with
+  exponential forgetting from ``(mode, dwell)`` events;
+* :mod:`~repro.adaptive.library` — a persistent design library whose
+  records carry **per-mode** power vectors, so any stored design is
+  re-scored *exactly* under any Ψ (p̄ is linear in Ψ) without a single
+  re-simulation;
+* :mod:`~repro.adaptive.drift` — regret/distance drift detection with
+  hysteresis and cooldown;
+* :mod:`~repro.adaptive.controller` — the closed loop: swap to the
+  library's best design on drift (charging the OMSM mode-transition
+  time as switching cost) and, when the whole library is stale, launch
+  a warm-started re-synthesis seeded from the nearest stored designs.
+"""
+
+from repro.adaptive.controller import (
+    AdaptationConfig,
+    AdaptationController,
+    AdaptationReport,
+)
+from repro.adaptive.drift import DriftConfig, DriftDecision, DriftDetector
+from repro.adaptive.estimator import PsiEstimator
+from repro.adaptive.library import DesignLibrary, DesignRecord
+
+__all__ = [
+    "AdaptationConfig",
+    "AdaptationController",
+    "AdaptationReport",
+    "DesignLibrary",
+    "DesignRecord",
+    "DriftConfig",
+    "DriftDecision",
+    "DriftDetector",
+    "PsiEstimator",
+]

@@ -1,0 +1,203 @@
+"""Drift detection: when does the deployed design stop being the right one?
+
+Two complementary triggers, both evaluated on the *estimated* Ψ:
+
+* **Regret** — the relative excess power of the deployed design over
+  the library's best design under the current estimate,
+  ``(p̄_deployed(Ψ̂) - p̄_best(Ψ̂)) / p̄_best(Ψ̂)``.  This is the
+  decision-theoretic trigger: it fires only when switching would
+  actually help, however far Ψ̂ has wandered.
+* **Distance** — the total-variation distance between Ψ̂ and the
+  deployed design's synthesis-Ψ.  This is the early-warning trigger:
+  a large distributional shift flags staleness even while the library
+  happens to contain no better design yet (it is what justifies
+  *re-synthesis* rather than a swap).
+
+A detector without damping would thrash: Ψ̂ hovers around a threshold
+and every crossing fires an adaptation.  Two mechanisms prevent that —
+**hysteresis** (after firing, the detector disarms until the triggers
+fall below ``hysteresis × threshold``) and a **cooldown** (a minimum
+simulated-time gap between consecutive firings).  Both are expressed in
+the same units the controller experiences (relative power / seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.adaptive.library import psi_distance
+from repro.errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Thresholds and damping of the drift detector.
+
+    ``regret_threshold`` and ``distance_threshold`` arm the trigger;
+    ``hysteresis`` (in ``(0, 1]``) scales them down to the re-arming
+    level — after a firing, a *new* drift episode requires both
+    triggers to first retreat below ``hysteresis × threshold``;
+    ``cooldown`` is the minimal simulated time between firings, and
+    (when positive) also re-arms the detector once elapsed, so
+    persistent drift retries at the cooldown cadence; with
+    ``cooldown = 0`` the detector latches until recovery.
+    ``min_confidence`` gates everything on estimator saturation.
+    """
+
+    regret_threshold: float = 0.05
+    distance_threshold: float = 0.15
+    hysteresis: float = 0.5
+    cooldown: float = 0.0
+    min_confidence: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.regret_threshold < 0:
+            raise SpecificationError(
+                f"regret_threshold must be non-negative, "
+                f"got {self.regret_threshold}"
+            )
+        if self.distance_threshold < 0:
+            raise SpecificationError(
+                f"distance_threshold must be non-negative, "
+                f"got {self.distance_threshold}"
+            )
+        if not 0.0 < self.hysteresis <= 1.0:
+            raise SpecificationError(
+                f"hysteresis must be in (0, 1], got {self.hysteresis}"
+            )
+        if self.cooldown < 0:
+            raise SpecificationError(
+                f"cooldown must be non-negative, got {self.cooldown}"
+            )
+        if not 0.0 <= self.min_confidence < 1.0:
+            raise SpecificationError(
+                f"min_confidence must be in [0, 1), "
+                f"got {self.min_confidence}"
+            )
+
+
+@dataclass(frozen=True)
+class DriftDecision:
+    """Outcome of one detector update."""
+
+    drift: bool
+    regret: float
+    distance: float
+    reason: str
+    armed: bool
+    cooling: bool
+
+
+@dataclass
+class DriftDetector:
+    """Stateful regret/distance trigger with hysteresis and cooldown."""
+
+    config: DriftConfig = field(default_factory=DriftConfig)
+    _armed: bool = True
+    _last_fired: Optional[float] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def update(
+        self,
+        now: float,
+        psi_estimate: Mapping[str, float],
+        confidence: float,
+        deployed_score: float,
+        best_score: float,
+        deployed_psi: Mapping[str, float],
+    ) -> DriftDecision:
+        """Evaluate the triggers at simulated time ``now``.
+
+        ``deployed_score`` / ``best_score`` are Equation (1) powers of
+        the deployed design and the library's best design under the
+        current estimate ``psi_estimate``.
+        """
+        cfg = self.config
+        if best_score <= 0:
+            raise SpecificationError(
+                f"best_score must be positive, got {best_score}"
+            )
+        regret = (deployed_score - best_score) / best_score
+        distance = psi_distance(psi_estimate, deployed_psi)
+
+        cooling = (
+            self._last_fired is not None
+            and now - self._last_fired < cfg.cooldown
+        )
+        if confidence < cfg.min_confidence:
+            return DriftDecision(
+                drift=False,
+                regret=regret,
+                distance=distance,
+                reason="low_confidence",
+                armed=self._armed,
+                cooling=cooling,
+            )
+
+        # Hysteresis: once fired, stay disarmed until both triggers
+        # retreat below the scaled-down thresholds — a new drift
+        # *episode* needs a recovery in between, so hovering around a
+        # threshold fires once, not on every crossing.  With a positive
+        # cooldown the detector additionally re-arms when the cooldown
+        # elapses: persistent drift (Ψ̂ still converging toward a new
+        # regime that no current library design serves) retries at the
+        # cooldown cadence instead of freezing the controller forever.
+        if not self._armed:
+            recovered = (
+                regret <= cfg.hysteresis * cfg.regret_threshold
+                and distance <= cfg.hysteresis * cfg.distance_threshold
+            )
+            if recovered or (cfg.cooldown > 0 and not cooling):
+                self._armed = True
+            else:
+                return DriftDecision(
+                    drift=False,
+                    regret=regret,
+                    distance=distance,
+                    reason="disarmed",
+                    armed=False,
+                    cooling=cooling,
+                )
+
+        over_regret = regret > cfg.regret_threshold
+        over_distance = distance > cfg.distance_threshold
+        if not (over_regret or over_distance):
+            return DriftDecision(
+                drift=False,
+                regret=regret,
+                distance=distance,
+                reason="below_threshold",
+                armed=True,
+                cooling=cooling,
+            )
+        if cooling:
+            return DriftDecision(
+                drift=False,
+                regret=regret,
+                distance=distance,
+                reason="cooldown",
+                armed=True,
+                cooling=True,
+            )
+
+        self._armed = False
+        self._last_fired = now
+        reason = "regret" if over_regret else "distance"
+        if over_regret and over_distance:
+            reason = "regret+distance"
+        return DriftDecision(
+            drift=True,
+            regret=regret,
+            distance=distance,
+            reason=reason,
+            armed=False,
+            cooling=False,
+        )
+
+    def reset(self) -> None:
+        self._armed = True
+        self._last_fired = None

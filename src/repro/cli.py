@@ -7,6 +7,8 @@ Examples::
     repro-mm table3 --runs 2             # smart phone, both rows
     repro-mm synthesize mul5 --dvs gradient --probabilities
     repro-mm inspect smartphone          # print a problem's structure
+    repro-mm problems                    # list registered instances
+    repro-mm adapt smartphone --steps 300 --seed 1   # closed-loop Ψ demo
     repro-mm campaign spec.json --out runs/t1   # resumable campaign
     repro-mm campaign --resume runs/t1          # continue after a kill
     repro-mm campaign --report runs/t1          # tables from events only
@@ -333,6 +335,96 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if outcome.failures else 0
 
 
+def _cmd_problems(args: argparse.Namespace) -> int:
+    """List every registry instance with its mode and gene counts."""
+    names = registry.names()
+    if not names:
+        print("no problems registered")
+        return 1
+    rows = []
+    for name in names:
+        problem = registry.get(name)
+        rows.append(
+            (
+                name,
+                len(problem.omsm),
+                problem.genome_length(),
+                len(problem.architecture.pes),
+            )
+        )
+    width = max(len(name) for name, *_ in rows)
+    print(f"{'name':<{width}}  modes  genes  PEs")
+    for name, modes, genes, pes in rows:
+        print(f"{name:<{width}}  {modes:>5}  {genes:>5}  {pes:>3}")
+    return 0
+
+
+def _load_trace(path: str) -> list:
+    """Read a trace file: a JSON list of ``[mode, dwell]`` pairs."""
+    import json
+
+    try:
+        data = json.loads(open(path).read())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(
+            f"repro-mm: error: cannot read trace {path!r}: {exc}"
+        ) from None
+    if not isinstance(data, list):
+        raise SystemExit(
+            f"repro-mm: error: trace {path!r} must be a JSON list of "
+            f"[mode, dwell] pairs"
+        )
+    return [(str(mode), float(dwell)) for mode, dwell in data]
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    from repro.adaptive import AdaptationConfig
+    from repro.api import adapt_online
+
+    problem = _load_problem(args.problem)
+    config = AdaptationConfig(
+        synthesis=_config_from_args(args),
+        seed=args.seed,
+    )
+    trace = _load_trace(args.trace) if args.trace else None
+    report = adapt_online(
+        problem,
+        trace=trace,
+        steps=args.steps,
+        config=config,
+        library=args.library,
+        run_dir=args.out,
+    )
+    print(
+        f"adaptation over {report.simulated_time:.1f} s of simulated "
+        f"operation ({problem.name}):"
+    )
+    print(
+        f"  energy: {report.energy:.4f} J "
+        f"(average power {report.average_power * 1e3:.3f} mW)"
+    )
+    print(
+        f"  drift events: {report.drift_events}, swaps: {report.swaps}, "
+        f"re-syntheses: {report.resyntheses}"
+    )
+    print(f"  final design: {report.deployed!r}")
+    estimate = ", ".join(
+        f"{mode}={value:.3f}"
+        for mode, value in sorted(
+            report.psi_estimate.items(), key=lambda kv: -kv[1]
+        )
+    )
+    print(f"  final Ψ estimate: {estimate}")
+    for decision in report.decisions:
+        print(
+            f"    t={decision.time:>8.2f}s {decision.kind}: "
+            f"{decision.design!r} ({decision.reason})"
+        )
+    if args.out:
+        print(f"  events + library written to {args.out}")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.simulation.executor import simulate as run_simulation
 
@@ -415,6 +507,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     inspect = sub.add_parser("inspect", help="print a problem's structure")
     inspect.add_argument("problem", help=instance_help)
+
+    sub.add_parser(
+        "problems",
+        help="list all registered benchmark instances with mode counts",
+    )
+
+    adapt = sub.add_parser(
+        "adapt",
+        help=(
+            "run the closed-loop Ψ-adaptation demo: estimate mode "
+            "probabilities from a trace, swap/re-synthesise on drift"
+        ),
+    )
+    adapt.add_argument("problem", help=instance_help)
+    adapt.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help=(
+            "JSON trace file: a list of [mode, dwell_seconds] pairs; "
+            "omitted → sample a trace from the OMSM's mode process"
+        ),
+    )
+    adapt.add_argument(
+        "--steps",
+        type=int,
+        default=200,
+        help="visits to sample when no --trace is given",
+    )
+    adapt.add_argument(
+        "--library",
+        metavar="FILE",
+        default=None,
+        help=(
+            "saved design library JSON to start from; omitted → "
+            "synthesise a design-time design first"
+        ),
+    )
+    adapt.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write events.jsonl and the grown library.json to DIR",
+    )
+    _add_ga_options(adapt)
 
     campaign = sub.add_parser(
         "campaign",
@@ -534,6 +671,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_synthesize(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
+    if args.command == "problems":
+        return _cmd_problems(args)
+    if args.command == "adapt":
+        return _cmd_adapt(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "campaign":

@@ -19,7 +19,11 @@ from __future__ import annotations
 import json
 import math
 import pathlib
-from typing import Any, Dict, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.synthesis.config import SynthesisConfig
+    from repro.synthesis.cosynthesis import SynthesisResult
 
 from repro.architecture.communication_link import CommunicationLink
 from repro.architecture.platform import Architecture
@@ -211,6 +215,121 @@ def load_problem(path: Union[str, pathlib.Path]) -> Problem:
     """Read a problem instance from a JSON file."""
     return problem_from_dict(
         json.loads(pathlib.Path(path).read_text())
+    )
+
+
+def result_to_dict(result: "SynthesisResult") -> Dict[str, Any]:
+    """Serialise a synthesis result (mapping + stable quality figures).
+
+    Besides the aggregate Equation (1) power, the **per-mode** power
+    breakdown is a stable part of the schema: it is the vector the
+    adaptive design library needs to re-score the design exactly under
+    any probability vector (p̄ is linear in Ψ), and it survives the
+    round-trip bit-exactly because evaluation is a pure function of the
+    genes.
+    """
+    best = result.best
+    return {
+        "schema": SCHEMA_VERSION,
+        "problem": best.problem.name,
+        "mapping": best.mapping.full_mapping(),
+        "psi": best.problem.omsm.probability_vector(),
+        "average_power": best.metrics.average_power,
+        "mode_powers": {
+            mode: dict(entry)
+            for mode, entry in result.mode_powers.items()
+        },
+        "feasible": best.metrics.is_feasible,
+        "generations": result.generations,
+        "evaluations": result.evaluations,
+        "cpu_time": result.cpu_time,
+        "history": list(result.history),
+    }
+
+
+def result_from_dict(
+    problem: Problem,
+    data: Dict[str, Any],
+    config: "Optional[SynthesisConfig]" = None,
+) -> "SynthesisResult":
+    """Rebuild a synthesis result against an existing problem.
+
+    The stored mapping is re-evaluated (evaluation is pure, so this is
+    an exact reconstruction, not an approximation); the recomputed
+    per-mode powers are validated against the stored vector to within
+    1e-9, so a result file quietly diverging from the problem it is
+    loaded against fails loudly instead of mis-scoring designs.
+    """
+    from repro.synthesis.config import SynthesisConfig
+    from repro.synthesis.cosynthesis import SynthesisResult
+    from repro.synthesis.evaluator import evaluate_mapping
+
+    if data.get("schema") != SCHEMA_VERSION:
+        raise SpecificationError(
+            f"unsupported schema version {data.get('schema')!r}"
+        )
+    if data.get("problem") != problem.name:
+        raise SpecificationError(
+            f"result was saved for problem {data.get('problem')!r}, "
+            f"not {problem.name!r}"
+        )
+    mapping = MappingString.from_mapping(problem, data["mapping"])
+    implementation = evaluate_mapping(
+        problem, mapping, config or SynthesisConfig()
+    )
+    if implementation is None:
+        raise SpecificationError(
+            f"stored mapping for {problem.name!r} is no longer "
+            f"evaluable against this problem"
+        )
+    stored = data.get("mode_powers", {})
+    for mode in problem.omsm.mode_names:
+        entry = stored.get(mode)
+        if entry is None:
+            raise SpecificationError(
+                f"stored result misses mode_powers[{mode!r}]"
+            )
+        recomputed = (
+            implementation.metrics.dynamic_power[mode],
+            implementation.metrics.static_power[mode],
+        )
+        if (
+            abs(entry["dynamic"] - recomputed[0]) > 1e-9
+            or abs(entry["static"] - recomputed[1]) > 1e-9
+        ):
+            raise SpecificationError(
+                f"stored mode_powers[{mode!r}] disagree with the "
+                f"re-evaluated mapping (stored {entry}, recomputed "
+                f"dynamic={recomputed[0]!r}, static={recomputed[1]!r})"
+            )
+    return SynthesisResult(
+        best=implementation,
+        generations=int(data.get("generations", 0)),
+        evaluations=int(data.get("evaluations", 0)),
+        cpu_time=float(data.get("cpu_time", 0.0)),
+        history=[float(v) for v in data.get("history", [])],
+    )
+
+
+def save_result(
+    result: "SynthesisResult", path: Union[str, pathlib.Path]
+) -> None:
+    """Write a synthesis result to a JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=2, sort_keys=True)
+    )
+
+
+def load_result(
+    problem: Problem,
+    path: Union[str, pathlib.Path],
+    config: "Optional[SynthesisConfig]" = None,
+) -> "SynthesisResult":
+    """Read a synthesis result from a JSON file."""
+    return result_from_dict(
+        problem,
+        json.loads(pathlib.Path(path).read_text()),
+        config,
     )
 
 

@@ -74,6 +74,22 @@ class Problem:
     def name(self) -> str:
         return self.omsm.name
 
+    def with_probabilities(
+        self, probabilities: Dict[str, float]
+    ) -> "Problem":
+        """The same instance re-targeted at a different Ψ vector.
+
+        Architecture and technology are shared; the OMSM is rebuilt via
+        :meth:`~repro.specification.omsm.OMSM.with_probabilities`.  The
+        gene layout is unchanged, so mapping strings (and stored design
+        genes) transfer between the two instances verbatim.
+        """
+        return Problem(
+            self.omsm.with_probabilities(probabilities),
+            self.architecture,
+            self.technology,
+        )
+
     def gene_space(
         self, mode_name: str
     ) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:

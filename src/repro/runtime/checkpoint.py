@@ -34,13 +34,24 @@ RESULTS_DIRNAME = "results"
 SPEC_FILENAME = "spec.json"
 
 
-def _atomic_write_json(path: pathlib.Path, data: Dict[str, Any]) -> None:
+def atomic_write_json(path: PathLike, data: Dict[str, Any]) -> None:
+    """Write ``data`` as JSON so a kill never leaves a torn file.
+
+    Temp file + ``fsync`` + ``os.replace`` — the write discipline every
+    durable artifact of the repo (checkpoints, results, the adaptive
+    design library) shares.
+    """
+    path = pathlib.Path(path)
     tmp = path.with_suffix(path.suffix + ".tmp")
     with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(data, handle)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+
+
+#: Backward-compatible alias for the historical private name.
+_atomic_write_json = atomic_write_json
 
 
 def _read_json(path: pathlib.Path, what: str) -> Dict[str, Any]:

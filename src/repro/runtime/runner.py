@@ -73,6 +73,10 @@ class JobResult:
     attempts: int = 1
     resumed_from: int = 0
     perf: Dict[str, Any] = field(default_factory=dict)
+    #: Per-mode power breakdown ``{mode: {"dynamic": W, "static": W}}``
+    #: of the winning design — the vector the adaptive design library
+    #: re-scores under arbitrary Ψ (Equation 1 is linear in Ψ).
+    mode_powers: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -93,11 +97,18 @@ class JobResult:
             "attempts": self.attempts,
             "resumed_from": self.resumed_from,
             "perf": dict(self.perf),
+            "mode_powers": {
+                mode: dict(entry)
+                for mode, entry in self.mode_powers.items()
+            },
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "JobResult":
         values = dict(data)
+        # Results written before the field existed load with an empty
+        # breakdown rather than failing (additive schema change).
+        values.setdefault("mode_powers", {})
         version = values.pop("version", RESULT_VERSION)
         if version != RESULT_VERSION:
             raise CampaignError(
@@ -412,6 +423,10 @@ class CampaignRunner:
                     if synthesis.perf is not None
                     else {}
                 ),
+                mode_powers={
+                    mode: dict(entry)
+                    for mode, entry in synthesis.mode_powers.items()
+                },
             )
             ckpt.write_result(self.run_dir, job.job_id, result.to_dict())
             ckpt.clear_checkpoint(self.run_dir, job.job_id)
@@ -437,6 +452,7 @@ class CampaignRunner:
                 evaluations=result.evaluations,
                 attempts=result.attempts,
                 perf=result.perf,
+                mode_powers=result.mode_powers,
             )
             return result
         raise AssertionError("unreachable: retry loop exits via return/raise")

@@ -46,7 +46,8 @@ class SynthesisResult:
     records the best fitness after every generation; ``cpu_time`` is the
     wall-clock optimisation time in seconds (the quantity the paper's
     "CPU time" columns report); ``perf`` carries the per-phase timing
-    and cache statistics collected by the evaluation engine.
+    and cache statistics collected by the evaluation engine;
+    ``mode_powers`` is the stable per-mode power breakdown (see below).
     """
 
     best: Implementation
@@ -55,6 +56,26 @@ class SynthesisResult:
     cpu_time: float
     history: List[float] = field(default_factory=list)
     perf: Optional[PerfStats] = None
+    #: Per-mode power breakdown of the best candidate, in watts:
+    #: ``{mode: {"dynamic": …, "static": …}}``.  This is the quantity
+    #: Equation (1) is *linear* in — ``p̄(Ψ) = Σ_O (dyn_O + stat_O)·Ψ_O``
+    #: for any probability vector — so persisting it lets any stored
+    #: design be re-scored exactly under a new Ψ without re-simulation
+    #: (the foundation of :mod:`repro.adaptive`).  Serialised by
+    #: :func:`repro.io.result_to_dict` and carried on campaign
+    #: ``job_finished`` events / result records.
+    mode_powers: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.mode_powers and self.best is not None:
+            metrics = self.best.metrics
+            self.mode_powers = {
+                mode: {
+                    "dynamic": metrics.dynamic_power[mode],
+                    "static": metrics.static_power[mode],
+                }
+                for mode in metrics.dynamic_power
+            }
 
     @property
     def average_power(self) -> float:
@@ -64,6 +85,11 @@ class SynthesisResult:
     @property
     def is_feasible(self) -> bool:
         return self.best.metrics.is_feasible
+
+    def mode_power(self, mode_name: str) -> float:
+        """Total (dynamic + static) power of one mode, in watts."""
+        entry = self.mode_powers[mode_name]
+        return entry["dynamic"] + entry["static"]
 
 
 class MultiModeSynthesizer:

@@ -1,0 +1,177 @@
+"""Tests for the drift detector's triggers, hysteresis and cooldown."""
+
+import pytest
+
+from repro.adaptive.drift import DriftConfig, DriftDetector
+from repro.errors import SpecificationError
+
+PSI_A = {"O1": 0.1, "O2": 0.9}
+PSI_B = {"O1": 0.9, "O2": 0.1}
+
+
+def update(detector, now=0.0, psi=PSI_A, confidence=1.0,
+           deployed=1.0, best=1.0, deployed_psi=PSI_A):
+    return detector.update(
+        now=now,
+        psi_estimate=psi,
+        confidence=confidence,
+        deployed_score=deployed,
+        best_score=best,
+        deployed_psi=deployed_psi,
+    )
+
+
+class TestConfigValidation:
+    def test_rejects_negative_thresholds(self):
+        with pytest.raises(SpecificationError):
+            DriftConfig(regret_threshold=-0.1)
+        with pytest.raises(SpecificationError):
+            DriftConfig(distance_threshold=-0.1)
+
+    def test_rejects_bad_hysteresis(self):
+        with pytest.raises(SpecificationError):
+            DriftConfig(hysteresis=0.0)
+        with pytest.raises(SpecificationError):
+            DriftConfig(hysteresis=1.5)
+
+    def test_rejects_negative_cooldown(self):
+        with pytest.raises(SpecificationError):
+            DriftConfig(cooldown=-1.0)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(SpecificationError):
+            DriftConfig(min_confidence=1.0)
+
+
+class TestTriggers:
+    def test_quiet_below_both_thresholds(self):
+        detector = DriftDetector(DriftConfig(min_confidence=0.0))
+        decision = update(detector, deployed=1.01, best=1.0)
+        assert not decision.drift
+        assert decision.reason == "below_threshold"
+
+    def test_regret_trigger_fires(self):
+        detector = DriftDetector(
+            DriftConfig(regret_threshold=0.05, min_confidence=0.0)
+        )
+        decision = update(detector, deployed=1.2, best=1.0)
+        assert decision.drift
+        assert "regret" in decision.reason
+        assert decision.regret == pytest.approx(0.2)
+
+    def test_distance_trigger_fires(self):
+        detector = DriftDetector(
+            DriftConfig(distance_threshold=0.15, min_confidence=0.0)
+        )
+        decision = update(detector, psi=PSI_B, deployed_psi=PSI_A)
+        assert decision.drift
+        assert "distance" in decision.reason
+        assert decision.distance == pytest.approx(0.8)
+
+    def test_combined_reason(self):
+        detector = DriftDetector(DriftConfig(min_confidence=0.0))
+        decision = update(
+            detector, psi=PSI_B, deployed_psi=PSI_A, deployed=2.0, best=1.0
+        )
+        assert decision.drift
+        assert decision.reason == "regret+distance"
+
+    def test_low_confidence_gates_everything(self):
+        detector = DriftDetector(DriftConfig(min_confidence=0.5))
+        decision = update(
+            detector, confidence=0.2, deployed=5.0, best=1.0
+        )
+        assert not decision.drift
+        assert decision.reason == "low_confidence"
+
+    def test_non_positive_best_score_rejected(self):
+        detector = DriftDetector()
+        with pytest.raises(SpecificationError, match="best_score"):
+            update(detector, best=0.0)
+
+
+class TestHysteresis:
+    def test_latches_until_recovery_with_zero_cooldown(self):
+        # cooldown=0: the detector fires once, then stays quiet while
+        # the trigger hovers above the re-arm level — no thrash.
+        detector = DriftDetector(
+            DriftConfig(
+                regret_threshold=0.10,
+                hysteresis=0.5,
+                cooldown=0.0,
+                min_confidence=0.0,
+            )
+        )
+        assert update(detector, now=1.0, deployed=1.2, best=1.0).drift
+        # Still over threshold: disarmed, no fire.
+        decision = update(detector, now=2.0, deployed=1.2, best=1.0)
+        assert not decision.drift
+        assert decision.reason == "disarmed"
+        # Dips below threshold but above hysteresis level: still quiet.
+        decision = update(detector, now=3.0, deployed=1.08, best=1.0)
+        assert not decision.drift
+        assert not decision.armed
+        # Full recovery below hysteresis × threshold re-arms...
+        decision = update(detector, now=4.0, deployed=1.02, best=1.0)
+        assert not decision.drift
+        assert decision.armed
+        # ...and the next excursion fires again.
+        assert update(detector, now=5.0, deployed=1.2, best=1.0).drift
+
+    def test_reset_rearms(self):
+        detector = DriftDetector(
+            DriftConfig(regret_threshold=0.1, min_confidence=0.0)
+        )
+        assert update(detector, now=1.0, deployed=1.5, best=1.0).drift
+        detector.reset()
+        assert update(detector, now=1.1, deployed=1.5, best=1.0).drift
+
+
+class TestCooldown:
+    def test_persistent_drift_fires_at_cooldown_cadence(self):
+        detector = DriftDetector(
+            DriftConfig(
+                regret_threshold=0.1,
+                cooldown=10.0,
+                min_confidence=0.0,
+            )
+        )
+        fired = [
+            t
+            for t in range(0, 40)
+            if update(
+                detector, now=float(t), deployed=2.0, best=1.0
+            ).drift
+        ]
+        assert fired == [0, 10, 20, 30]
+
+    def test_within_cooldown_reports_cooling(self):
+        detector = DriftDetector(
+            DriftConfig(
+                regret_threshold=0.1, cooldown=5.0, min_confidence=0.0
+            )
+        )
+        assert update(detector, now=0.0, deployed=2.0, best=1.0).drift
+        decision = update(detector, now=2.0, deployed=2.0, best=1.0)
+        assert not decision.drift
+        assert decision.cooling
+
+    def test_new_episode_within_cooldown_still_blocked(self):
+        detector = DriftDetector(
+            DriftConfig(
+                regret_threshold=0.1,
+                hysteresis=0.5,
+                cooldown=100.0,
+                min_confidence=0.0,
+            )
+        )
+        assert update(detector, now=0.0, deployed=2.0, best=1.0).drift
+        # Full recovery re-arms...
+        update(detector, now=1.0, deployed=1.0, best=1.0)
+        assert detector.armed
+        # ...but a new excursion inside the cooldown cannot fire yet.
+        decision = update(detector, now=2.0, deployed=2.0, best=1.0)
+        assert not decision.drift
+        assert decision.reason == "cooldown"
+        # After the cooldown it fires.
+        assert update(detector, now=101.0, deployed=2.0, best=1.0).drift

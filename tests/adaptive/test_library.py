@@ -1,0 +1,247 @@
+"""Tests for the design library — above all, exact Ψ re-scoring."""
+
+import random
+
+import pytest
+
+from repro.adaptive.library import (
+    DesignLibrary,
+    DesignRecord,
+    psi_distance,
+)
+from repro.errors import SpecificationError
+from repro.mapping.encoding import MappingString
+from repro.power.energy_model import average_power
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.cosynthesis import MultiModeSynthesizer
+from repro.synthesis.evaluator import evaluate_mapping
+
+from tests.conftest import make_two_mode_problem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_two_mode_problem()
+
+
+@pytest.fixture(scope="module")
+def result(problem):
+    config = SynthesisConfig(
+        population_size=10, max_generations=12, seed=3
+    )
+    return MultiModeSynthesizer(problem, config).run()
+
+
+@pytest.fixture
+def record(result):
+    return DesignRecord.from_result("design-time", result)
+
+
+def random_psi(modes, rng):
+    weights = [rng.random() + 1e-3 for _ in modes]
+    total = sum(weights)
+    return {mode: w / total for mode, w in zip(modes, weights)}
+
+
+class TestExactRescoring:
+    def test_score_equals_average_power_at_true_psi(
+        self, problem, result, record
+    ):
+        psi = problem.omsm.probability_vector()
+        assert abs(record.score(psi) - result.average_power) <= 1e-9
+
+    def test_score_equals_fresh_evaluator_under_any_psi(
+        self, problem, result, record
+    ):
+        """The acceptance property: exact under arbitrary Ψ.
+
+        For each random Ψ the stored design is re-scored by the
+        library AND freshly re-evaluated (decode → schedule → DVS →
+        Equation 1) against the re-targeted problem; the two must
+        agree to 1e-9.
+        """
+        rng = random.Random(42)
+        modes = problem.omsm.mode_names
+        for _ in range(25):
+            psi = random_psi(modes, rng)
+            # Direct Equation (1) over the existing schedules...
+            direct = average_power(problem, result.best.schedules, psi)
+            assert abs(record.score(psi) - direct) <= 1e-9
+            # ...and a full re-evaluation against the re-targeted
+            # problem (evaluation is pure; schedules are Ψ-independent).
+            retargeted = problem.with_probabilities(psi)
+            implementation = evaluate_mapping(
+                retargeted,
+                MappingString(retargeted, record.genes),
+                SynthesisConfig(),
+            )
+            assert implementation is not None
+            assert (
+                abs(record.score(psi) - implementation.metrics.average_power)
+                <= 1e-9
+            )
+
+    def test_score_is_linear_in_psi(self, problem, record):
+        # p̄(λa + (1-λ)b) == λ p̄(a) + (1-λ) p̄(b) — Equation 1 linearity.
+        a = {"O1": 1.0, "O2": 0.0}
+        b = {"O1": 0.0, "O2": 1.0}
+        for lam in (0.0, 0.25, 0.5, 0.9, 1.0):
+            mixed = {
+                mode: lam * a[mode] + (1 - lam) * b[mode]
+                for mode in a
+            }
+            expected = lam * record.score(a) + (1 - lam) * record.score(b)
+            assert record.score(mixed) == pytest.approx(
+                expected, abs=1e-12
+            )
+
+    def test_score_rejects_incomplete_psi(self, record):
+        with pytest.raises(SpecificationError, match="misses"):
+            record.score({"O1": 1.0})
+
+
+class TestPsiDistance:
+    def test_identical_is_zero(self):
+        psi = {"A": 0.3, "B": 0.7}
+        assert psi_distance(psi, psi) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert psi_distance({"A": 1.0, "B": 0.0}, {"A": 0.0, "B": 1.0}) == 1.0
+
+    def test_symmetric(self):
+        a = {"A": 0.2, "B": 0.8}
+        b = {"A": 0.6, "B": 0.4}
+        assert psi_distance(a, b) == psi_distance(b, a)
+
+
+class TestQueries:
+    def make_record(self, name, powers, psi):
+        return DesignRecord(
+            name=name,
+            genes=("PE0",),
+            psi=psi,
+            mode_powers={
+                mode: {"dynamic": value, "static": 0.0}
+                for mode, value in powers.items()
+            },
+        )
+
+    def test_best_picks_minimal_power(self):
+        library = DesignLibrary(
+            [
+                self.make_record(
+                    "a", {"O1": 1.0, "O2": 0.1}, {"O1": 0.1, "O2": 0.9}
+                ),
+                self.make_record(
+                    "b", {"O1": 0.1, "O2": 1.0}, {"O1": 0.9, "O2": 0.1}
+                ),
+            ]
+        )
+        best, score = library.best({"O1": 0.9, "O2": 0.1})
+        assert best.name == "b"
+        assert score == pytest.approx(0.9 * 0.1 + 0.1 * 1.0)
+        best, _ = library.best({"O1": 0.1, "O2": 0.9})
+        assert best.name == "a"
+
+    def test_best_skips_infeasible_records(self):
+        good = self.make_record("good", {"O1": 5.0, "O2": 5.0}, {"O1": 0.5, "O2": 0.5})
+        cheat = self.make_record("cheat", {"O1": 0.1, "O2": 0.1}, {"O1": 0.5, "O2": 0.5})
+        cheat.feasible = False
+        library = DesignLibrary([good, cheat])
+        best, _ = library.best({"O1": 0.5, "O2": 0.5})
+        assert best.name == "good"
+        best, _ = library.best(
+            {"O1": 0.5, "O2": 0.5}, feasible_only=False
+        )
+        assert best.name == "cheat"
+
+    def test_best_on_empty_library_raises(self):
+        with pytest.raises(SpecificationError, match="no"):
+            DesignLibrary().best({"O1": 1.0})
+
+    def test_best_ties_break_by_insertion_order(self):
+        first = self.make_record("first", {"O1": 1.0, "O2": 1.0}, {"O1": 0.5, "O2": 0.5})
+        clone = self.make_record("clone", {"O1": 1.0, "O2": 1.0}, {"O1": 0.5, "O2": 0.5})
+        best, _ = DesignLibrary([first, clone]).best({"O1": 0.5, "O2": 0.5})
+        assert best.name == "first"
+
+    def test_nearest_orders_by_distance(self):
+        library = DesignLibrary(
+            [
+                self.make_record("far", {"O1": 1.0, "O2": 1.0}, {"O1": 0.9, "O2": 0.1}),
+                self.make_record("near", {"O1": 1.0, "O2": 1.0}, {"O1": 0.2, "O2": 0.8}),
+            ]
+        )
+        ranked = library.nearest({"O1": 0.1, "O2": 0.9}, count=2)
+        assert [r.name for r in ranked] == ["near", "far"]
+        assert len(library.nearest({"O1": 0.1, "O2": 0.9}, count=1)) == 1
+
+    def test_lower_bound_combines_modes_across_records(self):
+        library = DesignLibrary(
+            [
+                self.make_record("a", {"O1": 1.0, "O2": 5.0}, {"O1": 0.5, "O2": 0.5}),
+                self.make_record("b", {"O1": 5.0, "O2": 1.0}, {"O1": 0.5, "O2": 0.5}),
+            ]
+        )
+        psi = {"O1": 0.5, "O2": 0.5}
+        bound = library.lower_bound(psi)
+        assert bound == pytest.approx(0.5 * 1.0 + 0.5 * 1.0)
+        # Strictly below each individual design's score.
+        for record in library.records:
+            assert bound < record.score(psi)
+
+    def test_readding_a_name_replaces_the_record(self):
+        library = DesignLibrary(
+            [self.make_record("x", {"O1": 1.0, "O2": 1.0}, {"O1": 0.5, "O2": 0.5})]
+        )
+        library.add(
+            self.make_record("x", {"O1": 2.0, "O2": 2.0}, {"O1": 0.5, "O2": 0.5})
+        )
+        assert len(library) == 1
+        assert library.get("x").mode_power("O1") == 2.0
+
+
+class TestPersistence:
+    def test_roundtrip_is_bit_exact(self, record, tmp_path):
+        library = DesignLibrary([record])
+        path = library.save(tmp_path / "library.json")
+        loaded = DesignLibrary.load(path)
+        assert len(loaded) == 1
+        reloaded = loaded.get("design-time")
+        assert reloaded.genes == record.genes
+        assert reloaded.psi == record.psi
+        assert reloaded.mode_powers == record.mode_powers
+        assert reloaded.area_used == record.area_used
+        # Scores after the round-trip are identical to the last bit.
+        psi = {"O1": 0.37, "O2": 0.63}
+        assert reloaded.score(psi) == record.score(psi)
+
+    def test_save_is_atomic(self, record, tmp_path):
+        path = tmp_path / "library.json"
+        DesignLibrary([record]).save(path)
+        assert not path.with_suffix(".json.tmp").exists()
+
+    def test_version_mismatch_rejected(self, record, tmp_path):
+        import json
+
+        path = DesignLibrary([record]).save(tmp_path / "library.json")
+        data = json.loads(path.read_text())
+        data["version"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(SpecificationError, match="version"):
+            DesignLibrary.load(path)
+
+    def test_mode_order_survives_roundtrip(self, record, tmp_path):
+        path = DesignLibrary([record]).save(tmp_path / "library.json")
+        loaded = DesignLibrary.load(path).get("design-time")
+        assert list(loaded.mode_powers) == list(record.mode_powers)
+
+
+class TestFromResult:
+    def test_carries_quality_figures(self, problem, result, record):
+        assert record.feasible == result.is_feasible
+        assert record.generations == result.generations
+        assert record.evaluations == result.evaluations
+        assert record.psi == problem.omsm.probability_vector()
+        assert set(record.mode_powers) == set(problem.omsm.mode_names)
+        assert record.area_used == result.best.cores.area_used

@@ -81,3 +81,72 @@ class TestSmartphoneTable:
         text = format_smartphone_table(results)
         assert "with DVS" not in text.split("\n", 3)[-1] or True
         assert "overall" not in text
+
+
+class TestResultsFromInProgressEvents:
+    """Rebuilding aggregates from a campaign that is still running.
+
+    The events.jsonl of a live (or crashed) campaign ends with jobs
+    that started but never finished — and possibly a torn final line
+    from a writer that died mid-record.  ``results_from_events`` must
+    aggregate exactly the finished jobs and tolerate the tail.
+    """
+
+    def finished(self, seed, use_probabilities, power):
+        return {
+            "event": "job_finished",
+            "instance": "mul1",
+            "dvs": "gradient",
+            "seed": seed,
+            "use_probabilities": use_probabilities,
+            "power": power,
+            "cpu_time": 1.0,
+            "feasible": True,
+            "modes": 4,
+        }
+
+    def events(self):
+        return [
+            {"event": "campaign_started", "campaign": "demo"},
+            {"event": "job_started", "job_id": "a"},
+            self.finished(0, False, 8e-3),
+            {"event": "job_started", "job_id": "b"},
+            self.finished(0, True, 6e-3),
+            {"event": "job_started", "job_id": "c"},
+            self.finished(1, False, 9e-3),
+            # Job "d" started but has not finished yet.
+            {"event": "job_started", "job_id": "d"},
+        ]
+
+    def test_counts_only_finished_jobs(self):
+        from repro.analysis.reporting import results_from_events
+
+        (result,) = results_from_events(self.events())
+        assert result.example == "mul1"
+        assert result.without.powers == [8e-3, 9e-3]
+        assert result.with_probabilities.powers == [6e-3]
+        assert result.runs == 2
+
+    def test_tolerates_torn_tail_on_disk(self, tmp_path):
+        import json
+
+        from repro.analysis.reporting import results_from_events
+
+        path = tmp_path / "events.jsonl"
+        payload = "".join(
+            json.dumps(event) + "\n" for event in self.events()
+        )
+        # A writer died mid-record: the last line has no newline and
+        # is not valid JSON.
+        payload += '{"event": "job_finis'
+        path.write_text(payload)
+        (result,) = results_from_events(path)
+        assert result.without.powers == [8e-3, 9e-3]
+        assert result.with_probabilities.powers == [6e-3]
+
+    def test_empty_stream_yields_no_rows(self, tmp_path):
+        from repro.analysis.reporting import results_from_events
+
+        path = tmp_path / "events.jsonl"
+        path.write_text("")
+        assert results_from_events(path) == []

@@ -393,3 +393,133 @@ class TestTables:
         assert "Table 1" in out
         assert "mul9" in out
         assert "vs paper" in out
+
+
+class TestProblemsCommand:
+    def test_parser_accepts_problems(self):
+        args = build_parser().parse_args(["problems"])
+        assert args.command == "problems"
+
+    def test_lists_registry_with_mode_counts(self, capsys):
+        assert main(["problems"]) == 0
+        out = capsys.readouterr().out
+        header, *rows = out.strip().splitlines()
+        assert "modes" in header and "genes" in header
+        names = [row.split()[0] for row in rows]
+        assert "mul1" in names
+        assert "smartphone" in names
+        smartphone_row = next(r for r in rows if r.startswith("smartphone"))
+        assert smartphone_row.split()[1] == "8"
+
+
+class TestAdaptCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["adapt", "mul1"])
+        assert args.command == "adapt"
+        assert args.problem == "mul1"
+        assert args.trace is None
+        assert args.steps == 200
+        assert args.library is None
+        assert args.out is None
+
+    def test_parser_options(self):
+        args = build_parser().parse_args(
+            [
+                "adapt",
+                "smartphone",
+                "--trace",
+                "trace.json",
+                "--steps",
+                "50",
+                "--seed",
+                "4",
+            ]
+        )
+        assert args.trace == "trace.json"
+        assert args.steps == 50
+        assert args.seed == 4
+
+    def test_adapt_samples_a_trace_and_reports(self, capsys, tmp_path):
+        out_dir = tmp_path / "run"
+        code = main(
+            [
+                "adapt",
+                "mul1",
+                "--steps",
+                "30",
+                "--population",
+                "8",
+                "--generations",
+                "6",
+                "--seed",
+                "1",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adaptation over" in out
+        assert "final design:" in out
+        assert "Ψ estimate" in out
+        assert (out_dir / "events.jsonl").exists()
+        assert (out_dir / "library.json").exists()
+
+    def test_adapt_with_explicit_trace_file(self, capsys, tmp_path):
+        import json
+
+        from repro.benchgen import registry
+
+        modes = registry.get("mul1").omsm.mode_names
+        trace = [[mode, 5.0] for mode in modes] * 3
+        trace_path = tmp_path / "trace.json"
+        trace_path.write_text(json.dumps(trace))
+        code = main(
+            [
+                "adapt",
+                "mul1",
+                "--trace",
+                str(trace_path),
+                "--population",
+                "8",
+                "--generations",
+                "6",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"adaptation over {len(trace) * 5.0:.1f} s" in out
+
+    def test_malformed_trace_rejected(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        trace_path.write_text('{"not": "a list"}')
+        with pytest.raises(SystemExit, match="must be a JSON list"):
+            main(
+                [
+                    "adapt",
+                    "mul1",
+                    "--trace",
+                    str(trace_path),
+                    "--population",
+                    "8",
+                    "--generations",
+                    "6",
+                ]
+            )
+
+    def test_missing_trace_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read trace"):
+            main(
+                [
+                    "adapt",
+                    "mul1",
+                    "--trace",
+                    str(tmp_path / "nope.json"),
+                    "--population",
+                    "8",
+                    "--generations",
+                    "6",
+                ]
+            )

@@ -124,3 +124,77 @@ class TestMappingRoundtrip:
         data["schema"] = 0
         with pytest.raises(SpecificationError):
             mapping_from_dict(problem, data)
+
+
+class TestResultRoundtrip:
+    """save_result/load_result with the stable mode_powers field."""
+
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return make_two_mode_problem()
+
+    @pytest.fixture(scope="class")
+    def result(self, problem):
+        from repro.synthesis.config import SynthesisConfig
+        from repro.synthesis.cosynthesis import MultiModeSynthesizer
+
+        config = SynthesisConfig(
+            population_size=10, max_generations=10, seed=2
+        )
+        return MultiModeSynthesizer(problem, config).run()
+
+    def test_mode_powers_are_part_of_the_schema(self, result):
+        from repro.io import result_to_dict
+
+        data = result_to_dict(result)
+        assert set(data["mode_powers"]) == {"O1", "O2"}
+        for entry in data["mode_powers"].values():
+            assert set(entry) == {"dynamic", "static"}
+        # Consistency with Equation (1): Ψ-weighted sum of the
+        # per-mode totals is the aggregate power.
+        psi = data["psi"]
+        total = sum(
+            (entry["dynamic"] + entry["static"]) * psi[mode]
+            for mode, entry in data["mode_powers"].items()
+        )
+        assert total == pytest.approx(data["average_power"], abs=1e-12)
+
+    def test_roundtrip_is_exact(self, problem, result, tmp_path):
+        from repro.io import load_result, save_result
+
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        loaded = load_result(problem, path)
+        assert loaded.best.mapping.genes == result.best.mapping.genes
+        assert loaded.best.metrics.average_power == pytest.approx(
+            result.best.metrics.average_power, abs=0
+        )
+        assert loaded.mode_powers == result.mode_powers
+        assert loaded.generations == result.generations
+        assert loaded.evaluations == result.evaluations
+        assert loaded.history == result.history
+
+    def test_wrong_problem_rejected(self, result, tmp_path):
+        from repro.io import load_result, save_result
+
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        other = make_parallel_hw_problem()
+        with pytest.raises(SpecificationError, match="saved for"):
+            load_result(other, path)
+
+    def test_tampered_mode_powers_rejected(self, problem, result, tmp_path):
+        from repro.io import result_from_dict, result_to_dict
+
+        data = result_to_dict(result)
+        data["mode_powers"]["O1"]["dynamic"] += 1e-3
+        with pytest.raises(SpecificationError, match="disagree"):
+            result_from_dict(problem, data)
+
+    def test_unknown_schema_rejected(self, problem, result):
+        from repro.io import result_from_dict, result_to_dict
+
+        data = result_to_dict(result)
+        data["schema"] = "v999"
+        with pytest.raises(SpecificationError, match="schema"):
+            result_from_dict(problem, data)
