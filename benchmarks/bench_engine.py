@@ -1,28 +1,36 @@
-"""Evaluation-engine benchmark: legacy vs decode-cache vs process pool.
+"""Evaluation-engine benchmark: legacy vs decode-cache vs mode-cache vs pool.
 
-Runs the same GA synthesis (same seed, same sizing) under three engine
+Runs the same GA synthesis (same seed, same sizing) under four engine
 configurations and verifies they are *bit-identical* before reporting
 wall-clock speedups:
 
 ``legacy``
-    ``decode_cache=False, jobs=1`` — the seed implementation's
-    recompute-per-candidate decode paths (kept verbatim in
-    :mod:`repro.dvs._pv_dvs_reference`), the baseline all speedups are
-    measured against.
+    ``decode_cache=False, mode_cache=False, jobs=1`` — the seed
+    implementation's recompute-per-candidate decode paths (kept
+    verbatim in :mod:`repro.dvs._pv_dvs_reference`), the baseline all
+    speedups are measured against.
 ``engine``
-    ``decode_cache=True, jobs=1`` — the shared
+    ``decode_cache=True, mode_cache=False, jobs=1`` — the shared
     :class:`~repro.engine.decode_cache.DecodeContext` fast paths,
-    in-process.
+    in-process, through the monolithic evaluator.
+``incremental``
+    ``decode_cache=True, mode_cache=True, jobs=1`` — the staged
+    per-mode pipeline (:mod:`repro.eval`) serving clean modes from the
+    bounded :class:`~repro.eval.cache.ModeResultCache` (emptied before
+    every timed run, so the measured advantage is purely intra-run).
 ``engine+pool``
-    ``decode_cache=True, jobs=N`` — the same fast paths with each
-    generation's unique uncached genomes dispatched to a process pool.
+    ``decode_cache=True, mode_cache=True, jobs=N`` — the incremental
+    pipeline with each generation's unique uncached genomes dispatched
+    to a process pool.
 
 The *headline* cases run the gradient PV-DVS inner loop — the paper's
 proposed technique and by far the hottest decode phase; no-DVS cases
 are reported as a secondary (smaller) aggregate.  Results are written
-to ``BENCH_engine.json``; ``--check BASELINE`` compares the headline
-speedup against a committed baseline and fails on a >20 % regression
-(speedup ratios are machine-relative, so the check is portable).
+to ``BENCH_engine.json`` together with each case's mode-cache hit rate
+and the ``incremental``-over-``engine`` speedup; ``--check BASELINE``
+compares the headline speedup against a committed baseline and fails
+on a >20 % regression (speedup ratios are machine-relative, so the
+check is portable).
 
 Usage::
 
@@ -83,6 +91,13 @@ def _base_config(dvs: DvsMethod, seed: int, quick: bool) -> SynthesisConfig:
 
 
 def _run_once(problem: Problem, config: SynthesisConfig) -> SynthesisResult:
+    # All configurations share one Problem (and thus its memoised
+    # per-mode result cache); start every timed run cold so the
+    # incremental arm's advantage is intra-run, not leftovers from the
+    # previous arm or repeat.
+    cache = getattr(problem, "_mode_result_cache", None)
+    if cache is not None:
+        cache.clear()
     return MultiModeSynthesizer(problem, config).run()
 
 
@@ -124,31 +139,50 @@ def run_case(
     times, results = _timed_interleaved(
         problem,
         {
-            "legacy": base.with_updates(decode_cache=False, jobs=1),
-            "serial": base.with_updates(decode_cache=True, jobs=1),
-            "pool": base.with_updates(decode_cache=True, jobs=jobs),
+            "legacy": base.with_updates(
+                decode_cache=False, mode_cache=False, jobs=1
+            ),
+            "serial": base.with_updates(
+                decode_cache=True, mode_cache=False, jobs=1
+            ),
+            "incremental": base.with_updates(
+                decode_cache=True, mode_cache=True, jobs=1
+            ),
+            "pool": base.with_updates(
+                decode_cache=True, mode_cache=True, jobs=jobs
+            ),
         },
         repeats,
     )
-    legacy_s, serial_s, pool_s = (
+    legacy_s, serial_s, incremental_s, pool_s = (
         times["legacy"],
         times["serial"],
+        times["incremental"],
         times["pool"],
     )
-    legacy, serial, pooled = (
+    legacy, serial, incremental, pooled = (
         results["legacy"],
         results["serial"],
+        results["incremental"],
         results["pool"],
     )
 
     identical = (
         legacy.best.metrics.fitness
         == serial.best.metrics.fitness
+        == incremental.best.metrics.fitness
         == pooled.best.metrics.fitness
-        and legacy.history == serial.history == pooled.history
-        and legacy.evaluations == serial.evaluations == pooled.evaluations
+        and legacy.history
+        == serial.history
+        == incremental.history
+        == pooled.history
+        and legacy.evaluations
+        == serial.evaluations
+        == incremental.evaluations
+        == pooled.evaluations
     )
     perf = pooled.perf
+    inc_perf = incremental.perf
     case: Dict[str, object] = {
         "name": name,
         "dvs": dvs.value,
@@ -158,9 +192,25 @@ def run_case(
         "evaluations": legacy.evaluations,
         "legacy_seconds": round(legacy_s, 4),
         "engine_serial_seconds": round(serial_s, 4),
+        "engine_incremental_seconds": round(incremental_s, 4),
         "engine_parallel_seconds": round(pool_s, 4),
         "speedup_serial": round(legacy_s / serial_s, 4),
+        # Incremental pipeline vs the monolithic cached path, both at
+        # jobs=1 — the mode-result cache's own contribution.
+        "speedup_incremental": round(serial_s / incremental_s, 4),
+        "speedup_incremental_vs_legacy": round(legacy_s / incremental_s, 4),
         "speedup_parallel": round(legacy_s / pool_s, 4),
+        "mode_cache_hit_rate": (
+            round(inc_perf.mode_cache_hit_rate, 4)
+            if inc_perf is not None
+            else None
+        ),
+        "mode_cache_hits": (
+            inc_perf.mode_cache_hits if inc_perf is not None else None
+        ),
+        "mode_cache_misses": (
+            inc_perf.mode_cache_misses if inc_perf is not None else None
+        ),
         "perf_parallel": perf.to_dict() if perf is not None else None,
     }
     return case
@@ -207,6 +257,9 @@ def build_report(args: argparse.Namespace) -> Dict[str, object]:
             f"[bench_engine]   legacy {case['legacy_seconds']:.2f}s, "
             f"engine {case['engine_serial_seconds']:.2f}s "
             f"({case['speedup_serial']:.2f}x), "
+            f"incremental {case['engine_incremental_seconds']:.2f}s "
+            f"({case['speedup_incremental']:.2f}x vs engine, "
+            f"hit rate {case['mode_cache_hit_rate']}), "
             f"engine+pool {case['engine_parallel_seconds']:.2f}s "
             f"({case['speedup_parallel']:.2f}x), "
             f"identical={case['identical']}",
@@ -217,11 +270,33 @@ def build_report(args: argparse.Namespace) -> Dict[str, object]:
         c["speedup_parallel"] for c in cases if c["headline"]
     ]
     headline_serial = [c["speedup_serial"] for c in cases if c["headline"]]
+    headline_incremental = [
+        c["speedup_incremental"] for c in cases if c["headline"]
+    ]
     aggregate = {
         "headline_geomean_speedup_parallel": _geomean(headline_parallel),
         "headline_geomean_speedup_serial": _geomean(headline_serial),
+        "headline_geomean_speedup_incremental": _geomean(
+            headline_incremental
+        ),
         "all_geomean_speedup_parallel": _geomean(
             [c["speedup_parallel"] for c in cases]
+        ),
+        "headline_mean_mode_cache_hit_rate": (
+            sum(
+                c["mode_cache_hit_rate"]
+                for c in cases
+                if c["headline"] and c["mode_cache_hit_rate"] is not None
+            )
+            / max(
+                1,
+                sum(
+                    1
+                    for c in cases
+                    if c["headline"]
+                    and c["mode_cache_hit_rate"] is not None
+                ),
+            )
         ),
         "all_identical": all(c["identical"] for c in cases),
     }
@@ -322,7 +397,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(
         f"[bench_engine] headline geomean: "
         f"{agg['headline_geomean_speedup_parallel']:.2f}x (pool), "
-        f"{agg['headline_geomean_speedup_serial']:.2f}x (serial engine); "
+        f"{agg['headline_geomean_speedup_serial']:.2f}x (serial engine), "
+        f"{agg['headline_geomean_speedup_incremental']:.2f}x "
+        f"(incremental vs engine, mean hit rate "
+        f"{agg['headline_mean_mode_cache_hit_rate']:.2f}); "
         f"report written to {out_path}"
     )
 

@@ -159,7 +159,11 @@ def warm_population(
     software-biased/random individuals alternating for exploration.
     Deterministic given ``rng``; genes transfer verbatim because
     re-targeting Ψ leaves the gene layout unchanged
-    (:meth:`repro.problem.Problem.with_probabilities`).
+    (:meth:`repro.problem.Problem.with_probabilities`).  The re-target
+    also carries over the per-mode result cache (cached schedules and
+    powers are Ψ-independent), so re-evaluating seeds and their mutants
+    under the new probabilities is mostly cache hits — the warm start
+    is warm at the evaluation level too, not just in the population.
     """
     if not seeds:
         raise SpecificationError("warm start needs at least one seed")

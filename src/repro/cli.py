@@ -65,6 +65,7 @@ def _config_from_args(args: argparse.Namespace) -> SynthesisConfig:
         max_generations=args.generations,
         convergence_generations=args.convergence,
         jobs=getattr(args, "jobs", 1),
+        mode_cache=not getattr(args, "no_mode_cache", False),
         seed=args.seed,
     )
 
@@ -90,6 +91,15 @@ def _add_ga_options(parser: argparse.ArgumentParser) -> None:
         help=(
             "worker processes for population evaluation (1 = serial; "
             "results are identical for any job count)"
+        ),
+    )
+    parser.add_argument(
+        "--no-mode-cache",
+        action="store_true",
+        help=(
+            "evaluate through the monolithic legacy path instead of "
+            "the incremental per-mode pipeline (ablation; results are "
+            "bit-identical either way)"
         ),
     )
 

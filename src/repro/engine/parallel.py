@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 from repro.engine.decode_cache import DecodeContext, context_for
 from repro.engine.profile import PROFILER, PhaseTotals
 from repro.engine.records import EvalRecord, evaluate_genes
+from repro.eval.cache import mode_cache_for
 from repro.errors import WorkerPoolError
 from repro.obs.metrics import REGISTRY, MetricsSnapshot
 from repro.problem import Problem
@@ -200,6 +201,13 @@ class ParallelEvaluator:
                     if self.config.decode_cache
                     else None
                 )
+                if self.config.mode_cache:
+                    # Materialise the parent's mode-result cache before
+                    # forking: workers inherit its warm entries
+                    # copy-on-write and keep their own copies from
+                    # there on (hits/misses still reach the parent via
+                    # the metric deltas shipped with each chunk).
+                    mode_cache_for(self.problem, self.config)
                 return multiprocessing.Pool(
                     processes=self.jobs,
                     initializer=_init_forked_worker,

@@ -156,6 +156,11 @@ class PerfStats:
         accruing capacity instead of reporting nonsense utilisation.
     pool_fallbacks:
         Pool failures that degraded the run to in-process evaluation.
+    mode_cache_hits / mode_cache_misses / mode_cache_evictions:
+        Per-mode stage-result cache activity of the incremental
+        evaluation pipeline (:mod:`repro.eval`), summed over the main
+        process and all pool workers via the run's metric delta.  All
+        zero when ``SynthesisConfig.mode_cache`` is disabled.
     """
 
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -177,6 +182,9 @@ class PerfStats:
     pool_workers: int = 0
     pool_service_seconds: float = 0.0
     pool_fallbacks: int = 0
+    mode_cache_hits: int = 0
+    mode_cache_misses: int = 0
+    mode_cache_evictions: int = 0
 
     @property
     def evaluations_per_second(self) -> float:
@@ -191,6 +199,14 @@ class PerfStats:
         if served == 0:
             return 0.0
         return (self.cache_hits + self.dedup_hits) / served
+
+    @property
+    def mode_cache_hit_rate(self) -> float:
+        """Fraction of per-mode stage lookups served from the cache."""
+        looked_up = self.mode_cache_hits + self.mode_cache_misses
+        if looked_up == 0:
+            return 0.0
+        return self.mode_cache_hits / looked_up
 
     @property
     def pool_utilisation(self) -> float:
@@ -234,6 +250,10 @@ class PerfStats:
             "pool_workers": self.pool_workers,
             "pool_service_seconds": self.pool_service_seconds,
             "pool_fallbacks": self.pool_fallbacks,
+            "mode_cache_hits": self.mode_cache_hits,
+            "mode_cache_misses": self.mode_cache_misses,
+            "mode_cache_evictions": self.mode_cache_evictions,
+            "mode_cache_hit_rate": self.mode_cache_hit_rate,
         }
 
     def merge_phase_totals(

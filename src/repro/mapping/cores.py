@@ -216,56 +216,89 @@ def _per_mode_demand(
     base: Dict[str, Dict[str, int]] = {}
     desired: Dict[str, Dict[str, int]] = {}
     for mode in problem.omsm.modes:
-        graph = mode.task_graph
         mode_data = context.modes[mode.name] if context is not None else None
-        groups: Dict[str, List[str]] = {}
-        if mode_data is not None and mode_mappings is not None:
-            pe_by_task = mode_mappings[mode.name]
-            task_types = mode_data.task_types
-            for name in mode_data.task_names:
-                if pe_by_task[name] == pe.name:
-                    groups.setdefault(task_types[name], []).append(name)
-        else:
-            for task in graph:
-                if mapping.pe_of(mode.name, task.name) == pe.name:
-                    groups.setdefault(task.task_type, []).append(task.name)
-        base_counts: Dict[str, int] = {}
-        desired_counts: Dict[str, int] = {}
-        for task_type, members in groups.items():
-            base_counts[task_type] = 1
-            extra = 0
-            if len(members) > 1:
-                entry = problem.technology.implementation(task_type, pe.name)
-                ordered = sorted(
-                    members,
-                    key=lambda n: mobilities[mode.name][n].mobility,
-                )
-                for position, name in enumerate(ordered[1:], start=1):
-                    if mode_data is not None:
-                        independent = mode_data.independent_same_type.get(
-                            name, frozenset()
-                        )
-                        parallel = any(
-                            other in independent
-                            for other in members
-                            if other != name
-                        )
-                    else:
-                        parallel = any(
-                            graph.independent(name, other)
-                            for other in members
-                            if other != name
-                        )
-                    urgent = (
-                        mobilities[mode.name][name].mobility
-                        < position * entry.exec_time
-                    )
-                    if parallel and urgent:
-                        extra += 1
-            desired_counts[task_type] = 1 + min(extra, len(members) - 1)
+        pe_by_task = (
+            mode_mappings[mode.name] if mode_mappings is not None else None
+        )
+        base_counts, desired_counts = mode_pe_demand(
+            problem,
+            mode,
+            pe,
+            mobilities[mode.name],
+            mapping=mapping,
+            mode_data=mode_data,
+            pe_by_task=pe_by_task,
+        )
         base[mode.name] = base_counts
         desired[mode.name] = desired_counts
     return base, desired
+
+
+def mode_pe_demand(
+    problem: Problem,
+    mode,
+    pe: ProcessingElement,
+    mode_mobilities: Mapping[str, MobilityInfo],
+    mapping: Optional[MappingString] = None,
+    mode_data=None,
+    pe_by_task: Optional[Mapping[str, str]] = None,
+) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Minimum and desired core counts of one (mode, hardware PE) pair.
+
+    The single-mode kernel of :func:`_per_mode_demand`, shared with the
+    incremental evaluation pipeline: the result depends only on the
+    mode's gene slice (through ``pe_by_task``/``mapping``) and its
+    mobilities, so it can be memoised per mode.  Either ``mode_data`` +
+    ``pe_by_task`` (decode-cache fast path) or ``mapping`` (legacy
+    path) must be provided.
+    """
+    graph = mode.task_graph
+    groups: Dict[str, List[str]] = {}
+    if mode_data is not None and pe_by_task is not None:
+        task_types = mode_data.task_types
+        for name in mode_data.task_names:
+            if pe_by_task[name] == pe.name:
+                groups.setdefault(task_types[name], []).append(name)
+    else:
+        assert mapping is not None
+        for task in graph:
+            if mapping.pe_of(mode.name, task.name) == pe.name:
+                groups.setdefault(task.task_type, []).append(task.name)
+    base_counts: Dict[str, int] = {}
+    desired_counts: Dict[str, int] = {}
+    for task_type, members in groups.items():
+        base_counts[task_type] = 1
+        extra = 0
+        if len(members) > 1:
+            entry = problem.technology.implementation(task_type, pe.name)
+            ordered = sorted(
+                members,
+                key=lambda n: mode_mobilities[n].mobility,
+            )
+            for position, name in enumerate(ordered[1:], start=1):
+                if mode_data is not None:
+                    independent = mode_data.independent_same_type.get(
+                        name, frozenset()
+                    )
+                    parallel = any(
+                        other in independent
+                        for other in members
+                        if other != name
+                    )
+                else:
+                    parallel = any(
+                        graph.independent(name, other)
+                        for other in members
+                        if other != name
+                    )
+                urgent = (
+                    mode_mobilities[name].mobility
+                    < position * entry.exec_time
+                )
+                if parallel and urgent:
+                    extra += 1
+        desired_counts[task_type] = 1 + min(extra, len(members) - 1)
+    return base_counts, desired_counts
 
 
 def _core_area(problem: Problem, pe_name: str, task_type: str) -> float:

@@ -74,6 +74,26 @@ def average_power(
     if probabilities is None:
         probabilities = problem.omsm.probability_vector()
     dynamic, static = power_breakdown(problem, schedules)
+    return weighted_power(problem, dynamic, static, probabilities)
+
+
+def weighted_power(
+    problem: Problem,
+    dynamic: Mapping[str, float],
+    static: Mapping[str, float],
+    probabilities: Optional[Mapping[str, float]] = None,
+) -> float:
+    """Equation (1) from an existing per-mode power breakdown.
+
+    The summation kernel of :func:`average_power`, shared with the
+    incremental evaluation pipeline: given the per-mode dynamic/static
+    powers (however they were obtained — freshly computed or served
+    from the mode-result cache), the weighted total is accumulated in
+    OMSM mode order, so the float result is bit-identical to the
+    monolithic path.
+    """
+    if probabilities is None:
+        probabilities = problem.omsm.probability_vector()
     total = 0.0
     for mode in problem.omsm.modes:
         try:

@@ -83,12 +83,29 @@ class Problem:
         :meth:`~repro.specification.omsm.OMSM.with_probabilities`.  The
         gene layout is unchanged, so mapping strings (and stored design
         genes) transfer between the two instances verbatim.
+
+        Lazily-memoised decode state transfers too: the decode context,
+        genome layout, mode gene bounds and the per-mode result cache
+        are all Ψ-independent (probabilities only enter the final
+        Equation (1) weighting), so a re-targeted problem inherits them
+        instead of rebuilding — which is what makes the adaptive
+        controller's warm-started re-synthesis warm in practice.
         """
-        return Problem(
+        retargeted = Problem(
             self.omsm.with_probabilities(probabilities),
             self.architecture,
             self.technology,
         )
+        for attr in (
+            "_decode_context",
+            "_genome_layout",
+            "_mode_bounds",
+            "_mode_result_cache",
+        ):
+            memoised = getattr(self, attr, None)
+            if memoised is not None:
+                setattr(retargeted, attr, memoised)
+        return retargeted
 
     def gene_space(
         self, mode_name: str

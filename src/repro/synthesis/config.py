@@ -100,6 +100,17 @@ class SynthesisConfig:
         during candidate decoding.  ``False`` restores the legacy
         recompute-per-candidate paths (ablation/benchmark hook); both
         produce bit-identical results.
+    mode_cache:
+        Evaluate candidates through the staged incremental pipeline
+        (:mod:`repro.eval`), memoising per-mode stage results in a
+        bounded LRU :class:`~repro.eval.cache.ModeResultCache` so a
+        candidate that only perturbs one mode pays for one mode's
+        schedule instead of all of them.  ``False`` restores the
+        monolithic :func:`~repro.synthesis.evaluator.evaluate_mapping`
+        body (the ablation oracle); both produce bit-identical results.
+    mode_cache_size:
+        Entry capacity of each segment (prep / schedule) of the
+        per-problem mode-result cache.
     seed:
         Seed of the synthesis RNG; runs are reproducible per seed.
     """
@@ -137,6 +148,8 @@ class SynthesisConfig:
 
     jobs: int = 1
     decode_cache: bool = True
+    mode_cache: bool = True
+    mode_cache_size: int = 4096
     pool_failure_mode: str = "fallback"
 
     seed: int = 0
@@ -181,6 +194,8 @@ class SynthesisConfig:
             )
         if self.jobs < 1:
             raise SynthesisError("jobs must be at least 1")
+        if self.mode_cache_size < 1:
+            raise SynthesisError("mode cache size must be at least 1")
         if self.pool_failure_mode not in ("fallback", "raise"):
             raise SynthesisError(
                 "pool failure mode must be 'fallback' or 'raise'"

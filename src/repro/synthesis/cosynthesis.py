@@ -208,6 +208,7 @@ class MultiModeSynthesizer:
         config = self.config
         started = time.perf_counter()
         profile_base = PROFILER.snapshot()
+        metrics_base = REGISTRY.snapshot()
         mutation_rate = config.per_gene_mutation_rate
         if mutation_rate is None:
             mutation_rate = 1.0 / max(1, self.problem.genome_length())
@@ -409,6 +410,18 @@ class MultiModeSynthesizer:
             perf.pool_workers = evaluator.pool_workers
             perf.pool_service_seconds = evaluator.pool_service_seconds
             perf.pool_fallbacks = evaluator.pool_failures
+        # Mode-result cache activity of this run: sum the labelled
+        # counters (per mode, per stage) accumulated since the start.
+        # Pool-worker activity is already folded in — chunk results
+        # merge their metric deltas into this registry on arrival.
+        metrics_delta = REGISTRY.delta_since(metrics_base).get("counters", {})
+        for (metric_name, _labels), value in metrics_delta.items():
+            if metric_name == "eval_mode_cache_hits_total":
+                perf.mode_cache_hits += int(value)
+            elif metric_name == "eval_mode_cache_misses_total":
+                perf.mode_cache_misses += int(value)
+            elif metric_name == "eval_mode_cache_evictions_total":
+                perf.mode_cache_evictions += int(value)
         REGISTRY.inc("ga_runs_total")
         REGISTRY.inc("ga_cache_hits_total", self._cache_hits)
         REGISTRY.inc("ga_dedup_hits_total", self._dedup_hits)

@@ -23,7 +23,7 @@ candidate paths, which remain reachable via
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.errors import SchedulingError
 from repro.engine.decode_cache import DecodeContext, context_for
@@ -44,12 +44,16 @@ from repro.scheduling.schedule import ModeSchedule
 from repro.synthesis.config import DvsMethod, SynthesisConfig
 from repro.synthesis.fitness import FitnessWeights, mapping_fitness
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.eval.cache import ModeResultCache
+
 
 def evaluate_mapping(
     problem: Problem,
     mapping: MappingString,
     config: SynthesisConfig,
     context: Optional[DecodeContext] = None,
+    cache: Optional["ModeResultCache"] = None,
 ) -> Optional[Implementation]:
     """Decode, schedule, scale and score one mapping candidate.
 
@@ -61,7 +65,21 @@ def evaluate_mapping(
     ``context`` supplies the prebuilt mapping-independent decode tables;
     when omitted it is resolved (and memoised) per problem, unless the
     configuration disables the decode cache entirely.
+
+    With ``config.mode_cache`` enabled (the default) the candidate runs
+    through the staged incremental pipeline instead, which serves
+    per-mode stage results from a bounded cache; the monolithic body
+    below is the bit-identity oracle it is tested against.
     """
+    if config.mode_cache:
+        # Function-level import: repro.eval imports synthesis.config, so
+        # a module-level import here would cycle when the entry point is
+        # ``import repro.eval``.
+        from repro.eval.pipeline import evaluate_mapping_incremental
+
+        return evaluate_mapping_incremental(
+            problem, mapping, config, context=context, cache=cache
+        )
     if context is None and config.decode_cache:
         context = context_for(problem)
     technology = problem.technology

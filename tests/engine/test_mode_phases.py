@@ -4,7 +4,10 @@ The ISSUE criterion verified here: for a real synthesis run the
 per-mode breakdown of every phase (``perf.mode_phase_seconds``) sums,
 within float tolerance, to that phase's aggregate ``phase_seconds`` —
 with serial evaluation and with a worker pool, whose per-mode buckets
-travel back to the parent as profiler deltas.
+travel back to the parent as profiler deltas.  With the incremental
+pipeline a warm mode-result cache may skip per-mode stages entirely
+(they then record *nothing*, keeping the invariant trivially) and
+serves hits in a dedicated per-mode ``cache_hit`` phase.
 """
 
 import pytest
@@ -15,13 +18,18 @@ from repro.synthesis.cosynthesis import MultiModeSynthesizer
 
 from tests.conftest import make_two_mode_problem
 
+#: Phases always timed per mode (whichever of them actually run).
+PER_MODE_PHASES = {"mobility", "schedule", "dvs", "cache_hit"}
+#: Phases timed once per candidate, landing in the shared bucket.
+SHARED_PHASES = {"cores", "power"}
+
 
 @pytest.fixture(scope="module")
 def problem():
     return make_two_mode_problem()
 
 
-def _run(problem, jobs):
+def _run(problem, jobs, **overrides):
     config = SynthesisConfig(
         population_size=10,
         max_generations=4,
@@ -29,6 +37,7 @@ def _run(problem, jobs):
         dvs=DvsMethod.GRADIENT,
         jobs=jobs,
         seed=5,
+        **overrides,
     )
     return MultiModeSynthesizer(problem, config).run()
 
@@ -51,9 +60,41 @@ def test_mode_buckets_sum_to_phase_aggregates(problem, jobs):
 def test_mode_attribution_matches_phase_kind(problem, jobs):
     perf = _run(problem, jobs).perf
     mode_names = {mode.name for mode in problem.omsm.modes}
-    # Per-mode phases are attributed to real modes...
-    for phase in ("mobility", "schedule", "dvs"):
-        assert set(perf.mode_phase_seconds[phase]) == mode_names
+    assert set(perf.mode_phase_seconds) <= PER_MODE_PHASES | SHARED_PHASES
+    # Per-mode phases are attributed to real modes (a warm cache may
+    # have skipped a stage for some — or all — modes)...
+    for phase in PER_MODE_PHASES & set(perf.mode_phase_seconds):
+        buckets = set(perf.mode_phase_seconds[phase])
+        assert buckets and buckets <= mode_names
     # ...while whole-mapping phases land in the shared bucket.
-    for phase in ("cores", "power"):
+    for phase in SHARED_PHASES & set(perf.mode_phase_seconds):
         assert set(perf.mode_phase_seconds[phase]) == {SHARED_MODE}
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_cache_hits_profiled_per_mode(jobs):
+    # A fresh problem, evaluated twice with the same seed: the second
+    # run replays identical genomes against the warm per-mode cache, so
+    # hits must show up — in the dedicated per-mode cache_hit phase, in
+    # the PerfStats counters, and still summing to the aggregates.
+    problem = make_two_mode_problem()
+    cold = _run(problem, jobs).perf
+    assert cold.mode_cache_misses > 0
+    warm = _run(problem, jobs).perf
+    assert warm.mode_cache_hits > 0
+    assert 0.0 < warm.mode_cache_hit_rate <= 1.0
+    mode_names = {mode.name for mode in problem.omsm.modes}
+    buckets = warm.mode_phase_seconds["cache_hit"]
+    assert set(buckets) <= mode_names
+    assert sum(buckets.values()) == pytest.approx(
+        warm.phase_seconds["cache_hit"]
+    )
+
+
+def test_mode_cache_disabled_records_no_cache_activity():
+    problem = make_two_mode_problem()
+    perf = _run(problem, 1, mode_cache=False).perf
+    assert perf.mode_cache_hits == 0
+    assert perf.mode_cache_misses == 0
+    assert perf.mode_cache_hit_rate == 0.0
+    assert "cache_hit" not in perf.phase_seconds

@@ -71,6 +71,11 @@ class TestPoolFailureMode:
         with pytest.raises(SynthesisError, match="pool failure mode"):
             SynthesisConfig(pool_failure_mode="explode")
 
+    def test_mode_cache_size_must_be_positive(self):
+        with pytest.raises(SynthesisError, match="mode cache size"):
+            SynthesisConfig(mode_cache_size=0)
+        assert SynthesisConfig(mode_cache_size=1).mode_cache_size == 1
+
 
 class TestSerialisation:
     def test_round_trip(self):
@@ -92,6 +97,21 @@ class TestSerialisation:
     def test_default_round_trip(self):
         config = SynthesisConfig()
         assert SynthesisConfig.from_dict(config.to_dict()) == config
+
+    def test_mode_cache_fields_round_trip(self):
+        config = SynthesisConfig(mode_cache=False, mode_cache_size=64)
+        data = config.to_dict()
+        assert data["mode_cache"] is False
+        assert data["mode_cache_size"] == 64
+        restored = SynthesisConfig.from_dict(data)
+        assert restored == config
+        assert restored.mode_cache is False
+        assert restored.mode_cache_size == 64
+
+    def test_mode_cache_defaults_serialised(self):
+        data = SynthesisConfig().to_dict()
+        assert data["mode_cache"] is True
+        assert data["mode_cache_size"] == 4096
 
     def test_unknown_keys_rejected(self):
         data = SynthesisConfig().to_dict()

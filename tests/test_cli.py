@@ -38,6 +38,18 @@ class TestParser:
         assert args.dvs == "gradient"
         assert not args.probabilities
         assert args.seed == 9
+        assert not args.no_mode_cache
+
+    def test_no_mode_cache_flag(self):
+        from repro.cli import _config_from_args
+
+        args = build_parser().parse_args(
+            ["synthesize", "mul1", "--no-mode-cache"]
+        )
+        assert args.no_mode_cache
+        assert _config_from_args(args).mode_cache is False
+        default = build_parser().parse_args(["synthesize", "mul1"])
+        assert _config_from_args(default).mode_cache is True
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
