@@ -26,7 +26,7 @@ lint:
 # Static type check.  mypy is pinned in the `dev` optional-dependency
 # group; environments without it skip the check instead of failing.
 # Scope: the strictly annotated subsystems ([tool.mypy] in
-# pyproject.toml) — currently the adaptive package.
+# pyproject.toml) — currently the adaptive, dvs and eval packages.
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
 	    mypy --config-file pyproject.toml; \
@@ -44,10 +44,12 @@ bench-fast:
 
 # Evaluation-engine smoke benchmark: verifies the decode-cache/pool
 # engine stays bit-identical to the legacy path and fails on a >20%
-# speedup regression against the committed baseline.
+# speedup regression against the committed baseline, then the PV-DVS
+# kernel microbench (bit-identity + warm-start never-worse gates).
 bench-smoke:
 	$(PYTHON) benchmarks/bench_engine.py --quick \
 	    --check benchmarks/results/bench_engine_quick_baseline.json
+	$(PYTHON) benchmarks/bench_dvs.py --quick
 
 # The full pre-merge gate: lint + typecheck (when available), tier-1
 # test suite, plus the engine smoke benchmark (bit-identity +

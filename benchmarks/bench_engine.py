@@ -1,6 +1,6 @@
 """Evaluation-engine benchmark: legacy vs decode-cache vs mode-cache vs pool.
 
-Runs the same GA synthesis (same seed, same sizing) under four engine
+Runs the same GA synthesis (same seed, same sizing) under five engine
 configurations and verifies they are *bit-identical* before reporting
 wall-clock speedups:
 
@@ -18,10 +18,16 @@ wall-clock speedups:
     per-mode pipeline (:mod:`repro.eval`) serving clean modes from the
     bounded :class:`~repro.eval.cache.ModeResultCache` (emptied before
     every timed run, so the measured advantage is purely intra-run).
+``vector``
+    ``incremental`` plus ``vector_dvs=True`` — the struct-of-arrays
+    PV-DVS kernels (:mod:`repro.dvs._kernels`) replacing the legacy
+    object-graph descent loop inside the same pipeline.  The earlier
+    arms pin ``vector_dvs=False`` so their semantics (and timings)
+    stay comparable across report generations.
 ``engine+pool``
     ``decode_cache=True, mode_cache=True, jobs=N`` — the incremental
     pipeline with each generation's unique uncached genomes dispatched
-    to a process pool.
+    to a process pool (``vector_dvs=False``, like ``incremental``).
 
 The *headline* cases run the gradient PV-DVS inner loop — the paper's
 proposed technique and by far the hottest decode phase; no-DVS cases
@@ -140,30 +146,40 @@ def run_case(
         problem,
         {
             "legacy": base.with_updates(
-                decode_cache=False, mode_cache=False, jobs=1
+                decode_cache=False, mode_cache=False, jobs=1,
+                vector_dvs=False,
             ),
             "serial": base.with_updates(
-                decode_cache=True, mode_cache=False, jobs=1
+                decode_cache=True, mode_cache=False, jobs=1,
+                vector_dvs=False,
             ),
             "incremental": base.with_updates(
-                decode_cache=True, mode_cache=True, jobs=1
+                decode_cache=True, mode_cache=True, jobs=1,
+                vector_dvs=False,
+            ),
+            "vector": base.with_updates(
+                decode_cache=True, mode_cache=True, jobs=1,
+                vector_dvs=True,
             ),
             "pool": base.with_updates(
-                decode_cache=True, mode_cache=True, jobs=jobs
+                decode_cache=True, mode_cache=True, jobs=jobs,
+                vector_dvs=False,
             ),
         },
         repeats,
     )
-    legacy_s, serial_s, incremental_s, pool_s = (
+    legacy_s, serial_s, incremental_s, vector_s, pool_s = (
         times["legacy"],
         times["serial"],
         times["incremental"],
+        times["vector"],
         times["pool"],
     )
-    legacy, serial, incremental, pooled = (
+    legacy, serial, incremental, vectored, pooled = (
         results["legacy"],
         results["serial"],
         results["incremental"],
+        results["vector"],
         results["pool"],
     )
 
@@ -171,14 +187,17 @@ def run_case(
         legacy.best.metrics.fitness
         == serial.best.metrics.fitness
         == incremental.best.metrics.fitness
+        == vectored.best.metrics.fitness
         == pooled.best.metrics.fitness
         and legacy.history
         == serial.history
         == incremental.history
+        == vectored.history
         == pooled.history
         and legacy.evaluations
         == serial.evaluations
         == incremental.evaluations
+        == vectored.evaluations
         == pooled.evaluations
     )
     perf = pooled.perf
@@ -193,12 +212,19 @@ def run_case(
         "legacy_seconds": round(legacy_s, 4),
         "engine_serial_seconds": round(serial_s, 4),
         "engine_incremental_seconds": round(incremental_s, 4),
+        "engine_vector_seconds": round(vector_s, 4),
         "engine_parallel_seconds": round(pool_s, 4),
         "speedup_serial": round(legacy_s / serial_s, 4),
         # Incremental pipeline vs the monolithic cached path, both at
         # jobs=1 — the mode-result cache's own contribution.
         "speedup_incremental": round(serial_s / incremental_s, 4),
         "speedup_incremental_vs_legacy": round(legacy_s / incremental_s, 4),
+        # Array PV-DVS kernels vs the object-graph loop, both through
+        # the incremental pipeline at jobs=1 — the kernels' engine-level
+        # contribution (diluted by the non-dvs phases; see bench_dvs.py
+        # for the kernels in isolation).
+        "speedup_vector": round(incremental_s / vector_s, 4),
+        "speedup_vector_vs_legacy": round(legacy_s / vector_s, 4),
         "speedup_parallel": round(legacy_s / pool_s, 4),
         "mode_cache_hit_rate": (
             round(inc_perf.mode_cache_hit_rate, 4)
@@ -260,6 +286,8 @@ def build_report(args: argparse.Namespace) -> Dict[str, object]:
             f"incremental {case['engine_incremental_seconds']:.2f}s "
             f"({case['speedup_incremental']:.2f}x vs engine, "
             f"hit rate {case['mode_cache_hit_rate']}), "
+            f"vector {case['engine_vector_seconds']:.2f}s "
+            f"({case['speedup_vector']:.2f}x vs incremental), "
             f"engine+pool {case['engine_parallel_seconds']:.2f}s "
             f"({case['speedup_parallel']:.2f}x), "
             f"identical={case['identical']}",
@@ -273,12 +301,14 @@ def build_report(args: argparse.Namespace) -> Dict[str, object]:
     headline_incremental = [
         c["speedup_incremental"] for c in cases if c["headline"]
     ]
+    headline_vector = [c["speedup_vector"] for c in cases if c["headline"]]
     aggregate = {
         "headline_geomean_speedup_parallel": _geomean(headline_parallel),
         "headline_geomean_speedup_serial": _geomean(headline_serial),
         "headline_geomean_speedup_incremental": _geomean(
             headline_incremental
         ),
+        "headline_geomean_speedup_vector": _geomean(headline_vector),
         "all_geomean_speedup_parallel": _geomean(
             [c["speedup_parallel"] for c in cases]
         ),
@@ -400,7 +430,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{agg['headline_geomean_speedup_serial']:.2f}x (serial engine), "
         f"{agg['headline_geomean_speedup_incremental']:.2f}x "
         f"(incremental vs engine, mean hit rate "
-        f"{agg['headline_mean_mode_cache_hit_rate']:.2f}); "
+        f"{agg['headline_mean_mode_cache_hit_rate']:.2f}), "
+        f"{agg['headline_geomean_speedup_vector']:.2f}x "
+        f"(vector kernels vs incremental); "
         f"report written to {out_path}"
     )
 

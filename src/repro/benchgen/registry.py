@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.benchgen.smartphone import smartphone_problem
+from repro.benchgen.stress import STRESS_SPECS, stress_problem
 from repro.benchgen.suite import SUITE_SPECS, suite_problem
 from repro.problem import Problem
 
@@ -80,6 +81,8 @@ def _register_builtins() -> None:
         # Bind spec.name by value, not by loop variable.
         register(spec.name, lambda name=spec.name: suite_problem(name))
     register("smartphone", smartphone_problem)
+    for spec in STRESS_SPECS:
+        register(spec.name, lambda name=spec.name: stress_problem(name))
 
 
 _register_builtins()

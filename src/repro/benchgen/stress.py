@@ -1,0 +1,62 @@
+"""Stress-tier instances: far beyond the paper's mul1–mul12 scale.
+
+The suite's 8–32-task modes exercise correctness, but the PV-DVS
+kernels are dominated by fixed per-call overhead at that size — their
+asymptotic behaviour only shows on graphs an order of magnitude
+larger.  These specs stretch every structural axis (12+ modes, 200+
+tasks per mode, 6+ PEs, 3 links) while staying inside the generator's
+validated parameter ranges, so DVS performance is measured where the
+timing-cone waves and the descent heap actually dominate.
+
+Generation is deterministic per spec seed, like the suite; the
+instances are registered in the problem registry as ``stress1`` /
+``stress2`` and consumed by ``benchmarks/bench_dvs.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.benchgen.multimode import MultiModeSpec, generate_problem
+from repro.problem import Problem
+
+#: The stress specs.  Mode/task counts are chosen so one instance
+#: leans wide (many modes) and the other deep (largest graphs).
+STRESS_SPECS: Tuple[MultiModeSpec, ...] = (
+    MultiModeSpec(
+        name="stress1",
+        seed=901,
+        mode_tasks=(
+            200, 210, 220, 230, 240, 200,
+            210, 220, 230, 240, 250, 260,
+        ),
+        pe_count=6,
+        cl_count=3,
+    ),
+    MultiModeSpec(
+        name="stress2",
+        seed=902,
+        mode_tasks=(
+            260, 280, 300, 240, 260, 280,
+            300, 240, 260, 280, 300, 320, 240, 260,
+        ),
+        pe_count=8,
+        cl_count=3,
+    ),
+)
+
+_SPEC_BY_NAME: Dict[str, MultiModeSpec] = {
+    spec.name: spec for spec in STRESS_SPECS
+}
+
+
+def stress_problem(name: str) -> Problem:
+    """Generate one stress instance by name (``stress1`` / ``stress2``)."""
+    try:
+        spec = _SPEC_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stress instance {name!r}; choose from "
+            f"{sorted(_SPEC_BY_NAME)}"
+        ) from None
+    return generate_problem(spec)

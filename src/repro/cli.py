@@ -66,6 +66,8 @@ def _config_from_args(args: argparse.Namespace) -> SynthesisConfig:
         convergence_generations=args.convergence,
         jobs=getattr(args, "jobs", 1),
         mode_cache=not getattr(args, "no_mode_cache", False),
+        vector_dvs=not getattr(args, "no_vector_dvs", False),
+        dvs_warm_start=getattr(args, "dvs_warm_start", False),
         seed=args.seed,
     )
 
@@ -100,6 +102,24 @@ def _add_ga_options(parser: argparse.ArgumentParser) -> None:
             "evaluate through the monolithic legacy path instead of "
             "the incremental per-mode pipeline (ablation; results are "
             "bit-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--no-vector-dvs",
+        action="store_true",
+        help=(
+            "run the PV-DVS descent through the legacy object-graph "
+            "loop instead of the array kernels (ablation; results are "
+            "bit-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--dvs-warm-start",
+        action="store_true",
+        help=(
+            "seed the vectorised PV-DVS descent with the analytical "
+            "continuous-relaxation warm start (changes the descent "
+            "path; final energy never worse on the fuzz corpus)"
         ),
     )
 

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 from repro.errors import VoltageScalingError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.architecture.processing_element import ProcessingElement
     from repro.engine.decode_cache import DecodeContext
 from repro.dvs.transform import VirtualSegment, transform_parallel_tasks
 from repro.dvs.voltage import duration_energy_tables, scaled_duration, scaled_energy
@@ -45,8 +46,9 @@ from repro.scheduling.schedule import (
 )
 from repro.specification.mode import Mode
 
-#: Relative numerical guard when comparing slack against extensions.
-_SLACK_EPS = 1e-12
+# Single definition of the slack guard lives with the array kernels;
+# both descent implementations must compare against the same epsilon.
+from repro.dvs._kernels import _SLACK_EPS, vector_scale_schedule
 
 
 class _Node:
@@ -352,6 +354,8 @@ def scale_schedule(
     schedule: ModeSchedule,
     shared_rail: bool = True,
     context: Optional["DecodeContext"] = None,
+    vector: bool = True,
+    warm_start: bool = False,
 ) -> ModeSchedule:
     """Voltage-scale one mode's schedule by greedy energy-gradient descent.
 
@@ -371,6 +375,45 @@ def scale_schedule(
 
     ``context`` (see :mod:`repro.engine.decode_cache`) memoises the
     per-(PE, duration, energy) voltage tables across candidates.
+
+    ``vector`` selects the struct-of-arrays kernels of
+    :mod:`repro.dvs._kernels` (the default fast path, bit-identical to
+    the legacy object-graph loop kept as the ablation oracle behind
+    ``vector=False``).  ``warm_start`` — vector path only — seeds the
+    descent from the closed-form continuous-relaxation snap; it changes
+    the descent trajectory, so it is off by default.
+    """
+    if vector:
+        return vector_scale_schedule(
+            problem,
+            mode,
+            schedule,
+            shared_rail=shared_rail,
+            context=context,
+            warm_start=warm_start,
+        )
+    if warm_start:
+        raise VoltageScalingError(
+            "the analytical warm start requires the vector kernels "
+            "(vector=True)"
+        )
+    return _legacy_scale_schedule(
+        problem, mode, schedule, shared_rail, context
+    )
+
+
+def _legacy_scale_schedule(
+    problem: Problem,
+    mode: Mode,
+    schedule: ModeSchedule,
+    shared_rail: bool = True,
+    context: Optional["DecodeContext"] = None,
+) -> ModeSchedule:
+    """The original object-graph descent (``vector=False`` oracle).
+
+    Kept verbatim as the ablation baseline the array kernels are
+    fuzz-checked against; every accepted move, tie-break and emitted
+    float must stay exactly as the kernels' reference.
     """
     graph, segments_by_pe = _build_dvs_graph(
         problem, mode, schedule, shared_rail, context
@@ -528,7 +571,9 @@ def _build_dvs_graph(
             return mode_data.deadlines[task_name]
         return mode.effective_deadline(task_name)
 
-    def voltage_tables(pe, duration, energy):
+    def voltage_tables(
+        pe: "ProcessingElement", duration: float, energy: float
+    ) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
         if context is not None:
             return context.duration_energy_tables(pe.name, duration, energy)
         return duration_energy_tables(

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Mapping, Tuple
 
+from repro.architecture.processing_element import ProcessingElement
 from repro.problem import Problem
 from repro.scheduling.mobility import MobilityInfo
 from repro.specification.task_graph import CommEdge
@@ -117,6 +118,7 @@ class DecodeContext:
         "pes",
         "links_between",
         "hw_dvs_pes",
+        "dvs_pes",
         "_dvs_tables",
     )
 
@@ -124,15 +126,19 @@ class DecodeContext:
         self,
         problem: Problem,
         modes: Dict[str, ModeDecodeData],
-        pes: Dict[str, object],
+        pes: Dict[str, ProcessingElement],
         links_between: Dict[Tuple[str, str], tuple],
         hw_dvs_pes: FrozenSet[str],
+        dvs_pes: FrozenSet[str] = frozenset(),
     ) -> None:
         self.problem = problem
         self.modes = modes
         self.pes = pes
         self.links_between = links_between
         self.hw_dvs_pes = hw_dvs_pes
+        #: All DVS-enabled PEs — software and hardware alike (the
+        #: hardware subset is `hw_dvs_pes`).
+        self.dvs_pes = dvs_pes
         self._dvs_tables: Dict[
             Tuple[str, float, float],
             Tuple[Tuple[float, ...], Tuple[float, ...]],
@@ -160,7 +166,10 @@ class DecodeContext:
             for pe in architecture.hardware_pes()
             if pe.dvs_enabled
         )
-        return cls(problem, modes, pes, links, hw_dvs)
+        dvs = frozenset(
+            pe.name for pe in architecture.pes if pe.dvs_enabled
+        )
+        return cls(problem, modes, pes, links, hw_dvs, dvs)
 
     def mode(self, mode_name: str) -> ModeDecodeData:
         return self.modes[mode_name]

@@ -111,6 +111,19 @@ class SynthesisConfig:
     mode_cache_size:
         Entry capacity of each segment (prep / schedule) of the
         per-problem mode-result cache.
+    vector_dvs:
+        Run the PV-DVS gradient descent through the struct-of-arrays
+        kernels (:mod:`repro.dvs._kernels`).  ``False`` restores the
+        legacy object-graph descent loop (the ablation oracle); both
+        produce bit-identical schedules.  Only meaningful for
+        ``dvs=DvsMethod.GRADIENT`` with ``decode_cache=True`` (the
+        reference paths ignore it).
+    dvs_warm_start:
+        Seed the vectorised descent with the closed-form continuous
+        voltage relaxation, snapped (damped) to the discrete grid
+        before the gradient loop.  Changes the descent path — results
+        are no longer bit-identical to the cold start, but final energy
+        is never worse on the fuzz corpus.  Requires ``vector_dvs``.
     seed:
         Seed of the synthesis RNG; runs are reproducible per seed.
     """
@@ -150,6 +163,8 @@ class SynthesisConfig:
     decode_cache: bool = True
     mode_cache: bool = True
     mode_cache_size: int = 4096
+    vector_dvs: bool = True
+    dvs_warm_start: bool = False
     pool_failure_mode: str = "fallback"
 
     seed: int = 0
@@ -196,6 +211,11 @@ class SynthesisConfig:
             raise SynthesisError("jobs must be at least 1")
         if self.mode_cache_size < 1:
             raise SynthesisError("mode cache size must be at least 1")
+        if self.dvs_warm_start and not self.vector_dvs:
+            raise SynthesisError(
+                "dvs_warm_start requires the vectorised kernels "
+                "(vector_dvs=True)"
+            )
         if self.pool_failure_mode not in ("fallback", "raise"):
             raise SynthesisError(
                 "pool failure mode must be 'fallback' or 'raise'"

@@ -153,6 +153,8 @@ def evaluate_mapping(
                             schedule,
                             shared_rail=config.dvs_shared_rail,
                             context=context,
+                            vector=config.vector_dvs,
+                            warm_start=config.dvs_warm_start,
                         )
                     else:
                         schedule = reference_scale_schedule(

@@ -1,0 +1,54 @@
+"""Structural floors of the stress-tier instances.
+
+The stress tier exists so PV-DVS kernel performance can be measured
+where graph size dominates over fixed per-call overhead — the floors
+asserted here (12+ modes, 200+ tasks per mode, 6+ PEs) are what
+``benchmarks/bench_dvs.py`` relies on.  Generation must stay
+deterministic per seed, like the paper suite.
+"""
+
+import pytest
+
+from repro.benchgen import registry
+from repro.benchgen.stress import STRESS_SPECS, stress_problem
+from repro.problem import Problem
+
+STRESS_NAMES = tuple(spec.name for spec in STRESS_SPECS)
+
+
+def test_stress_instances_registered():
+    names = registry.names()
+    assert "stress1" in names
+    assert "stress2" in names
+
+
+@pytest.mark.parametrize("name", STRESS_NAMES)
+def test_structural_floors(name):
+    problem = registry.get(name)
+    assert isinstance(problem, Problem)
+    assert problem.name == name
+    modes = problem.omsm.modes
+    assert len(modes) >= 12
+    for mode in modes:
+        assert len(mode.task_graph.tasks) >= 200
+    assert len(problem.architecture.pes) >= 6
+
+
+def test_generation_is_deterministic():
+    first = stress_problem("stress1")
+    second = stress_problem("stress1")
+    assert first is not second
+    assert [m.name for m in first.omsm.modes] == [
+        m.name for m in second.omsm.modes
+    ]
+    for a, b in zip(first.omsm.modes, second.omsm.modes):
+        assert len(a.task_graph.tasks) == len(b.task_graph.tasks)
+        assert len(a.task_graph.edges) == len(b.task_graph.edges)
+
+
+def test_unknown_stress_name_lists_valid_ones():
+    with pytest.raises(KeyError) as excinfo:
+        stress_problem("stress99")
+    message = excinfo.value.args[0]
+    assert "stress99" in message
+    assert "stress1" in message

@@ -113,6 +113,34 @@ class TestSerialisation:
         assert data["mode_cache"] is True
         assert data["mode_cache_size"] == 4096
 
+    def test_vector_dvs_fields_round_trip(self):
+        config = SynthesisConfig(vector_dvs=False)
+        data = config.to_dict()
+        assert data["vector_dvs"] is False
+        assert data["dvs_warm_start"] is False
+        restored = SynthesisConfig.from_dict(data)
+        assert restored == config
+        assert restored.vector_dvs is False
+
+        warm = SynthesisConfig(vector_dvs=True, dvs_warm_start=True)
+        data = warm.to_dict()
+        assert data["dvs_warm_start"] is True
+        assert SynthesisConfig.from_dict(data) == warm
+
+    def test_vector_dvs_defaults_serialised(self):
+        data = SynthesisConfig().to_dict()
+        assert data["vector_dvs"] is True
+        assert data["dvs_warm_start"] is False
+
+    def test_warm_start_requires_vector_dvs(self):
+        with pytest.raises(SynthesisError, match="vector_dvs"):
+            SynthesisConfig(vector_dvs=False, dvs_warm_start=True)
+        data = SynthesisConfig().to_dict()
+        data["vector_dvs"] = False
+        data["dvs_warm_start"] = True
+        with pytest.raises(SynthesisError, match="vector_dvs"):
+            SynthesisConfig.from_dict(data)
+
     def test_unknown_keys_rejected(self):
         data = SynthesisConfig().to_dict()
         data["poplation_size"] = 10  # typo must not pass silently

@@ -51,6 +51,24 @@ class TestParser:
         default = build_parser().parse_args(["synthesize", "mul1"])
         assert _config_from_args(default).mode_cache is True
 
+    def test_vector_dvs_flags(self):
+        from repro.cli import _config_from_args
+
+        default = build_parser().parse_args(["synthesize", "mul1"])
+        config = _config_from_args(default)
+        assert config.vector_dvs is True
+        assert config.dvs_warm_start is False
+
+        args = build_parser().parse_args(
+            ["synthesize", "mul1", "--no-vector-dvs"]
+        )
+        assert _config_from_args(args).vector_dvs is False
+
+        args = build_parser().parse_args(
+            ["synthesize", "mul1", "--dvs-warm-start"]
+        )
+        assert _config_from_args(args).dvs_warm_start is True
+
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
