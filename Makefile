@@ -2,6 +2,13 @@
 
 PYTHON ?= python
 
+# Floor for the async work-stealing arm's mean pool utilisation in
+# `make bench-smoke`.  0.85 assumes >= `--jobs` free cores; on smaller
+# machines (e.g. a 1-CPU container) the OS serialises the workers and
+# the honest figure is lower — override per machine:
+#     make bench-smoke MIN_ASYNC_UTILISATION=0.40
+MIN_ASYNC_UTILISATION ?= 0.85
+
 .PHONY: install test test-fast lint typecheck bench bench-fast bench-smoke tables examples verify clean
 
 install:
@@ -26,7 +33,8 @@ lint:
 # Static type check.  mypy is pinned in the `dev` optional-dependency
 # group; environments without it skip the check instead of failing.
 # Scope: the strictly annotated subsystems ([tool.mypy] in
-# pyproject.toml) — currently the adaptive, dvs and eval packages.
+# pyproject.toml) — currently the adaptive, dvs, engine and eval
+# packages.
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
 	    mypy --config-file pyproject.toml; \
@@ -43,12 +51,15 @@ bench-fast:
 	    benchmarks/test_micro.py --benchmark-only
 
 # Evaluation-engine smoke benchmark: verifies the decode-cache/pool
-# engine stays bit-identical to the legacy path and fails on a >20%
-# speedup regression against the committed baseline, then the PV-DVS
-# kernel microbench (bit-identity + warm-start never-worse gates).
+# engine stays bit-identical to the legacy path, fails on a >20%
+# speedup regression against the committed baseline, and gates the
+# async work-stealing arm on mean pool utilisation >= 0.85 at jobs=4;
+# then the PV-DVS kernel microbench (bit-identity + warm-start
+# never-worse gates).
 bench-smoke:
-	$(PYTHON) benchmarks/bench_engine.py --quick \
-	    --check benchmarks/results/bench_engine_quick_baseline.json
+	$(PYTHON) benchmarks/bench_engine.py --quick --jobs 4 \
+	    --check benchmarks/results/bench_engine_quick_baseline.json \
+	    --min-async-utilisation $(MIN_ASYNC_UTILISATION)
 	$(PYTHON) benchmarks/bench_dvs.py --quick
 
 # The full pre-merge gate: lint + typecheck (when available), tier-1

@@ -1,6 +1,6 @@
-"""Evaluation-engine benchmark: legacy vs decode-cache vs mode-cache vs pool.
+"""Evaluation-engine benchmark: legacy vs caches vs kernels vs pools.
 
-Runs the same GA synthesis (same seed, same sizing) under five engine
+Runs the same GA synthesis (same seed, same sizing) under six engine
 configurations and verifies they are *bit-identical* before reporting
 wall-clock speedups:
 
@@ -25,9 +25,18 @@ wall-clock speedups:
     arms pin ``vector_dvs=False`` so their semantics (and timings)
     stay comparable across report generations.
 ``engine+pool``
-    ``decode_cache=True, mode_cache=True, jobs=N`` — the incremental
-    pipeline with each generation's unique uncached genomes dispatched
-    to a process pool (``vector_dvs=False``, like ``incremental``).
+    ``decode_cache=True, mode_cache=True, jobs=N, async_pool=False`` —
+    the incremental pipeline with each generation's unique uncached
+    genomes dispatched to the per-generation *barrier* pool
+    (``vector_dvs=False``, like ``incremental``).
+``async``
+    ``vector`` plus ``jobs=N, async_pool=True`` — the work-stealing
+    asynchronous pool (:mod:`repro.engine.async_pool`): workers pull
+    single genomes from a shared task queue and publish their
+    mode-cache insertions to every other worker, so the parallel hit
+    rate tracks the serial one instead of degrading after fork.
+    Reported alongside its mean pool utilisation (busy time over the
+    dispatch-window capacity) and parallel mode-cache hit rate.
 
 The *headline* cases run the gradient PV-DVS inner loop — the paper's
 proposed technique and by far the hottest decode phase; no-DVS cases
@@ -60,6 +69,10 @@ from typing import Dict, List, Optional
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.benchgen.multimode import (  # noqa: E402
+    MultiModeSpec,
+    generate_problem,
+)
 from repro.benchgen.smartphone import smartphone_problem  # noqa: E402
 from repro.benchgen.suite import suite_problem  # noqa: E402
 from repro.problem import Problem  # noqa: E402
@@ -70,9 +83,27 @@ from repro.synthesis.cosynthesis import (  # noqa: E402
 )
 
 
+#: Denser-than-suite instances for the pool arms: more queue depth and
+#: cache-publication volume per generation than mul1–mul8, yet small
+#: enough to GA-synthesise end to end (the registry's full ``stress1``
+#: / ``stress2`` tier is sized for per-call kernel benches, not whole
+#: synthesis runs — see ``benchmarks/bench_dvs.py``).
+MINI_STRESS_SPECS = {
+    "stress-mini": MultiModeSpec(
+        name="stress-mini",
+        seed=777,
+        mode_tasks=(26, 30, 24, 28),
+        pe_count=4,
+        cl_count=2,
+    ),
+}
+
+
 def _load_problem(name: str) -> Problem:
     if name == "smartphone":
         return smartphone_problem()
+    if name in MINI_STRESS_SPECS:
+        return generate_problem(MINI_STRESS_SPECS[name])
     return suite_problem(name)
 
 
@@ -163,24 +194,30 @@ def run_case(
             ),
             "pool": base.with_updates(
                 decode_cache=True, mode_cache=True, jobs=jobs,
-                vector_dvs=False,
+                vector_dvs=False, async_pool=False,
+            ),
+            "async": base.with_updates(
+                decode_cache=True, mode_cache=True, jobs=jobs,
+                vector_dvs=True, async_pool=True,
             ),
         },
         repeats,
     )
-    legacy_s, serial_s, incremental_s, vector_s, pool_s = (
+    legacy_s, serial_s, incremental_s, vector_s, pool_s, async_s = (
         times["legacy"],
         times["serial"],
         times["incremental"],
         times["vector"],
         times["pool"],
+        times["async"],
     )
-    legacy, serial, incremental, vectored, pooled = (
+    legacy, serial, incremental, vectored, pooled, asynced = (
         results["legacy"],
         results["serial"],
         results["incremental"],
         results["vector"],
         results["pool"],
+        results["async"],
     )
 
     identical = (
@@ -189,18 +226,22 @@ def run_case(
         == incremental.best.metrics.fitness
         == vectored.best.metrics.fitness
         == pooled.best.metrics.fitness
+        == asynced.best.metrics.fitness
         and legacy.history
         == serial.history
         == incremental.history
         == vectored.history
         == pooled.history
+        == asynced.history
         and legacy.evaluations
         == serial.evaluations
         == incremental.evaluations
         == vectored.evaluations
         == pooled.evaluations
+        == asynced.evaluations
     )
     perf = pooled.perf
+    async_perf = asynced.perf
     inc_perf = incremental.perf
     case: Dict[str, object] = {
         "name": name,
@@ -226,6 +267,24 @@ def run_case(
         "speedup_vector": round(incremental_s / vector_s, 4),
         "speedup_vector_vs_legacy": round(legacy_s / vector_s, 4),
         "speedup_parallel": round(legacy_s / pool_s, 4),
+        "engine_async_seconds": round(async_s, 4),
+        # Work-stealing async pool vs the jobs=1 vector arm — the
+        # engine-level contribution of this PR's pool refactor.
+        "speedup_async": round(vector_s / async_s, 4),
+        "speedup_async_vs_legacy": round(legacy_s / async_s, 4),
+        "async_pool_utilisation": (
+            round(async_perf.pool_utilisation, 4)
+            if async_perf is not None
+            else None
+        ),
+        "async_pool_steals": (
+            async_perf.pool_steals if async_perf is not None else None
+        ),
+        "async_mode_cache_hit_rate": (
+            round(async_perf.mode_cache_hit_rate, 4)
+            if async_perf is not None
+            else None
+        ),
         "mode_cache_hit_rate": (
             round(inc_perf.mode_cache_hit_rate, 4)
             if inc_perf is not None
@@ -238,6 +297,9 @@ def run_case(
             inc_perf.mode_cache_misses if inc_perf is not None else None
         ),
         "perf_parallel": perf.to_dict() if perf is not None else None,
+        "perf_async": (
+            async_perf.to_dict() if async_perf is not None else None
+        ),
     }
     return case
 
@@ -269,6 +331,7 @@ def build_report(args: argparse.Namespace) -> Dict[str, object]:
             ("mul8", DvsMethod.GRADIENT, True),
             ("mul3", DvsMethod.NONE, False),
             ("smartphone", DvsMethod.GRADIENT, False),
+            ("stress-mini", DvsMethod.GRADIENT, True),
         ]
 
     cases = []
@@ -290,6 +353,10 @@ def build_report(args: argparse.Namespace) -> Dict[str, object]:
             f"({case['speedup_vector']:.2f}x vs incremental), "
             f"engine+pool {case['engine_parallel_seconds']:.2f}s "
             f"({case['speedup_parallel']:.2f}x), "
+            f"async {case['engine_async_seconds']:.2f}s "
+            f"({case['speedup_async']:.2f}x vs vector, "
+            f"utilisation {case['async_pool_utilisation']}, "
+            f"{case['async_pool_steals']} steals), "
             f"identical={case['identical']}",
             flush=True,
         )
@@ -302,6 +369,18 @@ def build_report(args: argparse.Namespace) -> Dict[str, object]:
         c["speedup_incremental"] for c in cases if c["headline"]
     ]
     headline_vector = [c["speedup_vector"] for c in cases if c["headline"]]
+    headline_async = [c["speedup_async"] for c in cases if c["headline"]]
+    utilisations = [
+        c["async_pool_utilisation"]
+        for c in cases
+        if c["async_pool_utilisation"] is not None
+    ]
+    hit_rate_deltas = [
+        abs(c["async_mode_cache_hit_rate"] - c["mode_cache_hit_rate"])
+        for c in cases
+        if c["async_mode_cache_hit_rate"] is not None
+        and c["mode_cache_hit_rate"] is not None
+    ]
     aggregate = {
         "headline_geomean_speedup_parallel": _geomean(headline_parallel),
         "headline_geomean_speedup_serial": _geomean(headline_serial),
@@ -309,8 +388,21 @@ def build_report(args: argparse.Namespace) -> Dict[str, object]:
             headline_incremental
         ),
         "headline_geomean_speedup_vector": _geomean(headline_vector),
+        "headline_geomean_speedup_async": _geomean(headline_async),
         "all_geomean_speedup_parallel": _geomean(
             [c["speedup_parallel"] for c in cases]
+        ),
+        "all_geomean_speedup_async": _geomean(
+            [c["speedup_async"] for c in cases]
+        ),
+        "mean_async_pool_utilisation": (
+            sum(utilisations) / len(utilisations) if utilisations else None
+        ),
+        # Worst-case |async − serial| mode-cache hit-rate gap: the
+        # cross-worker publication protocol should keep the parallel
+        # hit rate tracking the serial one (≤ 0.05 in acceptance).
+        "max_async_mode_cache_hit_rate_delta": (
+            max(hit_rate_deltas) if hit_rate_deltas else None
         ),
         "headline_mean_mode_cache_hit_rate": (
             sum(
@@ -379,7 +471,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--jobs",
         type=int,
         default=4,
-        help="pool size for the engine+pool configuration",
+        help="pool size for the engine+pool and async configurations",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -405,6 +497,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="BASELINE",
         default=None,
         help="baseline JSON to compare against; exits 1 on >20%% regression",
+    )
+    parser.add_argument(
+        "--min-async-utilisation",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "fail (exit 1) when the mean async pool utilisation falls "
+            "below this fraction (used by 'make bench-smoke' at 0.85)"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -432,13 +534,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"(incremental vs engine, mean hit rate "
         f"{agg['headline_mean_mode_cache_hit_rate']:.2f}), "
         f"{agg['headline_geomean_speedup_vector']:.2f}x "
-        f"(vector kernels vs incremental); "
+        f"(vector kernels vs incremental), "
+        f"{agg['headline_geomean_speedup_async']:.2f}x "
+        f"(async pool vs vector, mean utilisation "
+        f"{agg['mean_async_pool_utilisation']}); "
         f"report written to {out_path}"
     )
 
     if not agg["all_identical"]:
         print("[bench_engine] FAIL: engine results diverged from legacy")
         return 1
+    if args.min_async_utilisation is not None:
+        utilisation = agg["mean_async_pool_utilisation"]
+        if utilisation is None or utilisation < args.min_async_utilisation:
+            print(
+                f"[bench_engine] FAIL: mean async pool utilisation "
+                f"{utilisation} below floor {args.min_async_utilisation}"
+            )
+            return 1
+        print(
+            f"[bench_engine] async utilisation gate passed "
+            f"({utilisation:.3f} >= {args.min_async_utilisation})"
+        )
     if args.check is not None:
         return check_regression(report, pathlib.Path(args.check))
     return 0

@@ -65,6 +65,7 @@ def _config_from_args(args: argparse.Namespace) -> SynthesisConfig:
         max_generations=args.generations,
         convergence_generations=args.convergence,
         jobs=getattr(args, "jobs", 1),
+        async_pool=not getattr(args, "no_async_pool", False),
         mode_cache=not getattr(args, "no_mode_cache", False),
         vector_dvs=not getattr(args, "no_vector_dvs", False),
         dvs_warm_start=getattr(args, "dvs_warm_start", False),
@@ -93,6 +94,17 @@ def _add_ga_options(parser: argparse.ArgumentParser) -> None:
         help=(
             "worker processes for population evaluation (1 = serial; "
             "results are identical for any job count)"
+        ),
+    )
+    parser.add_argument(
+        "--no-async-pool",
+        action="store_true",
+        help=(
+            "dispatch pool batches through the per-generation barrier "
+            "pool instead of the work-stealing asynchronous evaluator "
+            "with cross-worker cache publication (ablation; results "
+            "are bit-identical either way; only meaningful with "
+            "--jobs > 1)"
         ),
     )
     parser.add_argument(
@@ -289,12 +301,26 @@ def _print_campaign_event(event: Dict[str, object]) -> None:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.status is not None:
-        from repro.obs import campaign_status, format_status
+        from repro.obs import (
+            campaign_status,
+            format_pool_stats,
+            format_status,
+            load_run_summary,
+        )
 
         try:
             print(format_status(campaign_status(args.status)))
         except CampaignError as exc:
             raise SystemExit(f"repro-mm: error: {exc}") from None
+        # Pool figures come from the run summary when one exists; any
+        # field an older summary lacks (pre-dispatch-window files, a
+        # run that fell back to serial) renders as n/a, never a crash.
+        try:
+            summary = load_run_summary(args.status)
+        except CampaignError:
+            summary = None
+        if summary is not None:
+            print(format_pool_stats(summary))
         return 0
     if args.tail is not None:
         from repro.obs import format_event, tail_events

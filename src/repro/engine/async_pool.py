@@ -1,0 +1,314 @@
+"""Work-stealing asynchronous evaluation with a shared mode cache.
+
+The barrier pool in :mod:`repro.engine.parallel` splits each generation
+into static chunks and blocks until the whole batch returns: one slow
+chunk idles every other worker, and each fork worker's
+:class:`~repro.eval.cache.ModeResultCache` diverges copy-on-write the
+moment it inserts an entry the others never see.  This module replaces
+both behaviours while keeping the results bit-identical:
+
+**Work stealing.**  Genomes are dispatched one at a time through
+``imap_unordered(chunksize=1)`` — the pool's task queue *is* the shared
+deque, and a worker that finishes early simply pulls the next genome
+instead of waiting behind a barrier.  Results carry their batch index
+and are assembled in deterministic genome order, so ``jobs=1`` vs
+``jobs=N`` (and async vs barrier) stay bit-identical: evaluation is a
+pure function of the genome, and dispatch order can only change *when*
+a result arrives, never *what* it is.
+
+**Cache coherence.**  Each worker journals its mode-cache insertions
+(:meth:`~repro.eval.cache.ModeResultCache.start_journal`) and ships the
+journal back with every result.  The parent — acting as the cache
+server — folds the entries into its own master cache (so serial and
+local-search evaluations benefit too) and broadcasts them to every
+*other* worker over a per-worker unbounded queue; workers drain their
+queue before each task with non-blocking gets.  Entries are Ψ- and
+probability-independent values, applied insert-if-absent without
+touching hit/miss meters, so coherence is purely a performance channel:
+it can never change a result, only how fast one is produced.
+
+Worker identity (which broadcast queue a worker drains) is claimed from
+a shared counter in the pool initializer.  A worker respawned after a
+crash re-claims a slot modulo the worker count, which at worst shares a
+queue between two processes — lost broadcasts degrade hit rate, never
+correctness.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import pickle
+import queue
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.profile import PROFILER, PhaseTotals
+from repro.engine.records import EvalRecord, evaluate_genes
+from repro.eval.cache import ModeResultCache, PublishedEntry, mode_cache_for
+from repro.obs.metrics import REGISTRY, MetricsSnapshot
+from repro.problem import Problem
+
+# Worker-process state claimed in the pool initializer: this worker's
+# broadcast slot and the queue it drains for cache updates published by
+# its peers.
+_worker_slot: int = -1
+_worker_updates: Optional[Any] = None
+
+#: One task result: ``(batch index, worker slot, record, profiler
+#: delta, metrics delta, busy seconds, journalled cache insertions)``.
+TaskResult = Tuple[
+    int,
+    int,
+    EvalRecord,
+    PhaseTotals,
+    MetricsSnapshot,
+    float,
+    List[PublishedEntry],
+]
+
+
+def _init_async_worker(
+    counter: Any,
+    updates: Sequence[Any],
+    payload: Optional[bytes],
+) -> None:
+    """Claim a worker slot and arm the cache journal.
+
+    Delegates problem/config state to the :mod:`repro.engine.parallel`
+    initializers (fork workers inherited it copy-on-write; spawn
+    workers rebuild it from ``payload``), then claims the next free
+    broadcast slot from the shared counter.
+    """
+    from repro.engine import parallel
+
+    if payload is not None:
+        parallel._init_worker(payload)
+    else:
+        parallel._init_forked_worker()
+    global _worker_slot, _worker_updates
+    with counter.get_lock():
+        slot = counter.value
+        counter.value += 1
+    _worker_slot = slot % len(updates)
+    _worker_updates = updates[_worker_slot]
+    config = parallel._worker_config
+    if config is not None and config.mode_cache:
+        assert parallel._worker_problem is not None
+        mode_cache_for(parallel._worker_problem, config).start_journal()
+
+
+def _drain_updates(cache: ModeResultCache) -> None:
+    """Apply every pending peer-published cache batch (non-blocking)."""
+    if _worker_updates is None:
+        return
+    while True:
+        try:
+            entries = _worker_updates.get_nowait()
+        except queue.Empty:
+            return
+        cache.apply_published(entries)
+
+
+def _eval_one(payload: Tuple[int, Tuple[str, ...]]) -> TaskResult:
+    """Evaluate one genome inside a pool worker (the stolen task body)."""
+    from repro.engine import parallel
+
+    # The busy window spans the whole task service — peer-update drain,
+    # profiling bookkeeping and journal drain included — because that is
+    # worker capacity spent on this task; only queue waits are idle.
+    started = time.perf_counter()
+    index, genes = payload
+    problem = parallel._worker_problem
+    config = parallel._worker_config
+    assert problem is not None and config is not None
+    cache = (
+        mode_cache_for(problem, config) if config.mode_cache else None
+    )
+    if cache is not None:
+        _drain_updates(cache)
+    base = PROFILER.snapshot()
+    metrics_base = REGISTRY.snapshot()
+    record = evaluate_genes(
+        problem, genes, config, parallel._worker_context
+    )
+    published = cache.drain_journal() if cache is not None else []
+    busy = time.perf_counter() - started
+    return (
+        index,
+        _worker_slot,
+        record,
+        PROFILER.delta_since(base),
+        REGISTRY.delta_since(metrics_base),
+        busy,
+        published,
+    )
+
+
+@dataclass
+class AsyncBatchResult:
+    """What one work-stealing batch produced, parent-side.
+
+    ``records`` is in genome order regardless of completion order;
+    ``steals`` counts tasks taken beyond an even static split
+    (``sum over workers of max(0, taken − ceil(total / workers))``) —
+    the work the barrier pool would have left stranded behind its
+    slowest chunk.
+    """
+
+    records: List[EvalRecord]
+    busy_seconds: float = 0.0
+    dispatch_seconds: float = 0.0
+    steals: int = 0
+    tasks_per_worker: Dict[int, int] = field(default_factory=dict)
+    published_entries: int = 0
+
+
+class AsyncWorkStealingPool:
+    """A process pool dispatching single genomes with cache publication.
+
+    Construction creates the worker processes (raising on any platform
+    failure — the caller owns fallback policy); :meth:`evaluate` runs
+    one batch; :meth:`close` / :meth:`terminate` end service.  One
+    instance serves one :class:`ParallelEvaluator` for its lifetime.
+    """
+
+    def __init__(
+        self, problem: Problem, config: Any, jobs: int
+    ) -> None:
+        self.problem = problem
+        self.config = config
+        self.jobs = jobs
+        self._master_cache: Optional[ModeResultCache] = (
+            mode_cache_for(problem, config) if config.mode_cache else None
+        )
+        counter = multiprocessing.Value("i", 0)
+        # Unbounded queues with feeder threads: the parent's broadcast
+        # put never blocks on a worker that is slow to drain, so the
+        # result loop cannot deadlock against a full pipe.
+        self._updates = [multiprocessing.Queue() for _ in range(jobs)]
+        if multiprocessing.get_start_method() == "fork":
+            from repro.engine import parallel
+
+            parallel._worker_problem = problem
+            parallel._worker_config = config
+            parallel._worker_context = (
+                parallel.context_for(problem)
+                if config.decode_cache
+                else None
+            )
+            payload: Optional[bytes] = None
+        else:  # pragma: no cover - spawn platforms
+            payload = pickle.dumps(
+                (
+                    problem.omsm,
+                    problem.architecture,
+                    problem.technology,
+                    config,
+                )
+            )
+        self._pool = multiprocessing.Pool(
+            processes=jobs,
+            initializer=_init_async_worker,
+            initargs=(counter, self._updates, payload),
+        )
+
+    def evaluate(
+        self,
+        gene_tuples: Sequence[Tuple[str, ...]],
+        worker_phase_totals: Dict[Any, Tuple[float, int]],
+    ) -> AsyncBatchResult:
+        """Run one batch through the shared task queue.
+
+        Results merge as they land: records slot into their genome
+        index, profiler deltas accumulate into ``worker_phase_totals``,
+        metric deltas fold into the parent registry, and published
+        cache entries are applied to the master cache then broadcast to
+        every other worker.
+        """
+        total = len(gene_tuples)
+        records: List[Optional[EvalRecord]] = [None] * total
+        result = AsyncBatchResult(records=[])
+        outstanding = total
+        REGISTRY.set_gauge("engine_pool_queue_depth", outstanding)
+        started = time.perf_counter()
+        payloads = list(enumerate(gene_tuples))
+        for task in self._pool.imap_unordered(
+            _eval_one, payloads, chunksize=1
+        ):
+            (
+                index,
+                slot,
+                record,
+                phase_delta,
+                metrics_delta,
+                busy,
+                published,
+            ) = task
+            records[index] = record
+            result.busy_seconds += busy
+            result.tasks_per_worker[slot] = (
+                result.tasks_per_worker.get(slot, 0) + 1
+            )
+            for name, (seconds, calls) in phase_delta.items():
+                prev_seconds, prev_calls = worker_phase_totals.get(
+                    name, (0.0, 0)
+                )
+                worker_phase_totals[name] = (
+                    prev_seconds + seconds,
+                    prev_calls + calls,
+                )
+            REGISTRY.merge(metrics_delta)
+            REGISTRY.observe("engine_task_seconds", busy)
+            REGISTRY.inc("engine_pool_tasks_total", worker=str(slot))
+            outstanding -= 1
+            REGISTRY.set_gauge("engine_pool_queue_depth", outstanding)
+            if published:
+                result.published_entries += len(published)
+                if self._master_cache is not None:
+                    self._master_cache.apply_published(published)
+                for peer, updates in enumerate(self._updates):
+                    if peer != slot:
+                        updates.put(published)
+        result.dispatch_seconds = time.perf_counter() - started
+        fair_share = math.ceil(total / self.jobs)
+        result.steals = sum(
+            max(0, taken - fair_share)
+            for taken in result.tasks_per_worker.values()
+        )
+        if result.steals:
+            REGISTRY.inc("engine_pool_steals_total", amount=result.steals)
+        assert all(record is not None for record in records)
+        result.records = records  # type: ignore[assignment]
+        return result
+
+    def _close_queues(self) -> None:
+        for updates in self._updates:
+            try:  # pragma: no cover - teardown robustness
+                updates.cancel_join_thread()
+                updates.close()
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        """Graceful shutdown (idempotent)."""
+        if self._pool is not None:
+            try:
+                self._pool.close()
+                self._pool.join()
+            except Exception:  # pragma: no cover - defensive
+                self._pool.terminate()
+            self._pool = None
+        self._close_queues()
+
+    def terminate(self) -> None:
+        """Hard stop without draining queued tasks (abnormal exits)."""
+        if self._pool is not None:
+            try:  # pragma: no cover - teardown robustness
+                self._pool.terminate()
+                self._pool.join()
+            except Exception:
+                pass
+            self._pool = None
+        self._close_queues()

@@ -10,7 +10,18 @@ per-candidate dispatch only ships raw gene tuples out and compact
 Evaluation is a pure function of the genome, so dispatch order cannot
 change results: a batch evaluated on ``jobs=N`` workers is bit-identical
 to the same batch evaluated serially (the determinism tests pin this).
-When ``jobs == 1`` the evaluator runs in-process.  What a *failed* pool
+When ``jobs == 1`` the evaluator runs in-process.
+
+Two pool strategies share this façade.  The default
+(``SynthesisConfig.async_pool``) is the work-stealing asynchronous pool
+of :mod:`repro.engine.async_pool`: workers pull single genomes from a
+shared task queue, results merge as they land, and mode-cache entries
+computed by one worker are published to all others.  Disabling it
+restores the original per-generation barrier pool (static chunks,
+``map_async``, diverging copy-on-write caches) as an ablation oracle —
+both strategies produce bit-identical records.
+
+What a *failed* pool
 (worker crash, pickling surprise, platform without multiprocessing)
 does is governed by ``pool_failure_mode``: ``"fallback"`` degrades to
 in-process evaluation — with the failure recorded on
@@ -24,11 +35,13 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import multiprocessing.pool
 import pickle
 import time
 import warnings
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.async_pool import AsyncWorkStealingPool
 from repro.engine.decode_cache import DecodeContext, context_for
 from repro.engine.profile import PROFILER, PhaseTotals
 from repro.engine.records import EvalRecord, evaluate_genes
@@ -124,20 +137,34 @@ class ParallelEvaluator:
             raise ValueError(
                 f"unknown pool failure mode {self.failure_mode!r}"
             )
+        self.async_pool = bool(getattr(config, "async_pool", True))
         self.batches = 0
         self.parallel_evaluations = 0
         self.pool_busy_seconds = 0.0
+        #: Summed per-batch dispatch windows (work outstanding) — the
+        #: capacity basis of the corrected pool utilisation.
+        self.pool_dispatch_seconds = 0.0
+        self.pool_steals = 0
         self.pool_failures = 0
+        #: In-process evaluations (tiny batches, post-fallback batches)
+        #: and their wall-clock, booked apart from the pool busy window
+        #: so they cannot inflate pool utilisation.
+        self.inprocess_evaluations = 0
+        self.inprocess_eval_seconds = 0.0
         self.last_pool_error: Optional[str] = None
         self.worker_phase_totals: Dict[str, Tuple[float, int]] = {}
         #: Workers actually placed in service (0 = never had a pool).
         self.pool_workers = 0
         self._pool = None
+        self._async: Optional[AsyncWorkStealingPool] = None
         self._pool_started: Optional[float] = None
         self._pool_service_seconds = 0.0
         if self.jobs > 1:
-            self._pool = self._create_pool()
-            if self._pool is not None:
+            if self.async_pool:
+                self._async = self._create_async_pool()
+            else:
+                self._pool = self._create_pool()
+            if self._pool is not None or self._async is not None:
                 self.pool_workers = self.jobs
                 self._pool_started = time.perf_counter()
                 REGISTRY.set_gauge("engine_pool_workers", self.jobs)
@@ -184,7 +211,7 @@ class ParallelEvaluator:
     # Pool lifecycle
     # ------------------------------------------------------------------
 
-    def _create_pool(self):
+    def _create_pool(self) -> Optional[multiprocessing.pool.Pool]:
         try:
             if multiprocessing.get_start_method() == "fork":
                 # Forked workers share the parent's address space
@@ -229,8 +256,21 @@ class ParallelEvaluator:
             self._record_failure("creation", exc)
             return None
 
+    def _create_async_pool(self) -> Optional[AsyncWorkStealingPool]:
+        try:
+            return AsyncWorkStealingPool(
+                self.problem, self.config, self.jobs
+            )
+        except Exception as exc:  # pragma: no cover - platform-dependent
+            self._record_failure("creation", exc)
+            return None
+
     def close(self) -> None:
         """Shut the pool down gracefully (idempotent)."""
+        if self._async is not None:
+            self._stop_service_clock()
+            self._async.close()
+            self._async = None
         if self._pool is not None:
             self._stop_service_clock()
             try:
@@ -248,6 +288,10 @@ class ParallelEvaluator:
         may already be dead, in which case ``close()``'s join would
         block forever waiting for worker sentinels.
         """
+        if self._async is not None:
+            self._stop_service_clock()
+            self._async.terminate()
+            self._async = None
         if self._pool is not None:
             self._stop_service_clock()
             try:  # pragma: no cover - teardown robustness
@@ -268,7 +312,7 @@ class ParallelEvaluator:
 
     @property
     def uses_pool(self) -> bool:
-        return self._pool is not None
+        return self._pool is not None or self._async is not None
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -281,9 +325,13 @@ class ParallelEvaluator:
         # Tiny batches (late generations run mostly from cache) are not
         # worth a round-trip through the pool: dispatch and result
         # pickling cost more than the evaluations.  Results are the
-        # same either way, only the wall-clock differs.
-        if self._pool is not None and len(genomes) >= self.jobs:
+        # same either way, only the wall-clock differs.  The in-process
+        # path books its time into the inprocess_* counters, never the
+        # pool busy window.
+        if self.uses_pool and len(genomes) >= self.jobs:
             try:
+                if self._async is not None:
+                    return self._evaluate_async(genomes)
                 return self._evaluate_pooled(genomes)
             except Exception as exc:
                 # The pool died (worker crash, interpreter teardown,
@@ -291,11 +339,15 @@ class ParallelEvaluator:
                 # raise WorkerPoolError or fall back to serial
                 # evaluation for this and all future batches, per the
                 # configured failure mode.
-                try:  # pragma: no cover - defensive
-                    self._pool.terminate()
-                except Exception:
-                    pass
-                self._pool = None
+                if self._async is not None:
+                    self._async.terminate()
+                    self._async = None
+                if self._pool is not None:
+                    try:  # pragma: no cover - defensive
+                        self._pool.terminate()
+                    except Exception:
+                        pass
+                    self._pool = None
                 self._record_failure("dispatch", exc)
         return self._evaluate_serial(genomes)
 
@@ -303,13 +355,35 @@ class ParallelEvaluator:
         context = (
             context_for(self.problem) if self.config.decode_cache else None
         )
-        return [
+        started = time.perf_counter()
+        records = [
             evaluate_genes(self.problem, genome.genes, self.config, context)
             for genome in genomes
         ]
+        self.inprocess_eval_seconds += time.perf_counter() - started
+        self.inprocess_evaluations += len(records)
+        REGISTRY.inc(
+            "engine_inprocess_evaluations_total", amount=len(records)
+        )
+        return records
+
+    def _evaluate_async(self, genomes: Sequence) -> List[EvalRecord]:
+        assert self._async is not None
+        batch = self._async.evaluate(
+            [genome.genes for genome in genomes],
+            self.worker_phase_totals,
+        )
+        self.pool_busy_seconds += batch.busy_seconds
+        self.pool_dispatch_seconds += batch.dispatch_seconds
+        self.pool_steals += batch.steals
+        self.parallel_evaluations += len(batch.records)
+        self.batches += 1
+        REGISTRY.inc("engine_pool_batches_total")
+        return batch.records
 
     def _evaluate_pooled(self, genomes: Sequence) -> List[EvalRecord]:
         gene_tuples = [genome.genes for genome in genomes]
+        dispatch_started = time.perf_counter()
         # Two chunks per job: small enough for the pool to balance load
         # across workers, large enough that per-chunk pickling/wakeup
         # overhead stays negligible (measured best on this workload).
@@ -349,6 +423,9 @@ class ParallelEvaluator:
             REGISTRY.observe("engine_chunk_seconds", busy)
         self.parallel_evaluations += len(records)
         records.extend(local_records)
+        self.pool_dispatch_seconds += (
+            time.perf_counter() - dispatch_started
+        )
         self.batches += 1
         REGISTRY.inc("engine_pool_batches_total")
         return records

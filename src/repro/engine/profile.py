@@ -151,11 +151,30 @@ class PerfStats:
         whose pool failed at creation).
     pool_service_seconds:
         Wall-clock seconds the pool was in service (creation until
-        close, death or fallback) — the denominator basis of
-        :attr:`pool_utilisation`, so a mid-run serial fallback stops
+        close, death or fallback).  Kept as the back-compat denominator
+        basis of :attr:`pool_utilisation` for runs recorded before
+        dispatch windows existed, so a mid-run serial fallback stops
         accruing capacity instead of reporting nonsense utilisation.
+    pool_dispatch_seconds:
+        Wall-clock seconds pool work was actually *outstanding* — the
+        sum of per-batch dispatch windows (submit until the last result
+        landed).  The preferred denominator basis of
+        :attr:`pool_utilisation`: a pool idling between generations
+        (GA bookkeeping, cache-hot batches that never dispatch) no
+        longer dilutes the figure.
+    pool_steals:
+        Tasks workers pulled beyond an even static split — per batch,
+        ``sum over workers of max(0, tasks_taken − ceil(total / N))``.
+        Zero under the barrier pool's static chunking; positive counts
+        are the work-stealing dynamic balancing paying off.
     pool_fallbacks:
         Pool failures that degraded the run to in-process evaluation.
+    inprocess_evaluations / inprocess_eval_seconds:
+        Evaluations (and their wall-clock) run in-process by the
+        parallel evaluator — tiny batches below the dispatch threshold
+        and post-fallback batches.  Booked separately from
+        :attr:`pool_busy_seconds` so cache-hot late generations cannot
+        inflate :attr:`pool_utilisation`.
     mode_cache_hits / mode_cache_misses / mode_cache_evictions:
         Per-mode stage-result cache activity of the incremental
         evaluation pipeline (:mod:`repro.eval`), summed over the main
@@ -181,7 +200,11 @@ class PerfStats:
     pool_busy_seconds: float = 0.0
     pool_workers: int = 0
     pool_service_seconds: float = 0.0
+    pool_dispatch_seconds: float = 0.0
+    pool_steals: int = 0
     pool_fallbacks: int = 0
+    inprocess_evaluations: int = 0
+    inprocess_eval_seconds: float = 0.0
     mode_cache_hits: int = 0
     mode_cache_misses: int = 0
     mode_cache_evictions: int = 0
@@ -210,15 +233,21 @@ class PerfStats:
 
     @property
     def pool_utilisation(self) -> float:
-        """Worker busy-time as a fraction of the pool's *actual* capacity.
+        """Worker busy-time as a fraction of the pool's *working* capacity.
 
-        Capacity is ``pool_service_seconds × pool_workers`` — the
-        workers genuinely in service, for the time the pool was alive.
-        A run that fell back to serial evaluation mid-way therefore
-        reports the utilisation of the pool *while it existed*, and a
-        run that never had a pool reports 0.
+        Capacity is ``pool_dispatch_seconds × pool_workers`` — the
+        workers genuinely in service, for the time pool work was
+        actually outstanding.  Time the pool sat idle between
+        generations (GA bookkeeping, batches answered entirely from
+        cache) is not capacity the evaluator could have used, so it no
+        longer dilutes the figure.  Runs recorded before dispatch
+        windows existed fall back to the old whole-service-window
+        basis; a run that never had a pool reports 0.
         """
-        capacity = self.pool_service_seconds * self.pool_workers
+        window = self.pool_dispatch_seconds
+        if window <= 0:
+            window = self.pool_service_seconds
+        capacity = window * self.pool_workers
         if capacity <= 0:
             return 0.0
         return self.pool_busy_seconds / capacity
@@ -249,7 +278,11 @@ class PerfStats:
             "pool_busy_seconds": self.pool_busy_seconds,
             "pool_workers": self.pool_workers,
             "pool_service_seconds": self.pool_service_seconds,
+            "pool_dispatch_seconds": self.pool_dispatch_seconds,
+            "pool_steals": self.pool_steals,
             "pool_fallbacks": self.pool_fallbacks,
+            "inprocess_evaluations": self.inprocess_evaluations,
+            "inprocess_eval_seconds": self.inprocess_eval_seconds,
             "mode_cache_hits": self.mode_cache_hits,
             "mode_cache_misses": self.mode_cache_misses,
             "mode_cache_evictions": self.mode_cache_evictions,

@@ -22,6 +22,7 @@ from repro.obs.status import (
     CampaignStatus,
     campaign_status,
     format_event,
+    format_pool_stats,
     format_status,
     tail_events,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "build_run_summary",
     "campaign_status",
     "format_event",
+    "format_pool_stats",
     "format_status",
     "load_run_summary",
     "run_summary_path",

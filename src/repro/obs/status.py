@@ -399,3 +399,51 @@ def format_status(status: CampaignStatus) -> str:
     for job_id, error in status.failures.items():
         lines.append(f"  failed: {job_id}: {error}")
     return "\n".join(lines)
+
+
+def format_pool_stats(summary: Dict[str, Any]) -> str:
+    """Evaluation-pool lines of ``--status`` from a run summary.
+
+    Every field renders ``n/a`` when absent or non-numeric: a run that
+    fell back to serial evaluation mid-campaign, or a summary written
+    by an older release, must degrade to ``n/a`` rather than crash the
+    status command.
+    """
+    perf = summary.get("perf") or {}
+
+    def number(key: str) -> Optional[float]:
+        value = perf.get(key)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        return float(value)
+
+    def count(key: str) -> str:
+        value = number(key)
+        return f"{value:.0f}" if value is not None else "n/a"
+
+    def seconds(key: str) -> str:
+        value = number(key)
+        return f"{value:.1f}s" if value is not None else "n/a"
+
+    utilisation = number("pool_utilisation")
+    utilisation_text = (
+        f"{utilisation:.0%}" if utilisation is not None else "n/a"
+    )
+    lines = [
+        (
+            f"  pool: workers {count('pool_workers')}, "
+            f"utilisation {utilisation_text}, "
+            f"busy {seconds('pool_busy_seconds')}"
+        ),
+        (
+            f"  pool work: {count('parallel_evaluations')} parallel "
+            f"evaluations in {count('batches')} batches, "
+            f"{count('pool_steals')} steals, "
+            f"{count('pool_fallbacks')} fallbacks"
+        ),
+        (
+            f"  in-process: {count('inprocess_evaluations')} evaluations, "
+            f"{seconds('inprocess_eval_seconds')}"
+        ),
+    ]
+    return "\n".join(lines)

@@ -69,6 +69,14 @@ _PERF_SCALARS = (
     "batches",
     "parallel_evaluations",
     "pool_busy_seconds",
+    "pool_service_seconds",
+    "pool_dispatch_seconds",
+    "pool_steals",
+    "pool_fallbacks",
+    "inprocess_evaluations",
+    "inprocess_eval_seconds",
+    "mode_cache_hits",
+    "mode_cache_misses",
 )
 
 
@@ -100,6 +108,25 @@ def _aggregate_perf(
     totals["phase_seconds"] = phase_seconds
     totals["phase_calls"] = phase_calls
     totals["mode_phase_seconds"] = mode_phase_seconds
+    # Derived pool figures, present only when some job actually had a
+    # pool (readers render n/a otherwise — see format_pool_stats).
+    workers = max(
+        (
+            int(perf.get("pool_workers") or 0)
+            for perf in perfs
+        ),
+        default=0,
+    )
+    if workers > 0:
+        totals["pool_workers"] = workers
+        window = totals["pool_dispatch_seconds"] or totals[
+            "pool_service_seconds"
+        ]
+        capacity = window * workers
+        if capacity > 0:
+            totals["pool_utilisation"] = (
+                totals["pool_busy_seconds"] / capacity
+            )
     return totals
 
 

@@ -88,6 +88,17 @@ class SynthesisConfig:
         evaluates in-process; ``N > 1`` dispatches each generation's
         uncached genomes to a process pool.  Results are bit-identical
         to serial evaluation for any job count.
+    async_pool:
+        Dispatch pool batches through the work-stealing asynchronous
+        evaluator (:mod:`repro.engine.async_pool`): workers pull
+        individual genomes from a shared task queue, results merge as
+        they land, and per-mode cache entries computed by one worker
+        are published to all others so their
+        :class:`~repro.eval.cache.ModeResultCache` copies stay
+        coherent instead of diverging after fork.  ``False`` restores
+        the per-generation barrier pool (static chunking, diverging
+        COW caches) as an ablation oracle; both produce bit-identical
+        results at any job count.  Only meaningful for ``jobs > 1``.
     pool_failure_mode:
         What a dead/unusable worker pool does to the run.
         ``"fallback"`` (default) degrades to in-process evaluation and
@@ -160,6 +171,7 @@ class SynthesisConfig:
     inner_loop_iterations: int = 0
 
     jobs: int = 1
+    async_pool: bool = True
     decode_cache: bool = True
     mode_cache: bool = True
     mode_cache_size: int = 4096

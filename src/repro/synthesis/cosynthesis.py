@@ -409,7 +409,11 @@ class MultiModeSynthesizer:
             perf.pool_busy_seconds = evaluator.pool_busy_seconds
             perf.pool_workers = evaluator.pool_workers
             perf.pool_service_seconds = evaluator.pool_service_seconds
+            perf.pool_dispatch_seconds = evaluator.pool_dispatch_seconds
+            perf.pool_steals = evaluator.pool_steals
             perf.pool_fallbacks = evaluator.pool_failures
+            perf.inprocess_evaluations = evaluator.inprocess_evaluations
+            perf.inprocess_eval_seconds = evaluator.inprocess_eval_seconds
         # Mode-result cache activity of this run: sum the labelled
         # counters (per mode, per stage) accumulated since the start.
         # Pool-worker activity is already folded in — chunk results

@@ -1,6 +1,7 @@
 """Status aggregation and live tailing over synthetic event streams."""
 
 import json
+import pathlib
 
 import pytest
 
@@ -8,9 +9,12 @@ from repro.errors import CampaignError
 from repro.obs.status import (
     campaign_status,
     format_event,
+    format_pool_stats,
     format_status,
     tail_events,
 )
+
+FIXTURES = pathlib.Path(__file__).resolve().parent.parent / "fixtures"
 
 
 def write_events(path, events):
@@ -245,3 +249,46 @@ class TestRendering:
         text = format_status(campaign_status(tmp_path))
         assert "finished" in text
         assert "eta" not in text
+
+
+class TestPoolStats:
+    def test_modern_summary_renders_figures(self):
+        summary = {
+            "perf": {
+                "pool_workers": 4,
+                "pool_utilisation": 0.91,
+                "pool_busy_seconds": 36.4,
+                "parallel_evaluations": 4000,
+                "batches": 58,
+                "pool_steals": 120,
+                "pool_fallbacks": 0,
+                "inprocess_evaluations": 12,
+                "inprocess_eval_seconds": 0.4,
+            }
+        }
+        text = format_pool_stats(summary)
+        assert "workers 4" in text
+        assert "utilisation 91%" in text
+        assert "120 steals" in text
+        assert "12 evaluations" in text
+        assert "n/a" not in text
+
+    def test_pr3_era_summary_renders_na_not_crash(self):
+        # Regression: formatting pool_utilisation used to assume the
+        # field exists; a summary written before dispatch windows (or
+        # by a run that fell back to serial) must render n/a.
+        summary = json.loads(
+            (FIXTURES / "run_summary_pr3.json").read_text()
+        )
+        text = format_pool_stats(summary)
+        assert "utilisation n/a" in text
+        assert "workers n/a" in text
+        # Fields the old schema *did* carry still render.
+        assert "busy 0.0s" in text
+        assert "0 parallel evaluations in 0 batches" in text
+
+    def test_empty_summary_is_all_na(self):
+        text = format_pool_stats({})
+        assert "utilisation n/a" in text
+        assert "workers n/a" in text
+        assert "steals" in text

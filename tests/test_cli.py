@@ -51,6 +51,17 @@ class TestParser:
         default = build_parser().parse_args(["synthesize", "mul1"])
         assert _config_from_args(default).mode_cache is True
 
+    def test_async_pool_flag(self):
+        from repro.cli import _config_from_args
+
+        default = build_parser().parse_args(["synthesize", "mul1"])
+        assert _config_from_args(default).async_pool is True
+        args = build_parser().parse_args(
+            ["synthesize", "mul1", "--no-async-pool"]
+        )
+        assert args.no_async_pool
+        assert _config_from_args(args).async_pool is False
+
     def test_vector_dvs_flags(self):
         from repro.cli import _config_from_args
 
@@ -339,6 +350,36 @@ class TestCampaignStatusTail:
     def test_status_missing_run_dir_errors(self, tmp_path):
         with pytest.raises(SystemExit, match="no event stream"):
             main(["campaign", "--status", str(tmp_path / "nowhere")])
+
+    def test_status_without_summary_skips_pool_stats(
+        self, capsys, tmp_path
+    ):
+        run_dir = self._write_run_dir(tmp_path, finished=False)
+        assert main(["campaign", "--status", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "pool:" not in out
+
+    def test_status_renders_na_for_pr3_era_summary(
+        self, capsys, tmp_path
+    ):
+        # Regression: --status used to crash formatting
+        # pool_utilisation when the field is absent from an older
+        # run_summary.json (pre-dispatch-window schema, or a run that
+        # fell back to serial mid-campaign).
+        import pathlib
+        import shutil
+
+        fixture = (
+            pathlib.Path(__file__).resolve().parent
+            / "fixtures"
+            / "run_summary_pr3.json"
+        )
+        run_dir = self._write_run_dir(tmp_path, finished=True)
+        shutil.copy(fixture, run_dir / "run_summary.json")
+        assert main(["campaign", "--status", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "pool: workers n/a, utilisation n/a" in out
+        assert "in-process:" in out
 
     def test_tail_no_follow_prints_existing_events(self, capsys, tmp_path):
         run_dir = self._write_run_dir(tmp_path, finished=False)
