@@ -9,7 +9,7 @@ PYTHON ?= python
 #     make bench-smoke MIN_ASYNC_UTILISATION=0.40
 MIN_ASYNC_UTILISATION ?= 0.85
 
-.PHONY: install test test-fast lint typecheck bench bench-fast bench-smoke tables examples verify clean
+.PHONY: install test test-fast lint typecheck bench bench-fast bench-smoke serve-smoke tables examples verify clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -62,14 +62,21 @@ bench-smoke:
 	    --min-async-utilisation $(MIN_ASYNC_UTILISATION)
 	$(PYTHON) benchmarks/bench_dvs.py --quick
 
+# Campaign job server smoke: boot a real server through the CLI,
+# submit a quick campaign, and require the served result to be
+# identical to a direct in-process run of the same spec.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.server.smoke
+
 # The full pre-merge gate: lint + typecheck (when available), tier-1
-# test suite, plus the engine smoke benchmark (bit-identity +
-# performance regression check).  Runs from a bare checkout — no
-# `make install` needed.
+# test suite, the engine smoke benchmark (bit-identity + performance
+# regression check), plus the job-server equivalence smoke.  Runs
+# from a bare checkout — no `make install` needed.
 verify: lint typecheck
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 	$(PYTHON) benchmarks/bench_engine.py --quick \
 	    --check benchmarks/results/bench_engine_quick_baseline.json
+	PYTHONPATH=src $(PYTHON) -m repro.server.smoke
 
 tables:
 	$(PYTHON) -m repro.cli table1 --runs 5

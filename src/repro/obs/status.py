@@ -386,10 +386,12 @@ def format_status(status: CampaignStatus) -> str:
         lines.append(f"  mean job wall time: {_duration(mean)}")
     if not status.finished:
         eta = status.eta_seconds
-        lines.append(
-            f"  eta: {_duration(eta)}"
-            + ("" if eta is not None else " (no finished job to extrapolate from)")
-        )
+        # With zero completed jobs there is no timing sample at all —
+        # say "n/a" explicitly rather than an extrapolated guess.
+        if eta is None:
+            lines.append("  eta: n/a (no completed jobs yet)")
+        else:
+            lines.append(f"  eta: {_duration(eta)}")
     for job_id in status.running:
         generation = status.last_generation.get(job_id)
         progress = (

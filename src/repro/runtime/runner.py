@@ -31,7 +31,10 @@ as an ordered queue of synthesis jobs on top of the evaluation engine:
 
 from __future__ import annotations
 
+import contextlib
 import pathlib
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Union
@@ -51,6 +54,34 @@ PathLike = Union[str, pathlib.Path]
 
 #: Result-record schema version; bump on incompatible change.
 RESULT_VERSION = 1
+
+
+@contextlib.contextmanager
+def _sigterm_as_interrupt():
+    """Convert SIGTERM into ``KeyboardInterrupt`` for the enclosed block.
+
+    A supervised campaign process (a server worker subprocess, a
+    systemd unit, a container being stopped) is told to go away with
+    SIGTERM, not Ctrl-C.  Routing it through the same interrupt path
+    gives SIGTERM the identical graceful shutdown: the latest
+    checkpoint is already durable, the ``campaign_interrupted`` event
+    is emitted and the best-effort ``run_summary.json`` export fires.
+    Signal handlers can only be installed from the main thread; from
+    any other thread the campaign runs with the process default
+    behaviour, unchanged.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def raise_interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, raise_interrupt)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 @dataclass
@@ -215,13 +246,18 @@ class CampaignRunner:
 
         Individual job failures do not abort the campaign — they are
         recorded, reported in events, and surfaced on
-        :attr:`CampaignResult.failures`.  ``KeyboardInterrupt``
-        *does* abort, after the interrupted job's latest checkpoint is
+        :attr:`CampaignResult.failures`.  ``KeyboardInterrupt`` *does*
+        abort, after the interrupted job's latest checkpoint is
         already on disk; resuming later continues bit-identically.
+        SIGTERM (supervisors, server worker slots, container stops)
+        takes the same graceful path when the campaign runs on the
+        main thread.
         """
         queue = self.spec.jobs()
         outcome = CampaignResult(spec=self.spec, run_dir=self.run_dir)
-        with EventLog(events_path(self.run_dir)) as events:
+        with _sigterm_as_interrupt(), EventLog(
+            events_path(self.run_dir)
+        ) as events:
             pending = [
                 job
                 for job in queue

@@ -1,0 +1,40 @@
+"""Synthesis-as-a-service: the multi-tenant async campaign job server.
+
+The traffic-serving skeleton in front of the campaign runtime:
+
+* :mod:`repro.server.jobs` — durable job records and their
+  ``queued -> running -> done/failed/cancelled`` state machine.
+* :mod:`repro.server.scheduler` — per-tenant FIFO queues, weighted
+  fair dispatch, admission control with typed backpressure.
+* :mod:`repro.server.service` — the asyncio server: JSON-lines over a
+  Unix socket, bounded worker-subprocess slots, restart recovery.
+* :mod:`repro.server.worker` / :mod:`repro.server.workers` — the
+  subprocess entry point and its process plumbing.
+* :mod:`repro.server.client` — the synchronous stdlib client.
+
+See ``docs/server.md`` for the protocol and operational semantics.
+"""
+
+from repro.server.client import ServerClient
+from repro.server.jobs import (
+    TERMINAL_STATES,
+    JobState,
+    JobStore,
+    ServerJob,
+)
+from repro.server.protocol import PROTOCOL_VERSION
+from repro.server.scheduler import Scheduler
+from repro.server.service import SOCKET_FILENAME, CampaignServer, serve
+
+__all__ = [
+    "CampaignServer",
+    "JobState",
+    "JobStore",
+    "PROTOCOL_VERSION",
+    "Scheduler",
+    "ServerClient",
+    "ServerJob",
+    "SOCKET_FILENAME",
+    "TERMINAL_STATES",
+    "serve",
+]

@@ -1,0 +1,215 @@
+"""Synchronous client for the campaign job server.
+
+:class:`ServerClient` speaks the JSON-lines protocol over the server's
+Unix socket with nothing but the standard library, so CLI commands,
+tests and user scripts can talk to a server without touching asyncio.
+One connection per request (the protocol is single-shot); ``stream``
+keeps its connection open and yields events as they arrive.
+
+Typed failures: an admission rejection raises
+:class:`~repro.errors.AdmissionError` (back off and retry later), every
+other server-reported error raises :class:`~repro.errors.ServerError`
+with the protocol ``kind`` attached.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import socket
+import time
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
+
+from repro.errors import ServerError
+from repro.runtime.spec import CampaignSpec
+from repro.server.jobs import TERMINAL_STATES, JobState
+from repro.server.protocol import (
+    MAX_LINE_BYTES,
+    decode_message,
+    encode_message,
+    raise_for_error,
+)
+
+PathLike = Union[str, pathlib.Path]
+
+SpecLike = Union[CampaignSpec, Mapping[str, Any]]
+
+
+def _spec_payload(spec: SpecLike) -> Dict[str, Any]:
+    if isinstance(spec, CampaignSpec):
+        return spec.to_dict()
+    return dict(spec)
+
+
+class ServerClient:
+    """Talk to a :class:`~repro.server.service.CampaignServer`."""
+
+    def __init__(
+        self, socket_path: PathLike, timeout: float = 30.0
+    ) -> None:
+        self.socket_path = pathlib.Path(socket_path)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        conn.settimeout(self.timeout)
+        try:
+            conn.connect(str(self.socket_path))
+        except OSError as exc:
+            conn.close()
+            raise ServerError(
+                f"cannot reach server at {self.socket_path}: {exc}",
+                kind="internal",
+            ) from exc
+        return conn
+
+    @staticmethod
+    def _read_line(handle: Any) -> bytes:
+        line = handle.readline(MAX_LINE_BYTES + 1)
+        if len(line) > MAX_LINE_BYTES:
+            raise ServerError(
+                "server response line too long", kind="invalid"
+            )
+        return line
+
+    def _request(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        with self._connect() as conn:
+            conn.sendall(encode_message(payload))
+            with conn.makefile("rb") as handle:
+                line = self._read_line(handle)
+        if not line:
+            raise ServerError(
+                "server closed the connection without answering",
+                kind="internal",
+            )
+        return raise_for_error(decode_message(line))
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: SpecLike,
+        tenant: str = "default",
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit a campaign; returns ``{"job_id": ..., "state": ...}``.
+
+        Raises :class:`~repro.errors.AdmissionError` on backpressure.
+        """
+        return self._request(
+            {
+                "op": "submit",
+                "spec": _spec_payload(spec),
+                "tenant": tenant,
+                "priority": priority,
+            }
+        )
+
+    def status(
+        self, job_id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """One job's record, or the server overview without ``job_id``."""
+        payload: Dict[str, Any] = {"op": "status"}
+        if job_id is not None:
+            payload["job_id"] = job_id
+        return self._request(payload)
+
+    def jobs(self, tenant: Optional[str] = None) -> List[Dict[str, Any]]:
+        payload: Dict[str, Any] = {"op": "jobs"}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        response = self._request(payload)
+        return list(response.get("jobs", []))
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request({"op": "cancel", "job_id": job_id})
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """A terminal job's campaign results + run summary."""
+        return self._request({"op": "result", "job_id": job_id})
+
+    def stream(
+        self, job_id: str, follow: bool = False
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield the job's campaign events (tail of its ``events.jsonl``).
+
+        With ``follow`` the server keeps the connection open and
+        streams events until the job reaches a terminal state.
+        """
+        with self._connect() as conn:
+            conn.sendall(
+                encode_message(
+                    {"op": "stream", "job_id": job_id, "follow": follow}
+                )
+            )
+            if follow:
+                conn.settimeout(None)
+            with conn.makefile("rb") as handle:
+                while True:
+                    line = self._read_line(handle)
+                    if not line:
+                        return  # connection dropped mid-stream
+                    response = raise_for_error(decode_message(line))
+                    if response.get("done"):
+                        return
+                    event = response.get("event")
+                    if isinstance(event, dict):
+                        yield event
+
+    def ping(self) -> Dict[str, Any]:
+        return self._request({"op": "ping"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to stop gracefully (running jobs requeue)."""
+        return self._request({"op": "shutdown"})
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_interval: float = 0.2,
+        sleep: Any = time.sleep,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final record."""
+        terminal = {state.value for state in TERMINAL_STATES}
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)["job"]
+            if job["state"] in terminal:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServerError(
+                    f"job {job_id} still {job['state']!r} after "
+                    f"{timeout:.0f}s",
+                    kind="conflict",
+                )
+            sleep(poll_interval)
+
+    def wait_until_running(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        poll_interval: float = 0.1,
+        sleep: Any = time.sleep,
+    ) -> Dict[str, Any]:
+        """Poll until the job left the queue (running or terminal)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)["job"]
+            if job["state"] != JobState.QUEUED.value:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServerError(
+                    f"job {job_id} still queued after {timeout:.0f}s",
+                    kind="conflict",
+                )
+            sleep(poll_interval)

@@ -1,0 +1,127 @@
+"""The JSON-lines wire protocol of the campaign job server.
+
+One request per connection: the client sends a single JSON object on
+one line, the server answers with one JSON object per line.  Every
+response carries ``"ok"``; errors carry a machine-readable ``kind``
+plus a human message::
+
+    -> {"op": "submit", "tenant": "team-a", "spec": {...}}
+    <- {"ok": true, "job_id": "j000001-team-a", "state": "queued"}
+
+    -> {"op": "status", "job_id": "nope"}
+    <- {"ok": false, "error": {"kind": "not_found",
+                               "message": "no job 'nope'"}}
+
+The only multi-line response is ``stream``: the server replays (and,
+with ``follow``, keeps tailing) the job's campaign ``events.jsonl``,
+one ``{"ok": true, "event": {...}}`` line per event, terminated by
+``{"ok": true, "done": true}``.
+
+Everything here is transport-agnostic pure data plumbing shared by the
+asyncio service and the synchronous client; only the standard library
+is used.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Union
+
+from repro.errors import AdmissionError, ServerError
+
+#: Protocol revision; servers reject requests from a newer one.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one request/response line (campaign specs are small;
+#: this is a safety valve against a stuck or hostile peer).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Operations the server understands.
+OPS = (
+    "submit",
+    "status",
+    "jobs",
+    "cancel",
+    "result",
+    "stream",
+    "ping",
+    "shutdown",
+)
+
+#: Error kinds a response may carry.
+ERROR_KINDS = (
+    "invalid",
+    "not_found",
+    "conflict",
+    "backpressure",
+    "internal",
+)
+
+
+def encode_message(payload: Mapping[str, Any]) -> bytes:
+    """One protocol line, newline-terminated UTF-8."""
+    return (json.dumps(dict(payload), sort_keys=False) + "\n").encode(
+        "utf-8"
+    )
+
+
+def decode_message(line: Union[str, bytes]) -> Dict[str, Any]:
+    """Parse one protocol line; raises a typed error on junk."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ServerError(
+                f"protocol line exceeds {MAX_LINE_BYTES} bytes",
+                kind="invalid",
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ServerError(
+                f"protocol line is not UTF-8: {exc}", kind="invalid"
+            ) from exc
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServerError(
+            f"protocol line is not valid JSON: {exc}", kind="invalid"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ServerError(
+            "protocol line must be a JSON object", kind="invalid"
+        )
+    return payload
+
+
+def ok_response(**fields: Any) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"ok": True}
+    response.update(fields)
+    return response
+
+
+def error_response(kind: str, message: str) -> Dict[str, Any]:
+    if kind not in ERROR_KINDS:
+        kind = "internal"
+    return {"ok": False, "error": {"kind": kind, "message": message}}
+
+
+def error_for(exc: Exception) -> Dict[str, Any]:
+    """Map an exception onto the wire error shape."""
+    if isinstance(exc, ServerError):
+        return error_response(exc.kind, str(exc))
+    from repro.errors import CampaignError
+
+    if isinstance(exc, CampaignError):
+        return error_response("invalid", str(exc))
+    return error_response("internal", f"{type(exc).__name__}: {exc}")
+
+
+def raise_for_error(response: Mapping[str, Any]) -> Dict[str, Any]:
+    """Client side: turn an error response back into a typed exception."""
+    if response.get("ok"):
+        return dict(response)
+    error = response.get("error") or {}
+    kind = str(error.get("kind", "internal"))
+    message = str(error.get("message", "unknown server error"))
+    if kind == "backpressure":
+        raise AdmissionError(message)
+    raise ServerError(message, kind=kind)

@@ -1,0 +1,213 @@
+"""Weighted fair scheduling with admission control across tenants.
+
+Each tenant owns a FIFO queue (priority-ordered within the tenant:
+higher ``priority`` first, submission order within a priority).  The
+scheduler picks the next job by *weighted fair queuing* on job counts:
+every tenant carries a virtual time that advances by ``1 / weight`` per
+dispatched job, and the tenant with the smallest virtual time among
+those with queued work goes next.  A tenant that becomes active starts
+at the current virtual-time floor, so a newcomer is never starved by a
+flooding tenant — with equal weights, a single job submitted behind a
+10-deep backlog of another tenant is dispatched within one slot
+turnover (the acceptance property ``tests/server/test_scheduler.py``
+pins).
+
+Admission control is explicit backpressure, not silent queuing: a
+submission beyond the tenant's ``quota`` of queued+running jobs, or
+beyond the server-wide ``queue_bound``, raises the typed
+:class:`~repro.errors.AdmissionError` and increments
+``server_admission_rejections_total{tenant}``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import AdmissionError
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.server.jobs import JobState, ServerJob
+
+#: Heap entry: (-priority, enqueue sequence, job).
+_Entry = Tuple[int, int, ServerJob]
+
+
+class Scheduler:
+    """Per-tenant FIFO queues under weighted fair dispatch."""
+
+    def __init__(
+        self,
+        quota: int = 8,
+        queue_bound: int = 64,
+        weights: Optional[Mapping[str, float]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if quota < 1:
+            raise ValueError("tenant quota must be at least 1")
+        if queue_bound < 1:
+            raise ValueError("queue bound must be at least 1")
+        for tenant, weight in (weights or {}).items():
+            if weight <= 0:
+                raise ValueError(
+                    f"tenant weight must be positive, got "
+                    f"{tenant}={weight}"
+                )
+        self.quota = quota
+        self.queue_bound = queue_bound
+        self._weights: Dict[str, float] = dict(weights or {})
+        self._registry = registry if registry is not None else REGISTRY
+        self._queues: Dict[str, List[_Entry]] = {}
+        self._queued: Dict[str, int] = {}
+        self._running: Dict[str, int] = {}
+        self._virtual: Dict[str, float] = {}
+        self._floor = 0.0
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def weight(self, tenant: str) -> float:
+        return self._weights.get(tenant, 1.0)
+
+    def queued_count(self, tenant: str) -> int:
+        return self._queued.get(tenant, 0)
+
+    def running_count(self, tenant: str) -> int:
+        return self._running.get(tenant, 0)
+
+    @property
+    def depth(self) -> int:
+        """Total queued jobs across all tenants."""
+        return sum(self._queued.values())
+
+    def has_work(self) -> bool:
+        return self.depth > 0
+
+    # ------------------------------------------------------------------
+    # Admission + enqueue
+    # ------------------------------------------------------------------
+
+    def admit(self, tenant: str) -> None:
+        """Admission check alone; raises :class:`AdmissionError`.
+
+        Callers that must do work between the check and the enqueue
+        (persisting the job record, preparing its run directory) call
+        this first, then :meth:`submit` with ``enforce=False`` — the
+        server is single-threaded on its event loop, so the check
+        cannot go stale in between.
+        """
+        in_flight = self.queued_count(tenant) + self.running_count(
+            tenant
+        )
+        if in_flight >= self.quota:
+            self._reject(
+                tenant,
+                f"tenant {tenant!r} is at its quota of "
+                f"{self.quota} queued+running jobs",
+            )
+        if self.depth >= self.queue_bound:
+            self._reject(
+                tenant,
+                f"server queue is full "
+                f"({self.queue_bound} jobs queued)",
+            )
+
+    def submit(self, job: ServerJob, enforce: bool = True) -> None:
+        """Enqueue ``job``; with ``enforce`` apply admission control.
+
+        Recovery requeues pass ``enforce=False``: a job that was
+        already admitted before a restart must never bounce off its
+        own quota on the way back in.
+        """
+        tenant = job.tenant
+        if enforce:
+            self.admit(tenant)
+        queue = self._queues.setdefault(tenant, [])
+        if not queue and self.running_count(tenant) == 0:
+            # Newly active tenant: start at the virtual-time floor so
+            # it neither starves (too far ahead) nor claims credit for
+            # its idle past (too far behind).
+            self._virtual[tenant] = max(
+                self._virtual.get(tenant, 0.0), self._floor
+            )
+        heapq.heappush(queue, (-job.priority, next(self._seq), job))
+        self._queued[tenant] = self.queued_count(tenant) + 1
+        self._registry.inc("server_jobs_submitted_total", tenant=tenant)
+        self._update_gauges(tenant)
+
+    def _reject(self, tenant: str, reason: str) -> None:
+        self._registry.inc(
+            "server_admission_rejections_total", tenant=tenant
+        )
+        raise AdmissionError(reason, tenant=tenant)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def next_job(self) -> Optional[ServerJob]:
+        """Pop the next job under weighted fair queuing (or ``None``).
+
+        Entries whose job was cancelled while queued are skipped
+        lazily (their queued count was already released by
+        :meth:`discard`).
+        """
+        while True:
+            tenant = self._pick_tenant()
+            if tenant is None:
+                return None
+            queue = self._queues[tenant]
+            _, _, job = heapq.heappop(queue)
+            if not queue:
+                del self._queues[tenant]
+            if job.state is not JobState.QUEUED:
+                continue  # cancelled while queued
+            self._queued[tenant] = self.queued_count(tenant) - 1
+            self._running[tenant] = self.running_count(tenant) + 1
+            self._floor = self._virtual.get(tenant, 0.0)
+            self._virtual[tenant] = self._floor + 1.0 / self.weight(
+                tenant
+            )
+            self._update_gauges(tenant)
+            return job
+
+    def _pick_tenant(self) -> Optional[str]:
+        """Active tenant with the least virtual time (name tie-break)."""
+        best: Optional[str] = None
+        best_vt = 0.0
+        for tenant, queue in self._queues.items():
+            if not queue:
+                continue
+            vt = self._virtual.get(tenant, 0.0)
+            if best is None or (vt, tenant) < (best_vt, best):
+                best, best_vt = tenant, vt
+        return best
+
+    def release(self, job: ServerJob) -> None:
+        """A dispatched job left its worker slot (any outcome)."""
+        tenant = job.tenant
+        self._running[tenant] = max(0, self.running_count(tenant) - 1)
+        self._update_gauges(tenant)
+
+    def discard(self, job: ServerJob) -> None:
+        """A queued job was cancelled; its heap entry is skipped later."""
+        tenant = job.tenant
+        self._queued[tenant] = max(0, self.queued_count(tenant) - 1)
+        self._update_gauges(tenant)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def _update_gauges(self, tenant: str) -> None:
+        self._registry.set_gauge(
+            "server_jobs_queued", self.queued_count(tenant), tenant=tenant
+        )
+        self._registry.set_gauge(
+            "server_jobs_running",
+            self.running_count(tenant),
+            tenant=tenant,
+        )
+        self._registry.set_gauge("server_queue_depth", self.depth)

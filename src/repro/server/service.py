@@ -1,0 +1,687 @@
+"""The asyncio campaign job server (synthesis-as-a-service).
+
+:class:`CampaignServer` is a long-running, multi-tenant front end to
+the campaign runtime: clients submit campaign specs over a JSON-lines
+Unix-socket protocol (:mod:`repro.server.protocol`), a weighted-fair
+:class:`~repro.server.scheduler.Scheduler` picks what runs next, and a
+bounded pool of worker *slots* executes each job's campaign in a
+subprocess (:mod:`repro.server.worker`) so heavy synthesis never
+stalls the event loop or other tenants.
+
+Durability is delegated downward: the :class:`~repro.server.jobs.JobStore`
+persists every job record atomically, and each job's campaign writes
+its own checkpoints/results/events under ``<state_dir>/runs/<job_id>/``
+through the existing :class:`~repro.runtime.runner.CampaignRunner`
+discipline.  A server killed with ``kill -9`` therefore restarts
+cleanly on the same state directory: stale workers are reclaimed,
+formerly ``running`` jobs are requeued, and their campaigns resume
+*bit-identically* from their latest checkpoints.
+
+Observability: scheduler depth, per-tenant queued/running gauges,
+admission rejections, job wait/run latency histograms and slot
+utilisation all land in the process-global
+:data:`repro.obs.metrics.REGISTRY`, exported into the server's
+``run_summary.json`` after every job completion and on shutdown; the
+server also appends its own lifecycle events to
+``<state_dir>/events.jsonl``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import signal
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from repro.errors import AdmissionError, ServerError
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.summary import write_run_summary
+from repro.runtime.checkpoint import prepare_run_dir, spec_path
+from repro.runtime.events import EVENTS_FILENAME, EventLog, events_path
+from repro.runtime.spec import CampaignSpec
+from repro.server import worker as worker_mod
+from repro.server.jobs import JobState, JobStore, ServerJob, validate_tenant
+from repro.server.protocol import (
+    MAX_LINE_BYTES,
+    decode_message,
+    encode_message,
+    error_for,
+    ok_response,
+)
+from repro.server.scheduler import Scheduler
+from repro.server.workers import (
+    kill_stale_worker,
+    spawn_worker,
+    terminate_worker,
+)
+
+PathLike = Union[str, pathlib.Path]
+
+#: Default socket file name inside a server state directory.
+SOCKET_FILENAME = "server.sock"
+
+#: Scheduler-loop fallback wakeup (the kick event is the fast path).
+_POLL_SECONDS = 0.5
+
+#: Stream-tail poll interval.
+_STREAM_POLL_SECONDS = 0.15
+
+
+class CampaignServer:
+    """A multi-tenant asyncio job server over one state directory.
+
+    Parameters
+    ----------
+    state_dir:
+        Durable home of the job table, per-job campaign run
+        directories, the server event stream and ``run_summary.json``.
+    socket_path:
+        Unix-socket path to serve on; defaults to
+        ``<state_dir>/server.sock``.
+    slots:
+        Worker subprocesses allowed to run concurrently.
+    tenant_quota / queue_bound / tenant_weights:
+        Admission control and fairness knobs, see
+        :class:`~repro.server.scheduler.Scheduler`.
+    """
+
+    def __init__(
+        self,
+        state_dir: PathLike,
+        socket_path: Optional[PathLike] = None,
+        slots: int = 2,
+        tenant_quota: int = 8,
+        queue_bound: int = 64,
+        tenant_weights: Optional[Mapping[str, float]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if slots < 1:
+            raise ServerError(
+                "server needs at least one worker slot", kind="invalid"
+            )
+        self.state_dir = pathlib.Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.socket_path = pathlib.Path(
+            socket_path
+            if socket_path is not None
+            else self.state_dir / SOCKET_FILENAME
+        )
+        self.slots = slots
+        self._clock = clock
+        self._registry = registry if registry is not None else REGISTRY
+        self.store = JobStore(self.state_dir, clock=clock)
+        self.scheduler = Scheduler(
+            quota=tenant_quota,
+            queue_bound=queue_bound,
+            weights=tenant_weights,
+            registry=self._registry,
+        )
+        self._procs: Dict[str, "asyncio.subprocess.Process"] = {}
+        self._reapers: Dict[str, "asyncio.Task[None]"] = {}
+        self._events: Optional[EventLog] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._kick: Optional[asyncio.Event] = None
+        self._draining = False
+        self._started_monotonic = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Serve until SIGTERM/SIGINT/``shutdown`` (blocking)."""
+        asyncio.run(self.serve_forever())
+
+    async def serve_forever(
+        self,
+        ready: Optional[Callable[["CampaignServer"], None]] = None,
+    ) -> None:
+        """Bind, recover, and serve until asked to stop."""
+        loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._kick = asyncio.Event()
+        self._draining = False
+        self._started_monotonic = time.monotonic()
+        self._events = EventLog(
+            self.state_dir / EVENTS_FILENAME, clock=self._clock
+        )
+        self._registry.set_gauge("server_slots_total", self.slots)
+        self._registry.set_gauge("server_slots_busy", 0)
+        try:
+            requeued = self._recover()
+            # A previous incarnation's socket file would make bind fail;
+            # a kill -9 never removes it, so clear it here.
+            if self.socket_path.exists():
+                self.socket_path.unlink()
+            server = await asyncio.start_unix_server(
+                self._handle_client,
+                path=str(self.socket_path),
+                limit=MAX_LINE_BYTES,
+            )
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(
+                        signum, self._stop_event.set
+                    )
+                except (NotImplementedError, ValueError, RuntimeError):
+                    pass  # non-main thread / unsupported loop
+            self._emit(
+                "server_started",
+                pid=os.getpid(),
+                socket=str(self.socket_path),
+                slots=self.slots,
+                requeued_jobs=requeued,
+            )
+            scheduler_task = asyncio.create_task(self._schedule_loop())
+            if ready is not None:
+                ready(self)
+            await self._stop_event.wait()
+            self._draining = True
+            server.close()
+            await server.wait_closed()
+            await self._drain_workers()
+            await scheduler_task
+            self._emit(
+                "server_stopped",
+                pid=os.getpid(),
+                jobs=self.store.counts(),
+            )
+            self._write_summary()
+        finally:
+            if self._events is not None:
+                self._events.close()
+                self._events = None
+            try:
+                self.socket_path.unlink()
+            except OSError:
+                pass
+
+    def stop(self) -> None:
+        """Request a graceful stop (thread-unsafe; use from the loop)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def _recover(self) -> int:
+        """Reload the job table; requeue jobs orphaned by a dead server.
+
+        A job found ``running`` has no live owner in this process:
+        its worker either died with the previous server or is a stale
+        orphan that must be stopped before the job is requeued (two
+        writers on one run directory would corrupt the bit-identical
+        resume).  The campaign's durable checkpoints make the requeue
+        safe — the job resumes exactly where its last snapshot left it.
+        """
+        requeued = 0
+        for job in self.store.jobs():
+            if job.state is JobState.RUNNING:
+                if job.worker_pid is not None:
+                    kill_stale_worker(job.worker_pid)
+                self.store.transition(job, JobState.QUEUED)
+                self._emit(
+                    "job_requeued",
+                    job_id=job.job_id,
+                    tenant=job.tenant,
+                    resumes=job.resumes,
+                )
+                requeued += 1
+            if job.state is JobState.QUEUED:
+                self.scheduler.submit(job, enforce=False)
+        return requeued
+
+    # ------------------------------------------------------------------
+    # Scheduling + worker slots
+    # ------------------------------------------------------------------
+
+    async def _schedule_loop(self) -> None:
+        assert self._stop_event is not None and self._kick is not None
+        while not self._stop_event.is_set():
+            while not self._draining and len(self._procs) < self.slots:
+                job = self.scheduler.next_job()
+                if job is None:
+                    break
+                await self._dispatch(job)
+            self._kick.clear()
+            try:
+                await asyncio.wait_for(
+                    self._kick.wait(), timeout=_POLL_SECONDS
+                )
+            except asyncio.TimeoutError:
+                pass
+
+    async def _dispatch(self, job: ServerJob) -> None:
+        run_dir = self.store.run_dir(job.job_id)
+        self.store.transition(job, JobState.RUNNING)
+        process = await spawn_worker(run_dir, parent_pid=os.getpid())
+        job.worker_pid = process.pid
+        self.store.save(job)
+        self._procs[job.job_id] = process
+        wait_seconds = max(
+            0.0, (job.started_ts or 0.0) - job.submitted_ts
+        )
+        self._registry.observe(
+            "server_job_wait_seconds", wait_seconds, tenant=job.tenant
+        )
+        self._registry.set_gauge("server_slots_busy", len(self._procs))
+        self._emit(
+            "job_dispatched",
+            job_id=job.job_id,
+            tenant=job.tenant,
+            worker_pid=process.pid,
+            wait_seconds=round(wait_seconds, 6),
+        )
+        task = asyncio.create_task(self._reap(job, process))
+        self._reapers[job.job_id] = task
+        task.add_done_callback(
+            lambda _t, job_id=job.job_id: self._reapers.pop(job_id, None)
+        )
+
+    async def _reap(
+        self, job: ServerJob, process: "asyncio.subprocess.Process"
+    ) -> None:
+        code = await process.wait()
+        self._procs.pop(job.job_id, None)
+        self.scheduler.release(job)
+        run_seconds = max(
+            0.0, float(self._clock()) - (job.started_ts or 0.0)
+        )
+        self._registry.inc(
+            "server_slot_busy_seconds_total", run_seconds
+        )
+        self._registry.set_gauge("server_slots_busy", len(self._procs))
+        self._registry.observe(
+            "server_job_run_seconds", run_seconds, tenant=job.tenant
+        )
+        if job.cancel_requested:
+            job.error = None
+            self.store.transition(job, JobState.CANCELLED)
+        elif code == worker_mod.EXIT_OK:
+            job.error = None
+            self.store.transition(job, JobState.DONE)
+        elif code == worker_mod.EXIT_FAILED_JOBS:
+            job.error = "campaign finished with failed jobs"
+            self.store.transition(job, JobState.FAILED)
+        elif self._draining:
+            # We SIGTERMed the worker to shut down; the job's campaign
+            # checkpointed and will resume after the next start.
+            self.store.transition(job, JobState.QUEUED)
+            self._emit(
+                "job_requeued",
+                job_id=job.job_id,
+                tenant=job.tenant,
+                resumes=job.resumes,
+            )
+            self._kick_scheduler()
+            return
+        else:
+            job.error = f"worker exited with code {code}"
+            self.store.transition(job, JobState.FAILED)
+        self._registry.inc(
+            "server_jobs_completed_total", state=job.state.value
+        )
+        self._emit(
+            "job_completed",
+            job_id=job.job_id,
+            tenant=job.tenant,
+            state=job.state.value,
+            exit_code=code,
+            run_seconds=round(run_seconds, 6),
+            error=job.error,
+        )
+        self._write_summary()
+        self._kick_scheduler()
+
+    async def _drain_workers(self) -> None:
+        """SIGTERM every running worker and wait for their reapers."""
+        for process in list(self._procs.values()):
+            if process.returncode is None:
+                process.terminate()
+        pending = [
+            task for task in self._reapers.values() if not task.done()
+        ]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        # Escalation safety net: anything still alive gets killed.
+        for process in list(self._procs.values()):
+            await terminate_worker(process, grace=0.0)
+
+    def _kick_scheduler(self) -> None:
+        if self._kick is not None:
+            self._kick.set()
+
+    # ------------------------------------------------------------------
+    # Protocol connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        shutdown_requested = False
+        try:
+            try:
+                line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError):
+                raise ServerError(
+                    "request line too long", kind="invalid"
+                ) from None
+            if not line:
+                return
+            request = decode_message(line)
+            op = request.get("op")
+            if op == "stream":
+                await self._op_stream(request, writer)
+            else:
+                response = self._dispatch_op(op, request)
+                writer.write(encode_message(response))
+                await writer.drain()
+                shutdown_requested = op == "shutdown" and response.get(
+                    "ok", False
+                )
+        except Exception as exc:  # every failure answers on the wire
+            try:
+                writer.write(encode_message(error_for(exc)))
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+        if shutdown_requested:
+            self.stop()
+
+    def _dispatch_op(
+        self, op: Any, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        if op == "submit":
+            return self._op_submit(request)
+        if op == "status":
+            return self._op_status(request)
+        if op == "jobs":
+            return self._op_jobs(request)
+        if op == "cancel":
+            return self._op_cancel(request)
+        if op == "result":
+            return self._op_result(request)
+        if op == "ping":
+            return ok_response(
+                pong=True,
+                pid=os.getpid(),
+                uptime_seconds=round(self._uptime(), 3),
+            )
+        if op == "shutdown":
+            return ok_response(stopping=True)
+        raise ServerError(f"unknown op {op!r}", kind="invalid")
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def _op_submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        payload = request.get("spec")
+        if not isinstance(payload, dict):
+            raise ServerError(
+                "submit needs a campaign spec object under 'spec'",
+                kind="invalid",
+            )
+        spec = CampaignSpec.from_dict(payload)  # CampaignError -> invalid
+        tenant = validate_tenant(str(request.get("tenant", "default")))
+        try:
+            priority = int(request.get("priority", 0) or 0)
+        except (TypeError, ValueError):
+            raise ServerError(
+                "priority must be an integer", kind="invalid"
+            ) from None
+        try:
+            self.scheduler.admit(tenant)
+        except AdmissionError as exc:
+            self._emit(
+                "job_rejected",
+                tenant=tenant,
+                campaign=spec.name,
+                reason=str(exc),
+            )
+            raise
+        job = self.store.create(spec.to_dict(), tenant, priority)
+        run_dir = prepare_run_dir(self.store.run_dir(job.job_id))
+        spec.save(spec_path(run_dir))
+        self.scheduler.submit(job, enforce=False)
+        self._emit(
+            "job_submitted",
+            job_id=job.job_id,
+            tenant=tenant,
+            campaign=spec.name,
+            priority=priority,
+            total_jobs=len(spec.jobs()),
+        )
+        self._kick_scheduler()
+        return ok_response(job_id=job.job_id, state=job.state.value)
+
+    def _op_status(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = request.get("job_id")
+        if job_id is not None:
+            job = self.store.get(str(job_id))
+            return ok_response(job=job.summary())
+        tenants = sorted(
+            {job.tenant for job in self.store.jobs()}
+        )
+        return ok_response(
+            pid=os.getpid(),
+            socket=str(self.socket_path),
+            uptime_seconds=round(self._uptime(), 3),
+            jobs=self.store.counts(),
+            queue_depth=self.scheduler.depth,
+            slots={"total": self.slots, "busy": len(self._procs)},
+            tenants={
+                tenant: {
+                    "queued": self.scheduler.queued_count(tenant),
+                    "running": self.scheduler.running_count(tenant),
+                    "weight": self.scheduler.weight(tenant),
+                }
+                for tenant in tenants
+            },
+        )
+
+    def _op_jobs(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        tenant = request.get("tenant")
+        jobs = self.store.jobs(
+            tenant=None if tenant is None else str(tenant)
+        )
+        return ok_response(jobs=[job.summary() for job in jobs])
+
+    def _op_cancel(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = request.get("job_id")
+        if not job_id:
+            raise ServerError("cancel needs a job_id", kind="invalid")
+        job = self.store.get(str(job_id))
+        if job.terminal:
+            raise ServerError(
+                f"job {job.job_id} is already {job.state.value}",
+                kind="conflict",
+            )
+        job.cancel_requested = True
+        if job.state is JobState.QUEUED:
+            self.store.transition(job, JobState.CANCELLED)
+            self.scheduler.discard(job)
+            self._registry.inc(
+                "server_jobs_completed_total", state=job.state.value
+            )
+        else:  # running: SIGTERM the worker, the reaper finishes up
+            self.store.save(job)
+            process = self._procs.get(job.job_id)
+            if process is not None and process.returncode is None:
+                asyncio.ensure_future(terminate_worker(process))
+        self._emit(
+            "job_cancel_requested",
+            job_id=job.job_id,
+            tenant=job.tenant,
+            state=job.state.value,
+        )
+        return ok_response(
+            job_id=job.job_id,
+            state=job.state.value,
+            cancel_requested=True,
+        )
+
+    def _op_result(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = request.get("job_id")
+        if not job_id:
+            raise ServerError("result needs a job_id", kind="invalid")
+        job = self.store.get(str(job_id))
+        if not job.terminal:
+            raise ServerError(
+                f"job {job.job_id} is still {job.state.value}",
+                kind="conflict",
+            )
+        from repro.runtime.checkpoint import load_result
+
+        run_dir = self.store.run_dir(job.job_id)
+        spec = CampaignSpec.from_dict(job.spec)
+        results: Dict[str, Any] = {}
+        for campaign_job in spec.jobs():
+            record = load_result(run_dir, campaign_job.job_id)
+            if record is not None:
+                results[campaign_job.job_id] = record
+        summary: Optional[Dict[str, Any]] = None
+        summary_path = run_dir / "run_summary.json"
+        if summary_path.exists():
+            try:
+                summary = json.loads(summary_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                summary = None
+        return ok_response(
+            job=job.summary(), results=results, summary=summary
+        )
+
+    async def _op_stream(
+        self, request: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        """Replay (and optionally follow) one job's campaign events."""
+        job_id = request.get("job_id")
+        if not job_id:
+            raise ServerError("stream needs a job_id", kind="invalid")
+        job = self.store.get(str(job_id))
+        follow = bool(request.get("follow", False))
+        path = events_path(self.store.run_dir(job.job_id))
+        buffer = ""
+        handle = None
+        try:
+            while True:
+                if handle is None:
+                    try:
+                        handle = open(path, "r", encoding="utf-8")
+                    except FileNotFoundError:
+                        if not follow or job.terminal:
+                            break
+                        await asyncio.sleep(_STREAM_POLL_SECONDS)
+                        continue
+                line = handle.readline()
+                if not line:
+                    if not follow or job.terminal:
+                        break
+                    await asyncio.sleep(_STREAM_POLL_SECONDS)
+                    continue
+                buffer += line
+                if not buffer.endswith("\n"):
+                    # Torn tail mid-write: wait for the writer (or drop
+                    # it at end-of-file when not following).
+                    if not follow:
+                        break
+                    continue
+                stripped = buffer.strip()
+                buffer = ""
+                if not stripped:
+                    continue
+                try:
+                    event = json.loads(stripped)
+                except json.JSONDecodeError:
+                    continue
+                writer.write(encode_message(ok_response(event=event)))
+                await writer.drain()
+        finally:
+            if handle is not None:
+                handle.close()
+        writer.write(encode_message(ok_response(done=True)))
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def _uptime(self) -> float:
+        if not self._started_monotonic:
+            return 0.0
+        return max(0.0, time.monotonic() - self._started_monotonic)
+
+    def _emit(self, kind: str, **fields: Any) -> None:
+        if self._events is not None:
+            self._events.emit(kind, **fields)
+
+    def _write_summary(self) -> None:
+        """Best-effort ``run_summary.json`` snapshot in the state dir."""
+        try:
+            write_run_summary(self.state_dir, self.server_summary())
+        except OSError:
+            pass
+
+    def server_summary(self) -> Dict[str, Any]:
+        """The server-shaped summary document (see ``docs/server.md``)."""
+        uptime = self._uptime()
+        busy_seconds = self._registry.counter_value(
+            "server_slot_busy_seconds_total"
+        )
+        capacity = uptime * self.slots
+        tenants: Dict[str, Dict[str, Any]] = {}
+        for job in self.store.jobs():
+            row = tenants.setdefault(
+                job.tenant,
+                {state.value: 0 for state in JobState},
+            )
+            row[job.state.value] += 1
+        return {
+            "version": 1,
+            "kind": "server",
+            "generated_at": round(float(self._clock()), 6),
+            "state_dir": str(self.state_dir),
+            "socket": str(self.socket_path),
+            "uptime_seconds": round(uptime, 3),
+            "jobs": self.store.counts(),
+            "queue_depth": self.scheduler.depth,
+            "slots": {
+                "total": self.slots,
+                "busy": len(self._procs),
+                "busy_seconds": busy_seconds,
+                "utilisation": (
+                    busy_seconds / capacity if capacity > 0 else None
+                ),
+            },
+            "tenants": tenants,
+            "metrics": self._registry.to_dict(),
+        }
+
+
+def serve(
+    state_dir: PathLike,
+    socket_path: Optional[PathLike] = None,
+    slots: int = 2,
+    tenant_quota: int = 8,
+    queue_bound: int = 64,
+    tenant_weights: Optional[Mapping[str, float]] = None,
+) -> None:
+    """Construct a :class:`CampaignServer` and serve until stopped."""
+    CampaignServer(
+        state_dir,
+        socket_path=socket_path,
+        slots=slots,
+        tenant_quota=tenant_quota,
+        queue_bound=queue_bound,
+        tenant_weights=tenant_weights,
+    ).run()
+
+
+__all__: List[str] = ["CampaignServer", "SOCKET_FILENAME", "serve"]

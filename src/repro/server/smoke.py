@@ -1,0 +1,156 @@
+"""End-to-end smoke check for the campaign job server.
+
+``make serve-smoke`` runs this module: it starts a real server
+subprocess (through the ``repro-mm serve`` CLI path), submits a quick
+``mul1`` campaign, polls it to completion, and asserts the served
+result is **identical** to a direct in-process
+:func:`repro.api.run_campaign` of the same spec — the
+serve/submit/worker path must not perturb synthesis outcomes.  Exits
+0 on success, 1 with a diagnostic on any mismatch or timeout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.runtime.spec import CampaignSpec
+from repro.server.client import ServerClient
+from repro.server.service import SOCKET_FILENAME
+from repro.server.workers import worker_env
+from repro.synthesis.config import SynthesisConfig
+
+
+def smoke_spec() -> CampaignSpec:
+    """A seconds-scale campaign: one ``mul1`` cell, both policies."""
+    return CampaignSpec(
+        name="serve-smoke",
+        instances=["mul1"],
+        runs=1,
+        base_seed=7,
+        config=SynthesisConfig(
+            population_size=8,
+            max_generations=6,
+            convergence_generations=4,
+        ),
+        checkpoint_every=2,
+    )
+
+
+def _start_server(state_dir: pathlib.Path) -> "subprocess.Popen[bytes]":
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--state",
+            str(state_dir),
+            "--slots",
+            "1",
+        ],
+        env=worker_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_for_socket(
+    client: ServerClient, server: "subprocess.Popen[bytes]", timeout: float
+) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if server.poll() is not None:
+            raise RuntimeError(
+                f"server exited early with code {server.returncode}"
+            )
+        try:
+            client.ping()
+            return
+        except Exception:
+            time.sleep(0.1)
+    raise RuntimeError(f"server socket not up after {timeout:.0f}s")
+
+
+def run_smoke(timeout: float = 120.0) -> List[str]:
+    """Run the check; returns a list of problems (empty = pass)."""
+    from repro.api import run_campaign
+
+    problems: List[str] = []
+    spec = smoke_spec()
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        root = pathlib.Path(tmp)
+        state_dir = root / "state"
+        state_dir.mkdir()
+        client = ServerClient(state_dir / SOCKET_FILENAME)
+        server = _start_server(state_dir)
+        try:
+            _wait_for_socket(client, server, timeout=30.0)
+            submitted = client.submit(spec, tenant="smoke")
+            job = client.wait(submitted["job_id"], timeout=timeout)
+            if job["state"] != "done":
+                problems.append(
+                    f"served job ended {job['state']!r} "
+                    f"(error: {job.get('error')})"
+                )
+                return problems
+            served = client.result(submitted["job_id"])["results"]
+            reference = run_campaign(spec, run_dir=root / "direct")
+            for campaign_job in spec.jobs():
+                job_id = campaign_job.job_id
+                expected = reference.results[job_id]
+                got: Optional[Dict[str, Any]] = served.get(job_id)
+                if got is None:
+                    problems.append(f"served result missing {job_id}")
+                    continue
+                for field in ("power", "best_genes", "history",
+                              "generations", "evaluations"):
+                    want = getattr(expected, field)
+                    if got.get(field) != want:
+                        problems.append(
+                            f"{job_id}.{field}: served {got.get(field)!r}"
+                            f" != direct {want!r}"
+                        )
+        finally:
+            try:
+                client.shutdown()
+                server.wait(timeout=15)
+            except Exception:
+                server.kill()
+                server.wait()
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-smoke",
+        description="server-vs-direct equivalence smoke check",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="seconds to wait for the served job",
+    )
+    args = parser.parse_args(argv)
+    started = time.perf_counter()
+    problems = run_smoke(timeout=args.timeout)
+    elapsed = time.perf_counter() - started
+    if problems:
+        for problem in problems:
+            print(f"serve-smoke: FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"serve-smoke: OK — served mul1 campaign matches direct "
+        f"run_campaign ({elapsed:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

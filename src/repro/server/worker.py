@@ -1,0 +1,95 @@
+"""Worker subprocess entry point: run one job's campaign to completion.
+
+The server never executes campaigns on its own event loop — each
+dispatched job runs ``python -m repro.server.worker <run_dir>`` in a
+subprocess, so a heavy synthesis cannot stall scheduling or other
+tenants.  The run directory already carries ``spec.json`` (written at
+submit time), so the worker is nothing but
+:func:`repro.runtime.runner.resume_campaign` plus process hygiene:
+
+* **SIGTERM is a graceful stop** — the campaign runner converts it
+  into the interrupt path (checkpoint already durable, summary
+  exported, ``campaign_interrupted`` event emitted) and the worker
+  exits with :data:`EXIT_INTERRUPTED`.
+* **Orphan watchdog** — when ``--parent-pid`` is given, a daemon
+  thread polls the parent: if the server is ``kill -9``-ed, the worker
+  SIGTERMs itself instead of racing a restarted server for the same
+  run directory.
+
+Exit codes: 0 = all campaign jobs completed, :data:`EXIT_FAILED_JOBS`
+= campaign finished but some jobs failed, :data:`EXIT_ERROR` = the
+campaign itself errored, :data:`EXIT_INTERRUPTED` = stopped by
+SIGTERM/Ctrl-C (resumable from checkpoints).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import threading
+import time
+from typing import Optional, Sequence
+
+EXIT_OK = 0
+EXIT_ERROR = 2
+EXIT_FAILED_JOBS = 3
+EXIT_INTERRUPTED = 130
+
+
+def start_orphan_watchdog(
+    parent_pid: int, poll_interval: float = 0.5
+) -> threading.Thread:
+    """SIGTERM ourselves as soon as ``parent_pid`` stops being our parent.
+
+    After a hard kill of the server, ``getppid()`` flips to the reaper
+    (pid 1 or a subreaper); self-delivering SIGTERM then takes the
+    same graceful-stop path a server-initiated cancel takes.
+    """
+
+    def watch() -> None:
+        while True:
+            if os.getppid() != parent_pid:
+                os.kill(os.getpid(), signal.SIGTERM)
+                return
+            time.sleep(poll_interval)
+
+    thread = threading.Thread(
+        target=watch, name="orphan-watchdog", daemon=True
+    )
+    thread.start()
+    return thread
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-server-worker",
+        description="run one server job's campaign (internal entry point)",
+    )
+    parser.add_argument("run_dir", help="campaign run directory")
+    parser.add_argument(
+        "--parent-pid",
+        type=int,
+        default=None,
+        help="SIGTERM self when this process stops being our parent",
+    )
+    args = parser.parse_args(argv)
+    if args.parent_pid is not None:
+        start_orphan_watchdog(args.parent_pid)
+
+    from repro.errors import ReproError
+    from repro.runtime.runner import resume_campaign
+
+    try:
+        outcome = resume_campaign(args.run_dir)
+    except KeyboardInterrupt:
+        return EXIT_INTERRUPTED
+    except ReproError as exc:
+        print(f"worker: campaign error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    return EXIT_FAILED_JOBS if outcome.failures else EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Spawning, terminating and reclaiming campaign worker subprocesses.
+
+The service keeps a bounded number of worker *slots*; each occupied
+slot is one ``python -m repro.server.worker`` subprocess working a
+job's run directory.  This module owns the process plumbing: the
+command line and environment a worker needs (the ``repro`` package
+location is prepended to ``PYTHONPATH`` so a bare-checkout server can
+spawn workers without installation), graceful SIGTERM-then-SIGKILL
+termination, and the startup-time reclamation of *stale* workers — a
+``kill -9``-ed server may leave orphaned workers behind, and exactly
+one writer per run directory is allowed before a job is requeued.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pathlib
+import signal
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Union
+
+PathLike = Union[str, pathlib.Path]
+
+#: File the worker's stderr is appended to inside the job run dir.
+WORKER_LOG_FILENAME = "worker.log"
+
+
+def worker_command(
+    run_dir: PathLike, parent_pid: Optional[int] = None
+) -> List[str]:
+    """Argv for one worker subprocess."""
+    command = [
+        sys.executable,
+        "-m",
+        "repro.server.worker",
+        str(run_dir),
+    ]
+    if parent_pid is not None:
+        command += ["--parent-pid", str(parent_pid)]
+    return command
+
+
+def worker_env() -> Dict[str, str]:
+    """The inherited environment plus an import path for ``repro``.
+
+    Prepending the package parent to ``PYTHONPATH`` lets the worker
+    import the same ``repro`` the server runs, whether installed or
+    imported from a source checkout via ``PYTHONPATH=src``.
+    """
+    import repro
+
+    package_root = str(pathlib.Path(repro.__file__).parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    paths = [package_root] + ([existing] if existing else [])
+    env["PYTHONPATH"] = os.pathsep.join(paths)
+    return env
+
+
+async def spawn_worker(
+    run_dir: PathLike, parent_pid: Optional[int] = None
+) -> "asyncio.subprocess.Process":
+    """Start one worker on ``run_dir``; stderr goes to ``worker.log``."""
+    run_dir = pathlib.Path(run_dir)
+    log_path = run_dir / WORKER_LOG_FILENAME
+    with open(log_path, "ab") as log:
+        return await asyncio.create_subprocess_exec(
+            *worker_command(run_dir, parent_pid=parent_pid),
+            env=worker_env(),
+            stdin=asyncio.subprocess.DEVNULL,
+            stdout=asyncio.subprocess.DEVNULL,
+            stderr=log,
+        )
+
+
+async def terminate_worker(
+    process: "asyncio.subprocess.Process", grace: float = 10.0
+) -> int:
+    """SIGTERM a worker, escalate to SIGKILL after ``grace`` seconds.
+
+    SIGTERM gives the campaign runner its graceful-interrupt path
+    (final checkpoint is already durable, the summary export fires);
+    the escalation bounds shutdown latency.  Returns the exit code.
+    """
+    if process.returncode is not None:
+        return process.returncode
+    process.terminate()
+    try:
+        await asyncio.wait_for(process.wait(), timeout=grace)
+    except asyncio.TimeoutError:
+        process.kill()
+        await process.wait()
+    assert process.returncode is not None
+    return process.returncode
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe (signal 0)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def kill_stale_worker(
+    pid: int,
+    grace: float = 5.0,
+    poll_interval: float = 0.1,
+    sleep: Callable[[float], None] = time.sleep,
+) -> bool:
+    """Stop a worker left over from a previous server incarnation.
+
+    Called during recovery before a formerly ``running`` job is
+    requeued: two workers on one run directory would race each other's
+    checkpoints and break the bit-identical resume guarantee.  SIGTERM
+    first (graceful), SIGKILL after ``grace`` seconds.  Returns whether
+    a live process had to be stopped.
+    """
+    if not pid_alive(pid):
+        return False
+    try:
+        os.kill(pid, signal.SIGTERM)
+    except ProcessLookupError:
+        return False
+    deadline = time.monotonic() + grace
+    while time.monotonic() < deadline:
+        if not pid_alive(pid):
+            return True
+        sleep(poll_interval)
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except ProcessLookupError:
+        return True
+    # Give the kernel a beat to reap; the pid check is best-effort
+    # (the stale worker is a child of the dead server, so init reaps).
+    sleep(poll_interval)
+    return True

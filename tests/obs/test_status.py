@@ -236,6 +236,21 @@ class TestRendering:
         assert "running: b (generation 3)" in text
         assert "failed: c: no mapping" in text
 
+    def test_format_status_fresh_campaign_reports_eta_na(self, tmp_path):
+        # A campaign with zero completed jobs has no timing sample:
+        # the ETA line must say "n/a" explicitly, not a guess.
+        write_events(
+            tmp_path / "events.jsonl",
+            [
+                event("campaign_started", 0, 1.0, campaign="t",
+                      total_jobs=2, pending_jobs=2),
+                event("job_started", 1, 1.0, job_id="a", attempt=1),
+            ],
+        )
+        text = format_status(campaign_status(tmp_path))
+        assert "eta: n/a (no completed jobs yet)" in text
+        assert "unknown" not in text
+
     def test_format_status_finished_has_no_eta(self, tmp_path):
         write_events(
             tmp_path / "events.jsonl",

@@ -1,0 +1,113 @@
+"""Concurrent ``events.jsonl`` access: one writer, one live tailer.
+
+The event stream's contract is append-only JSONL with monotonic
+sequence numbers and atomic-enough line writes: a reader following the
+file while another *process* appends must see every event exactly
+once, in order, with no torn JSON — the torn-tail buffering in
+:func:`repro.obs.status.tail_events` covers a line caught mid-write.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import textwrap
+import time
+
+import repro
+from repro.obs import tail_events
+from repro.runtime.events import read_events
+
+N_EVENTS = 200
+
+WRITER_SCRIPT = textwrap.dedent(
+    """
+    import sys, time
+    from repro.runtime.events import EventLog
+
+    path, count = sys.argv[1], int(sys.argv[2])
+    with EventLog(path) as log:
+        for index in range(count):
+            # A payload long enough that a torn write is observable.
+            log.emit(
+                "generation",
+                job_id="writer",
+                generation=index,
+                note="x" * 200,
+            )
+            if index % 20 == 0:
+                time.sleep(0.002)
+        log.emit("campaign_finished", campaign="concurrent",
+                 completed_jobs=1, failed_jobs=0)
+    """
+)
+
+
+def repro_env():
+    env = dict(os.environ)
+    package_root = str(pathlib.Path(repro.__file__).parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [package_root] + ([existing] if existing else [])
+    )
+    return env
+
+
+def run_writer(path, tmp_path):
+    script = tmp_path / "writer.py"
+    script.write_text(WRITER_SCRIPT)
+    return subprocess.Popen(
+        [sys.executable, str(script), str(path), str(N_EVENTS)],
+        env=repro_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+
+
+def test_follow_while_another_process_appends(tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.touch()  # tail_events needs an existing file to attach to
+    writer = run_writer(path, tmp_path)
+    try:
+        # follow=True buffers torn tails and stops at the terminal
+        # campaign event the writer emits last.
+        events = list(tail_events(path, follow=True, poll_interval=0.01))
+    finally:
+        stderr = writer.communicate(timeout=30)[1]
+    assert writer.returncode == 0, stderr.decode()
+
+    assert len(events) == N_EVENTS + 1
+    assert events[-1]["event"] == "campaign_finished"
+    # Exactly once, in order: seq is contiguous from 0.
+    assert [event["seq"] for event in events] == list(
+        range(N_EVENTS + 1)
+    )
+    # No torn reads: every generation payload arrived intact.
+    for event in events[:-1]:
+        assert event["event"] == "generation"
+        assert event["note"] == "x" * 200
+
+
+def test_read_events_midstream_never_sees_torn_json(tmp_path):
+    # Repeatedly snapshot-read while the writer is mid-flight; the
+    # non-following reader must only ever return complete records.
+    path = tmp_path / "events.jsonl"
+    path.touch()
+    writer = run_writer(path, tmp_path)
+    try:
+        last = 0
+        while writer.poll() is None:
+            snapshot = list(read_events(path))
+            assert len(snapshot) >= last  # append-only, no loss
+            last = len(snapshot)
+            for event in snapshot:
+                assert isinstance(event, dict) and "seq" in event
+            time.sleep(0.005)
+    finally:
+        stderr = writer.communicate(timeout=30)[1]
+    assert writer.returncode == 0, stderr.decode()
+    final = list(read_events(path))
+    assert [event["seq"] for event in final] == list(
+        range(N_EVENTS + 1)
+    )

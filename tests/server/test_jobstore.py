@@ -1,0 +1,178 @@
+"""JobStore durability and the job state machine."""
+
+import json
+
+import pytest
+
+from repro.errors import ServerError
+from repro.server.jobs import (
+    TERMINAL_STATES,
+    JobState,
+    JobStore,
+    ServerJob,
+    validate_tenant,
+)
+
+
+def spec_payload(name="t"):
+    return {"name": name, "instances": ["mul1"], "runs": 1}
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+class TestTenantValidation:
+    def test_accepts_reasonable_names(self):
+        for name in ("a", "team-a", "alice.b_2", "X" * 64):
+            assert validate_tenant(name) == name
+
+    @pytest.mark.parametrize(
+        "bad", ["", "-lead", ".lead", "has space", "a/b", "x" * 65]
+    )
+    def test_rejects_bad_names(self, bad):
+        with pytest.raises(ServerError) as excinfo:
+            validate_tenant(bad)
+        assert excinfo.value.kind == "invalid"
+
+
+class TestCreateAndReload:
+    def test_create_persists_a_queued_record(self, tmp_path):
+        store = JobStore(tmp_path, clock=FakeClock())
+        job = store.create(spec_payload(), "alice", priority=2)
+        assert job.state is JobState.QUEUED
+        assert job.tenant == "alice"
+        assert job.priority == 2
+        on_disk = json.loads(
+            (tmp_path / "jobs" / f"{job.job_id}.json").read_text()
+        )
+        assert on_disk["state"] == "queued"
+        assert on_disk["spec"] == spec_payload()
+
+    def test_job_ids_are_ordered_and_survive_restart(self, tmp_path):
+        store = JobStore(tmp_path)
+        first = store.create(spec_payload(), "a")
+        second = store.create(spec_payload(), "b")
+        assert first.job_id < second.job_id
+        # A new store on the same directory continues the sequence.
+        reloaded = JobStore(tmp_path)
+        third = reloaded.create(spec_payload(), "a")
+        assert third.job_id > second.job_id
+        assert len(reloaded.jobs()) == 3
+
+    def test_reload_preserves_states(self, tmp_path):
+        store = JobStore(tmp_path)
+        done = store.create(spec_payload(), "a")
+        store.transition(done, JobState.RUNNING)
+        store.transition(done, JobState.DONE)
+        queued = store.create(spec_payload(), "a")
+        reloaded = JobStore(tmp_path)
+        assert reloaded.get(done.job_id).state is JobState.DONE
+        assert reloaded.get(queued.job_id).state is JobState.QUEUED
+
+    def test_corrupt_record_is_a_typed_error(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.create(spec_payload(), "a")
+        (tmp_path / "jobs" / f"{job.job_id}.json").write_text("{nope")
+        with pytest.raises(ServerError) as excinfo:
+            JobStore(tmp_path)
+        assert excinfo.value.kind == "invalid"
+
+    def test_unknown_job_is_not_found(self, tmp_path):
+        with pytest.raises(ServerError) as excinfo:
+            JobStore(tmp_path).get("j000001-ghost")
+        assert excinfo.value.kind == "not_found"
+
+
+class TestStateMachine:
+    def test_happy_path_stamps_timestamps(self, tmp_path):
+        store = JobStore(tmp_path, clock=FakeClock())
+        job = store.create(spec_payload(), "a")
+        store.transition(job, JobState.RUNNING)
+        assert job.started_ts is not None
+        store.transition(job, JobState.DONE)
+        assert job.finished_ts is not None and job.terminal
+
+    @pytest.mark.parametrize("terminal", sorted(TERMINAL_STATES,
+                                                key=lambda s: s.value))
+    def test_terminal_states_are_final(self, tmp_path, terminal):
+        store = JobStore(tmp_path)
+        job = store.create(spec_payload(), "a")
+        if terminal is not JobState.CANCELLED:
+            store.transition(job, JobState.RUNNING)
+        store.transition(job, terminal)
+        with pytest.raises(ServerError) as excinfo:
+            store.transition(job, JobState.RUNNING)
+        assert excinfo.value.kind == "conflict"
+
+    def test_queued_cannot_jump_to_done(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.create(spec_payload(), "a")
+        with pytest.raises(ServerError):
+            store.transition(job, JobState.DONE)
+
+    def test_recovery_requeue_clears_worker_and_counts(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.create(spec_payload(), "a")
+        store.transition(job, JobState.RUNNING)
+        job.worker_pid = 4321
+        store.save(job)
+        store.transition(job, JobState.QUEUED)
+        assert job.worker_pid is None
+        assert job.started_ts is None
+        assert job.resumes == 1
+        # And the requeue is durable.
+        assert JobStore(tmp_path).get(job.job_id).resumes == 1
+
+
+class TestQueries:
+    def test_jobs_filters_by_tenant_and_state(self, tmp_path):
+        store = JobStore(tmp_path)
+        a1 = store.create(spec_payload(), "a")
+        store.create(spec_payload(), "b")
+        store.transition(a1, JobState.RUNNING)
+        assert [j.job_id for j in store.jobs(tenant="a")] == [a1.job_id]
+        running = store.jobs(states=[JobState.RUNNING])
+        assert [j.job_id for j in running] == [a1.job_id]
+
+    def test_counts_cover_all_states(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.create(spec_payload(), "a")
+        counts = store.counts()
+        assert counts["queued"] == 1
+        assert set(counts) == {s.value for s in JobState}
+
+    def test_run_dir_lives_under_runs(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.create(spec_payload(), "a")
+        assert store.run_dir(job.job_id) == tmp_path / "runs" / job.job_id
+
+
+class TestRecordRoundTrip:
+    def test_to_from_dict_is_lossless(self):
+        job = ServerJob(
+            job_id="j000007-a",
+            tenant="a",
+            priority=3,
+            spec=spec_payload(),
+            state=JobState.RUNNING,
+            submitted_ts=1.5,
+            started_ts=2.5,
+            worker_pid=99,
+            resumes=2,
+            cancel_requested=True,
+        )
+        assert ServerJob.from_dict(job.to_dict()) == job
+
+    def test_future_version_is_rejected(self):
+        record = ServerJob(
+            job_id="j1-a", tenant="a", priority=0, spec={}
+        ).to_dict()
+        record["version"] = 999
+        with pytest.raises(ServerError):
+            ServerJob.from_dict(record)

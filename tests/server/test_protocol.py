@@ -1,0 +1,101 @@
+"""Wire-protocol encoding, decoding and error mapping."""
+
+import pytest
+
+from repro.errors import AdmissionError, CampaignError, ServerError
+from repro.server.protocol import (
+    ERROR_KINDS,
+    MAX_LINE_BYTES,
+    decode_message,
+    encode_message,
+    error_for,
+    error_response,
+    ok_response,
+    raise_for_error,
+)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        payload = {"op": "submit", "tenant": "a", "spec": {"name": "t"}}
+        line = encode_message(payload)
+        assert line.endswith(b"\n")
+        assert decode_message(line) == payload
+
+    def test_decode_accepts_str_and_bytes(self):
+        assert decode_message('{"op": "ping"}') == {"op": "ping"}
+        assert decode_message(b'{"op": "ping"}\n') == {"op": "ping"}
+
+    @pytest.mark.parametrize(
+        "junk", [b"not json\n", b"[1, 2]\n", b'"just a string"\n']
+    )
+    def test_junk_is_a_typed_invalid_error(self, junk):
+        with pytest.raises(ServerError) as excinfo:
+            decode_message(junk)
+        assert excinfo.value.kind == "invalid"
+
+    def test_non_utf8_is_rejected(self):
+        with pytest.raises(ServerError):
+            decode_message(b"\xff\xfe{}\n")
+
+    def test_oversize_line_is_rejected(self):
+        with pytest.raises(ServerError):
+            decode_message(b"x" * (MAX_LINE_BYTES + 1))
+
+
+class TestResponses:
+    def test_ok_response_carries_fields(self):
+        assert ok_response(job_id="j1") == {"ok": True, "job_id": "j1"}
+
+    def test_error_response_shape(self):
+        response = error_response("not_found", "no job")
+        assert response == {
+            "ok": False,
+            "error": {"kind": "not_found", "message": "no job"},
+        }
+
+    def test_unknown_kind_collapses_to_internal(self):
+        assert (
+            error_response("weird", "m")["error"]["kind"] == "internal"
+        )
+
+
+class TestErrorFor:
+    def test_server_error_keeps_its_kind(self):
+        for kind in ERROR_KINDS:
+            response = error_for(ServerError("boom", kind=kind))
+            assert response["error"]["kind"] == kind
+
+    def test_admission_error_is_backpressure(self):
+        response = error_for(AdmissionError("full", tenant="a"))
+        assert response["error"]["kind"] == "backpressure"
+
+    def test_campaign_error_maps_to_invalid(self):
+        response = error_for(CampaignError("bad spec"))
+        assert response["error"]["kind"] == "invalid"
+
+    def test_anything_else_is_internal(self):
+        response = error_for(RuntimeError("boom"))
+        assert response["error"]["kind"] == "internal"
+        assert "RuntimeError" in response["error"]["message"]
+
+
+class TestRaiseForError:
+    def test_ok_passes_through(self):
+        assert raise_for_error({"ok": True, "x": 1}) == {
+            "ok": True,
+            "x": 1,
+        }
+
+    def test_backpressure_raises_admission_error(self):
+        with pytest.raises(AdmissionError):
+            raise_for_error(error_response("backpressure", "full"))
+
+    def test_other_kinds_raise_server_error_with_kind(self):
+        with pytest.raises(ServerError) as excinfo:
+            raise_for_error(error_response("conflict", "nope"))
+        assert excinfo.value.kind == "conflict"
+
+    def test_malformed_error_still_raises(self):
+        with pytest.raises(ServerError):
+            raise_for_error({"ok": False})

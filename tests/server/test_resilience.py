@@ -1,0 +1,171 @@
+"""Crash resilience: ``kill -9`` the server mid-campaign, restart, resume.
+
+The ISSUE acceptance scenario: a server killed hard with SIGKILL while
+a job's campaign is mid-flight must, on restart over the same state
+directory, reclaim the orphaned worker, requeue the job, and finish it
+with results **bit-identical** to an uninterrupted run of the same
+spec.  The durable pieces under test: atomic job records, campaign
+checkpoints (with GA RNG state), and the worker orphan watchdog that
+prevents two writers on one run directory.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.api import run_campaign
+from repro.errors import ServerError
+from repro.runtime.spec import CampaignSpec
+from repro.server.client import ServerClient
+from repro.server.jobs import JOBS_DIRNAME
+from repro.server.service import SOCKET_FILENAME
+from repro.server.workers import pid_alive, worker_env
+from repro.synthesis.config import SynthesisConfig
+
+
+def durable_spec():
+    """Long enough to be killed mid-flight, checkpointing every gen."""
+    return CampaignSpec(
+        name="killable",
+        instances=["mul1"],
+        runs=1,
+        base_seed=11,
+        config=SynthesisConfig(
+            population_size=10,
+            max_generations=60,
+            convergence_generations=60,
+        ),
+        checkpoint_every=1,
+    )
+
+
+def start_server(state_dir):
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--state",
+            str(state_dir),
+            "--slots",
+            "1",
+        ],
+        env=worker_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for_ping(client, process, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"server died early (code {process.returncode})"
+            )
+        try:
+            client.ping()
+            return
+        except ServerError:
+            time.sleep(0.05)
+    raise AssertionError("server socket never came up")
+
+
+def wait_for_checkpoint(run_dir, timeout=60.0):
+    """Block until the job's campaign wrote at least one checkpoint."""
+    events = pathlib.Path(run_dir) / "events.jsonl"
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if events.exists():
+            for line in events.read_text().splitlines():
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if event.get("event") == "checkpointed":
+                    return event
+        time.sleep(0.05)
+    raise AssertionError("no checkpoint appeared in time")
+
+
+def wait_for_pid_death(pid, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not pid_alive(pid):
+            return
+        time.sleep(0.1)
+    raise AssertionError(f"pid {pid} still alive after {timeout:.0f}s")
+
+
+@pytest.mark.slow
+def test_kill_dash_nine_then_restart_resumes_bit_identically(tmp_path):
+    spec = durable_spec()
+    reference = run_campaign(spec, run_dir=tmp_path / "direct")
+    assert not reference.failures
+
+    state_dir = tmp_path / "state"
+    state_dir.mkdir()
+    client = ServerClient(state_dir / SOCKET_FILENAME, timeout=30.0)
+
+    # Phase 1: serve, submit, let the campaign checkpoint, kill -9.
+    server = start_server(state_dir)
+    try:
+        wait_for_ping(client, server)
+        submitted = client.submit(spec, tenant="crash")
+        job_id = submitted["job_id"]
+        client.wait_until_running(job_id, timeout=60.0)
+        wait_for_checkpoint(state_dir / "runs" / job_id)
+    except BaseException:
+        server.kill()
+        server.wait()
+        raise
+    os.kill(server.pid, signal.SIGKILL)
+    server.wait()
+
+    # The durable record still says "running" — nobody was alive to
+    # transition it — and names the orphaned worker's pid.
+    record = json.loads(
+        (state_dir / JOBS_DIRNAME / f"{job_id}.json").read_text()
+    )
+    assert record["state"] == "running"
+    worker_pid = record["worker_pid"]
+    assert worker_pid is not None
+    # The orphan watchdog notices the dead parent and stops the worker
+    # (its poll period is 0.5 s) — no second writer can race the
+    # restarted server's own worker on this run directory.
+    wait_for_pid_death(worker_pid)
+
+    # Phase 2: restart on the same state directory; the job must be
+    # requeued, resumed from its checkpoint, and finished.
+    server = start_server(state_dir)
+    try:
+        wait_for_ping(client, server)
+        job = client.wait(job_id, timeout=180.0)
+        assert job["state"] == "done", job.get("error")
+        assert job["resumes"] >= 1
+        served = client.result(job_id)["results"]
+    finally:
+        try:
+            client.shutdown()
+            server.wait(timeout=15)
+        except Exception:
+            server.kill()
+            server.wait()
+
+    # Bit-identical to the never-interrupted reference run, on the
+    # same contract the campaign-resume tests pin: the synthesis
+    # outcome (power, genes, fitness history, generation count).  The
+    # ``evaluations`` counter is excluded — it reflects in-memory
+    # cache warmth, which a process restart legitimately resets.
+    for campaign_job in spec.jobs():
+        got = served[campaign_job.job_id]
+        expected = reference.results[campaign_job.job_id]
+        for field in ("power", "best_genes", "history", "generations"):
+            assert got[field] == getattr(expected, field), field

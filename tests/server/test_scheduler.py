@@ -1,0 +1,209 @@
+"""Weighted fair scheduling and admission control."""
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.obs.metrics import MetricsRegistry
+from repro.server.jobs import JobState, ServerJob
+
+
+def make_job(tenant, n, priority=0):
+    return ServerJob(
+        job_id=f"j{n:06d}-{tenant}",
+        tenant=tenant,
+        priority=priority,
+        spec={"name": "t"},
+    )
+
+
+def make_scheduler(**kwargs):
+    from repro.server.scheduler import Scheduler
+
+    kwargs.setdefault("registry", MetricsRegistry())
+    return Scheduler(**kwargs)
+
+
+class TestOrdering:
+    def test_single_tenant_is_fifo(self):
+        scheduler = make_scheduler()
+        jobs = [make_job("a", n) for n in range(3)]
+        for job in jobs:
+            scheduler.submit(job)
+        picked = [scheduler.next_job() for _ in range(3)]
+        assert picked == jobs
+        assert scheduler.next_job() is None
+
+    def test_priority_wins_within_a_tenant(self):
+        scheduler = make_scheduler()
+        low = make_job("a", 0, priority=0)
+        high = make_job("a", 1, priority=5)
+        scheduler.submit(low)
+        scheduler.submit(high)
+        assert scheduler.next_job() is high
+        assert scheduler.next_job() is low
+
+    def test_round_robin_with_equal_weights(self):
+        scheduler = make_scheduler()
+        for n in range(2):
+            scheduler.submit(make_job("a", n))
+            scheduler.submit(make_job("b", n + 10))
+        order = [scheduler.next_job().tenant for _ in range(4)]
+        assert order == ["a", "b", "a", "b"]
+
+    def test_weights_bias_dispatch_share(self):
+        scheduler = make_scheduler(weights={"big": 2.0}, quota=50)
+        for n in range(20):
+            scheduler.submit(make_job("big", n))
+            scheduler.submit(make_job("small", n + 100))
+        first_nine = [scheduler.next_job().tenant for _ in range(9)]
+        # Weight 2 vs 1 -> "big" gets roughly two dispatches per one.
+        assert first_nine.count("big") == 6
+        assert first_nine.count("small") == 3
+
+
+class TestFairnessAcceptance:
+    def test_newcomer_is_not_starved_by_a_flood(self):
+        # The ISSUE.md acceptance property: tenant A floods 10 jobs;
+        # tenant B then submits one.  B must be dispatched within one
+        # slot turnover, i.e. B is the very next pick.
+        scheduler = make_scheduler(quota=20)
+        flood = [make_job("a", n) for n in range(10)]
+        for job in flood:
+            scheduler.submit(job)
+        assert scheduler.next_job() is flood[0]
+        late = make_job("b", 99)
+        scheduler.submit(late)
+        assert scheduler.next_job() is late
+
+    def test_newcomer_gets_no_credit_for_idle_past(self):
+        # After B's single job, A must keep draining — B's virtual
+        # time started at the floor, not at zero.
+        scheduler = make_scheduler(quota=20)
+        flood = [make_job("a", n) for n in range(10)]
+        for job in flood:
+            scheduler.submit(job)
+        scheduler.next_job()
+        scheduler.submit(make_job("b", 99))
+        scheduler.next_job()  # b
+        assert scheduler.next_job().tenant == "a"
+
+
+class TestAdmission:
+    def test_quota_rejection_is_typed_and_counted(self):
+        registry = MetricsRegistry()
+        scheduler = make_scheduler(quota=2, registry=registry)
+        scheduler.submit(make_job("a", 0))
+        scheduler.submit(make_job("a", 1))
+        with pytest.raises(AdmissionError) as excinfo:
+            scheduler.submit(make_job("a", 2))
+        assert excinfo.value.kind == "backpressure"
+        assert excinfo.value.tenant == "a"
+        assert (
+            registry.counter_value(
+                "server_admission_rejections_total", tenant="a"
+            )
+            == 1
+        )
+
+    def test_running_jobs_count_against_the_quota(self):
+        scheduler = make_scheduler(quota=2)
+        scheduler.submit(make_job("a", 0))
+        scheduler.submit(make_job("a", 1))
+        dispatched = scheduler.next_job()
+        dispatched.state = JobState.RUNNING
+        with pytest.raises(AdmissionError):
+            scheduler.admit("a")
+        # Releasing the slot frees quota again.
+        scheduler.release(dispatched)
+        scheduler.admit("a")
+
+    def test_global_queue_bound_rejects_any_tenant(self):
+        registry = MetricsRegistry()
+        scheduler = make_scheduler(
+            quota=100, queue_bound=3, registry=registry
+        )
+        for n in range(3):
+            scheduler.submit(make_job(f"t{n}", n))
+        with pytest.raises(AdmissionError) as excinfo:
+            scheduler.submit(make_job("late", 9))
+        assert "queue is full" in str(excinfo.value)
+        assert (
+            registry.counter_value(
+                "server_admission_rejections_total", tenant="late"
+            )
+            == 1
+        )
+
+    def test_enforce_false_bypasses_admission(self):
+        scheduler = make_scheduler(quota=1)
+        scheduler.submit(make_job("a", 0))
+        scheduler.submit(make_job("a", 1), enforce=False)
+        assert scheduler.depth == 2
+
+    def test_rejected_job_is_not_enqueued(self):
+        scheduler = make_scheduler(quota=1)
+        scheduler.submit(make_job("a", 0))
+        with pytest.raises(AdmissionError):
+            scheduler.submit(make_job("a", 1))
+        assert scheduler.depth == 1
+
+
+class TestCancelAndGauges:
+    def test_discarded_queued_job_is_skipped(self):
+        scheduler = make_scheduler()
+        first = make_job("a", 0)
+        second = make_job("a", 1)
+        scheduler.submit(first)
+        scheduler.submit(second)
+        first.state = JobState.CANCELLED
+        scheduler.discard(first)
+        assert scheduler.depth == 1
+        assert scheduler.next_job() is second
+        assert scheduler.next_job() is None
+
+    def test_gauges_track_queue_and_running(self):
+        registry = MetricsRegistry()
+        scheduler = make_scheduler(registry=registry)
+        job = make_job("a", 0)
+        scheduler.submit(job)
+        assert (
+            registry.gauge_value("server_jobs_queued", tenant="a") == 1
+        )
+        assert registry.gauge_value("server_queue_depth") == 1
+        scheduler.next_job()
+        assert (
+            registry.gauge_value("server_jobs_queued", tenant="a") == 0
+        )
+        assert (
+            registry.gauge_value("server_jobs_running", tenant="a") == 1
+        )
+        scheduler.release(job)
+        assert (
+            registry.gauge_value("server_jobs_running", tenant="a") == 0
+        )
+
+    def test_submissions_are_counted(self):
+        registry = MetricsRegistry()
+        scheduler = make_scheduler(registry=registry)
+        scheduler.submit(make_job("a", 0))
+        assert (
+            registry.counter_value(
+                "server_jobs_submitted_total", tenant="a"
+            )
+            == 1
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"quota": 0},
+            {"queue_bound": 0},
+            {"weights": {"a": 0.0}},
+            {"weights": {"a": -1.0}},
+        ],
+    )
+    def test_bad_knobs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            make_scheduler(**kwargs)

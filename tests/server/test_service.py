@@ -1,0 +1,228 @@
+"""End-to-end service tests: a real server on a real Unix socket.
+
+The server runs on a background thread inside the test process (with
+its own metrics registry); its workers are genuine subprocesses, so
+these tests exercise the full submit -> schedule -> worker -> result
+path including the durable job records on disk.
+"""
+
+import contextlib
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import run_campaign
+from repro.errors import AdmissionError, ServerError
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.spec import CampaignSpec
+from repro.server.client import ServerClient
+from repro.server.service import CampaignServer
+from repro.synthesis.config import SynthesisConfig
+
+
+def quick_spec(name="served", seed=7, **overrides):
+    values = dict(
+        name=name,
+        instances=["mul1"],
+        runs=1,
+        base_seed=seed,
+        config=SynthesisConfig(
+            population_size=8,
+            max_generations=6,
+            convergence_generations=4,
+        ),
+        checkpoint_every=2,
+    )
+    values.update(overrides)
+    return CampaignSpec(**values)
+
+
+def slow_spec(**overrides):
+    """A job that runs long enough to still be up when we poke it."""
+    overrides.setdefault(
+        "config",
+        SynthesisConfig(
+            population_size=10,
+            max_generations=500,
+            convergence_generations=500,
+        ),
+    )
+    overrides.setdefault("checkpoint_every", 1)
+    return quick_spec(name="slow", **overrides)
+
+
+@contextlib.contextmanager
+def running_server(state_dir, **kwargs):
+    kwargs.setdefault("slots", 1)
+    kwargs.setdefault("registry", MetricsRegistry())
+    server = CampaignServer(state_dir, **kwargs)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    client = ServerClient(server.socket_path, timeout=30.0)
+    deadline = time.monotonic() + 15.0
+    while True:
+        try:
+            client.ping()
+            break
+        except ServerError:
+            if time.monotonic() >= deadline:
+                raise RuntimeError("server did not come up")
+            time.sleep(0.05)
+    try:
+        yield server, client
+    finally:
+        with contextlib.suppress(ServerError):
+            client.shutdown()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive(), "server thread failed to stop"
+
+
+class TestLifecycle:
+    def test_ping_and_overview_status(self, tmp_path):
+        with running_server(tmp_path / "state") as (server, client):
+            pong = client.ping()
+            assert pong["pong"] is True
+            overview = client.status()
+            assert overview["slots"] == {"total": 1, "busy": 0}
+            assert overview["jobs"]["queued"] == 0
+            assert overview["queue_depth"] == 0
+
+    def test_shutdown_removes_socket_and_writes_summary(self, tmp_path):
+        state = tmp_path / "state"
+        with running_server(state) as (server, client):
+            pass
+        assert not server.socket_path.exists()
+        summary = json.loads((state / "run_summary.json").read_text())
+        assert summary["kind"] == "server"
+        assert "metrics" in summary
+
+
+class TestSubmitAndRun:
+    def test_served_job_matches_direct_campaign(self, tmp_path):
+        spec = quick_spec()
+        with running_server(tmp_path / "state") as (server, client):
+            submitted = client.submit(spec, tenant="alice")
+            assert submitted["state"] == "queued"
+            job = client.wait(submitted["job_id"], timeout=120.0)
+            assert job["state"] == "done", job.get("error")
+            served = client.result(submitted["job_id"])
+        reference = run_campaign(spec, run_dir=tmp_path / "direct")
+        for campaign_job in spec.jobs():
+            got = served["results"][campaign_job.job_id]
+            expected = reference.results[campaign_job.job_id]
+            for field in ("power", "best_genes", "history",
+                          "generations", "evaluations"):
+                assert got[field] == getattr(expected, field), field
+
+    def test_stream_replays_campaign_events(self, tmp_path):
+        with running_server(tmp_path / "state") as (server, client):
+            submitted = client.submit(quick_spec(), tenant="alice")
+            client.wait(submitted["job_id"], timeout=120.0)
+            events = list(client.stream(submitted["job_id"]))
+        kinds = [event.get("event") for event in events]
+        assert "campaign_started" in kinds
+        assert "campaign_finished" in kinds
+        seqs = [event["seq"] for event in events]
+        assert seqs == sorted(seqs)
+
+    def test_latency_and_completion_metrics_recorded(self, tmp_path):
+        registry = MetricsRegistry()
+        state = tmp_path / "state"
+        with running_server(state, registry=registry) as (
+            server,
+            client,
+        ):
+            submitted = client.submit(quick_spec(), tenant="alice")
+            client.wait(submitted["job_id"], timeout=120.0)
+        assert (
+            registry.counter_value(
+                "server_jobs_completed_total", state="done"
+            )
+            == 1
+        )
+        wait_hist = registry.histogram_data(
+            "server_job_wait_seconds", tenant="alice"
+        )
+        run_hist = registry.histogram_data(
+            "server_job_run_seconds", tenant="alice"
+        )
+        assert wait_hist.count == 1 and run_hist.count == 1
+        assert registry.counter_value("server_slot_busy_seconds_total") > 0
+        summary = json.loads((state / "run_summary.json").read_text())
+        counters = summary["metrics"]["counters"]
+        assert counters["server_jobs_completed_total{state=done}"] == 1
+
+
+class TestErrors:
+    def test_invalid_spec_is_a_typed_invalid_error(self, tmp_path):
+        with running_server(tmp_path / "state") as (server, client):
+            with pytest.raises(ServerError) as excinfo:
+                client.submit({"name": "broken"})
+            assert excinfo.value.kind == "invalid"
+
+    def test_bad_tenant_rejected_before_anything_persists(self, tmp_path):
+        state = tmp_path / "state"
+        with running_server(state) as (server, client):
+            with pytest.raises(ServerError) as excinfo:
+                client.submit(quick_spec(), tenant="has space")
+            assert excinfo.value.kind == "invalid"
+            assert client.jobs() == []
+
+    def test_unknown_job_is_not_found(self, tmp_path):
+        with running_server(tmp_path / "state") as (server, client):
+            with pytest.raises(ServerError) as excinfo:
+                client.status("j000042-ghost")
+            assert excinfo.value.kind == "not_found"
+
+    def test_result_of_queued_job_is_a_conflict(self, tmp_path):
+        with running_server(tmp_path / "state") as (server, client):
+            first = client.submit(slow_spec(), tenant="a")
+            second = client.submit(quick_spec(), tenant="a")
+            with pytest.raises(ServerError) as excinfo:
+                client.result(second["job_id"])
+            assert excinfo.value.kind == "conflict"
+
+
+class TestAdmissionControl:
+    def test_quota_rejection_reaches_the_client_typed(self, tmp_path):
+        registry = MetricsRegistry()
+        with running_server(
+            tmp_path / "state", tenant_quota=1, registry=registry
+        ) as (server, client):
+            client.submit(slow_spec(), tenant="flood")
+            with pytest.raises(AdmissionError) as excinfo:
+                client.submit(quick_spec(), tenant="flood")
+            assert excinfo.value.kind == "backpressure"
+            assert (
+                registry.counter_value(
+                    "server_admission_rejections_total", tenant="flood"
+                )
+                == 1
+            )
+            # Another tenant is unaffected by flood's quota.
+            other = client.submit(quick_spec(), tenant="calm")
+            assert other["state"] == "queued"
+
+
+class TestCancel:
+    def test_cancel_queued_job(self, tmp_path):
+        with running_server(tmp_path / "state") as (server, client):
+            client.submit(slow_spec(), tenant="a")
+            queued = client.submit(quick_spec(), tenant="a")
+            response = client.cancel(queued["job_id"])
+            assert response["state"] == "cancelled"
+            job = client.status(queued["job_id"])["job"]
+            assert job["state"] == "cancelled"
+            with pytest.raises(ServerError) as excinfo:
+                client.cancel(queued["job_id"])
+            assert excinfo.value.kind == "conflict"
+
+    def test_cancel_running_job_stops_its_worker(self, tmp_path):
+        with running_server(tmp_path / "state") as (server, client):
+            submitted = client.submit(slow_spec(), tenant="a")
+            client.wait_until_running(submitted["job_id"], timeout=60.0)
+            client.cancel(submitted["job_id"])
+            job = client.wait(submitted["job_id"], timeout=60.0)
+            assert job["state"] == "cancelled"
