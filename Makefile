@@ -3,11 +3,13 @@
 PYTHON ?= python
 
 # Floor for the async work-stealing arm's mean pool utilisation in
-# `make bench-smoke`.  0.85 assumes >= `--jobs` free cores; on smaller
-# machines (e.g. a 1-CPU container) the OS serialises the workers and
-# the honest figure is lower — override per machine:
+# `make bench-smoke`.  `auto` (default) derives it from os.cpu_count()
+# vs --jobs: 0.85 with >= `--jobs` free cores, scaled down (floor 0.25)
+# on smaller machines (e.g. a 1-CPU container) where the OS serialises
+# the workers and the honest figure is lower.  Override per machine
+# with a number, or disable with `off`:
 #     make bench-smoke MIN_ASYNC_UTILISATION=0.40
-MIN_ASYNC_UTILISATION ?= 0.85
+MIN_ASYNC_UTILISATION ?= auto
 
 .PHONY: install test test-fast lint typecheck bench bench-fast bench-smoke serve-smoke tables examples verify clean
 

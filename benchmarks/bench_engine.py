@@ -37,6 +37,14 @@ wall-clock speedups:
     rate tracks the serial one instead of degrading after fork.
     Reported alongside its mean pool utilisation (busy time over the
     dispatch-window capacity) and parallel mode-cache hit rate.
+``speculative``
+    ``async`` plus ``speculative=True`` — the async pool additionally
+    evaluates *predicted* next-generation genomes during the parent's
+    breeding window (:mod:`repro.synthesis.speculation`).  The earlier
+    pool arms pin ``speculative=False``, so the lift in pool
+    utilisation (and wall clock) over ``async`` is speculation's own
+    contribution.  On a single-core host the breeding window has no
+    idle worker to fill, so the lift gate auto-skips there.
 
 The *headline* cases run the gradient PV-DVS inner loop — the paper's
 proposed technique and by far the hottest decode phase; no-DVS cases
@@ -61,6 +69,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import pathlib
 import sys
 import time
@@ -194,11 +203,15 @@ def run_case(
             ),
             "pool": base.with_updates(
                 decode_cache=True, mode_cache=True, jobs=jobs,
-                vector_dvs=False, async_pool=False,
+                vector_dvs=False, async_pool=False, speculative=False,
             ),
             "async": base.with_updates(
                 decode_cache=True, mode_cache=True, jobs=jobs,
-                vector_dvs=True, async_pool=True,
+                vector_dvs=True, async_pool=True, speculative=False,
+            ),
+            "speculative": base.with_updates(
+                decode_cache=True, mode_cache=True, jobs=jobs,
+                vector_dvs=True, async_pool=True, speculative=True,
             ),
         },
         repeats,
@@ -211,6 +224,7 @@ def run_case(
         times["pool"],
         times["async"],
     )
+    spec_s = times["speculative"]
     legacy, serial, incremental, vectored, pooled, asynced = (
         results["legacy"],
         results["serial"],
@@ -219,6 +233,7 @@ def run_case(
         results["pool"],
         results["async"],
     )
+    speculated = results["speculative"]
 
     identical = (
         legacy.best.metrics.fitness
@@ -227,21 +242,25 @@ def run_case(
         == vectored.best.metrics.fitness
         == pooled.best.metrics.fitness
         == asynced.best.metrics.fitness
+        == speculated.best.metrics.fitness
         and legacy.history
         == serial.history
         == incremental.history
         == vectored.history
         == pooled.history
         == asynced.history
+        == speculated.history
         and legacy.evaluations
         == serial.evaluations
         == incremental.evaluations
         == vectored.evaluations
         == pooled.evaluations
         == asynced.evaluations
+        == speculated.evaluations
     )
     perf = pooled.perf
     async_perf = asynced.perf
+    spec_perf = speculated.perf
     inc_perf = incremental.perf
     case: Dict[str, object] = {
         "name": name,
@@ -285,6 +304,31 @@ def run_case(
             if async_perf is not None
             else None
         ),
+        "engine_speculative_seconds": round(spec_s, 4),
+        # Speculation's own contribution: the async pool with the
+        # breeding window filled by predicted evaluations vs the same
+        # pool idling through it.
+        "speedup_speculative": round(async_s / spec_s, 4),
+        "speedup_speculative_vs_legacy": round(legacy_s / spec_s, 4),
+        "speculative_pool_utilisation": (
+            round(spec_perf.pool_utilisation, 4)
+            if spec_perf is not None
+            else None
+        ),
+        "speculation_issued": (
+            spec_perf.speculation_issued if spec_perf is not None else None
+        ),
+        "speculation_hits": (
+            spec_perf.speculation_hits if spec_perf is not None else None
+        ),
+        "speculation_discards": (
+            spec_perf.speculation_discards if spec_perf is not None else None
+        ),
+        "speculation_hit_rate": (
+            round(spec_perf.speculation_hit_rate, 4)
+            if spec_perf is not None
+            else None
+        ),
         "mode_cache_hit_rate": (
             round(inc_perf.mode_cache_hit_rate, 4)
             if inc_perf is not None
@@ -299,6 +343,9 @@ def run_case(
         "perf_parallel": perf.to_dict() if perf is not None else None,
         "perf_async": (
             async_perf.to_dict() if async_perf is not None else None
+        ),
+        "perf_speculative": (
+            spec_perf.to_dict() if spec_perf is not None else None
         ),
     }
     return case
@@ -357,6 +404,11 @@ def build_report(args: argparse.Namespace) -> Dict[str, object]:
             f"({case['speedup_async']:.2f}x vs vector, "
             f"utilisation {case['async_pool_utilisation']}, "
             f"{case['async_pool_steals']} steals), "
+            f"speculative {case['engine_speculative_seconds']:.2f}s "
+            f"({case['speedup_speculative']:.2f}x vs async, "
+            f"utilisation {case['speculative_pool_utilisation']}, "
+            f"{case['speculation_hits']}/{case['speculation_issued']} "
+            f"hits), "
             f"identical={case['identical']}",
             flush=True,
         )
@@ -370,11 +422,21 @@ def build_report(args: argparse.Namespace) -> Dict[str, object]:
     ]
     headline_vector = [c["speedup_vector"] for c in cases if c["headline"]]
     headline_async = [c["speedup_async"] for c in cases if c["headline"]]
+    headline_speculative = [
+        c["speedup_speculative"] for c in cases if c["headline"]
+    ]
     utilisations = [
         c["async_pool_utilisation"]
         for c in cases
         if c["async_pool_utilisation"] is not None
     ]
+    spec_utilisations = [
+        c["speculative_pool_utilisation"]
+        for c in cases
+        if c["speculative_pool_utilisation"] is not None
+    ]
+    spec_issued = sum(c["speculation_issued"] or 0 for c in cases)
+    spec_hits = sum(c["speculation_hits"] or 0 for c in cases)
     hit_rate_deltas = [
         abs(c["async_mode_cache_hit_rate"] - c["mode_cache_hit_rate"])
         for c in cases
@@ -397,6 +459,19 @@ def build_report(args: argparse.Namespace) -> Dict[str, object]:
         ),
         "mean_async_pool_utilisation": (
             sum(utilisations) / len(utilisations) if utilisations else None
+        ),
+        "headline_geomean_speedup_speculative": _geomean(
+            headline_speculative
+        ),
+        "mean_speculative_pool_utilisation": (
+            sum(spec_utilisations) / len(spec_utilisations)
+            if spec_utilisations
+            else None
+        ),
+        "speculation_issued": spec_issued,
+        "speculation_hits": spec_hits,
+        "speculation_hit_rate": (
+            spec_hits / spec_issued if spec_issued else None
         ),
         # Worst-case |async − serial| mode-cache hit-rate gap: the
         # cross-worker publication protocol should keep the parallel
@@ -431,6 +506,29 @@ def build_report(args: argparse.Namespace) -> Dict[str, object]:
         "cases": cases,
         "aggregate": aggregate,
     }
+
+
+def resolve_utilisation_floor(value: str, jobs: int) -> Optional[float]:
+    """Turn ``--min-async-utilisation`` into a numeric floor.
+
+    ``"auto"`` derives the floor from how much hardware parallelism the
+    host can actually give ``jobs`` workers: with at least one core per
+    worker the historical 0.85 floor applies unchanged; on smaller
+    hosts (CI containers are often single-core) the workers time-share
+    cores, the dispatch-window capacity ``window × jobs`` overstates
+    what the host can deliver by ``jobs / cpus``, and the floor scales
+    down accordingly — clamped to 0.25 so a pathological pool still
+    fails.  A numeric string is used as-is; ``"off"`` disables the
+    gate.
+    """
+    if value == "off":
+        return None
+    if value == "auto":
+        cpus = os.cpu_count() or 1
+        if cpus >= jobs:
+            return 0.85
+        return max(0.25, round(0.85 * cpus / jobs, 2))
+    return float(value)
 
 
 def check_regression(
@@ -500,12 +598,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--min-async-utilisation",
-        type=float,
         default=None,
         metavar="FRACTION",
         help=(
             "fail (exit 1) when the mean async pool utilisation falls "
-            "below this fraction (used by 'make bench-smoke' at 0.85)"
+            "below this fraction; 'auto' derives the floor from "
+            "os.cpu_count() vs --jobs (used by 'make bench-smoke'), "
+            "'off' disables the gate"
         ),
     )
     args = parser.parse_args(argv)
@@ -537,7 +636,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"(vector kernels vs incremental), "
         f"{agg['headline_geomean_speedup_async']:.2f}x "
         f"(async pool vs vector, mean utilisation "
-        f"{agg['mean_async_pool_utilisation']}); "
+        f"{agg['mean_async_pool_utilisation']}), "
+        f"{agg['headline_geomean_speedup_speculative']:.2f}x "
+        f"(speculative vs async, mean utilisation "
+        f"{agg['mean_speculative_pool_utilisation']}, hit rate "
+        f"{agg['speculation_hit_rate']}); "
         f"report written to {out_path}"
     )
 
@@ -545,17 +648,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("[bench_engine] FAIL: engine results diverged from legacy")
         return 1
     if args.min_async_utilisation is not None:
-        utilisation = agg["mean_async_pool_utilisation"]
-        if utilisation is None or utilisation < args.min_async_utilisation:
-            print(
-                f"[bench_engine] FAIL: mean async pool utilisation "
-                f"{utilisation} below floor {args.min_async_utilisation}"
-            )
-            return 1
-        print(
-            f"[bench_engine] async utilisation gate passed "
-            f"({utilisation:.3f} >= {args.min_async_utilisation})"
+        floor = resolve_utilisation_floor(
+            args.min_async_utilisation, args.jobs
         )
+        if floor is not None:
+            utilisation = agg["mean_async_pool_utilisation"]
+            if utilisation is None or utilisation < floor:
+                print(
+                    f"[bench_engine] FAIL: mean async pool utilisation "
+                    f"{utilisation} below floor {floor}"
+                )
+                return 1
+            print(
+                f"[bench_engine] async utilisation gate passed "
+                f"({utilisation:.3f} >= {floor})"
+            )
+            # Speculation fills the breeding window with predicted
+            # evaluations, so its pool utilisation must not fall below
+            # the non-speculative async arm's (small tolerance for
+            # timing noise).  Meaningless without a second core to do
+            # the filling — time-shared workers only displace the
+            # parent — so single-core hosts skip the gate.
+            if (os.cpu_count() or 1) > 1:
+                spec_util = agg["mean_speculative_pool_utilisation"]
+                async_util = agg["mean_async_pool_utilisation"]
+                if spec_util is None or spec_util < async_util - 0.02:
+                    print(
+                        f"[bench_engine] FAIL: speculative pool "
+                        f"utilisation {spec_util} below async "
+                        f"{async_util} - 0.02"
+                    )
+                    return 1
+                print(
+                    f"[bench_engine] speculation lift gate passed "
+                    f"({spec_util:.3f} vs async {async_util:.3f})"
+                )
+            else:
+                print(
+                    "[bench_engine] speculation lift gate skipped "
+                    "(single-core host)"
+                )
     if args.check is not None:
         return check_regression(report, pathlib.Path(args.check))
     return 0

@@ -73,6 +73,8 @@ def _config_from_args(args: argparse.Namespace) -> SynthesisConfig:
         mode_cache=not getattr(args, "no_mode_cache", False),
         vector_dvs=not getattr(args, "no_vector_dvs", False),
         dvs_warm_start=getattr(args, "dvs_warm_start", False),
+        speculative=not getattr(args, "no_speculation", False),
+        speculation_depth=getattr(args, "speculation_depth", 1),
         seed=args.seed,
     )
 
@@ -127,6 +129,26 @@ def _add_ga_options(parser: argparse.ArgumentParser) -> None:
             "run the PV-DVS descent through the legacy object-graph "
             "loop instead of the array kernels (ablation; results are "
             "bit-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--no-speculation",
+        action="store_true",
+        help=(
+            "do not evaluate predicted next-generation genomes during "
+            "the breeding window (ablation; results are bit-identical "
+            "either way; only meaningful with --jobs > 1 and the "
+            "asynchronous pool)"
+        ),
+    )
+    parser.add_argument(
+        "--speculation-depth",
+        type=int,
+        default=1,
+        help=(
+            "speculation look-ahead: 1 dispatches only the exactly "
+            "predicted next batch, deeper levels add heuristic probe "
+            "mutations as pool filler and cache warmers"
         ),
     )
     parser.add_argument(

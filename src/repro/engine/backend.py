@@ -1,0 +1,182 @@
+"""The evaluation-backend protocol behind the generation loop.
+
+The :class:`~repro.synthesis.driver.GenerationDriver` never touches a
+pool directly: it submits genome batches to an
+:class:`EvaluationBackend` and drains records back, and the backend
+decides *where* they are computed — in-process
+(:class:`SerialBackend`), on the barrier or work-stealing process pools
+(:class:`PooledBackend`), or, later, on a remote shard set.  Every
+backend is bit-identical for the same genomes, because evaluation is a
+pure function of the genome; backends differ only in wall-clock and
+accounting.
+
+The protocol is deliberately submit/drain shaped rather than a single
+``evaluate(batch)`` call: it leaves room for backends that overlap the
+parent's breeding work with evaluation — which is exactly what
+:meth:`EvaluationBackend.speculate` does today on the async pool, and
+what a distributed backend would do with real asynchrony.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from repro.engine.parallel import ParallelEvaluator, evaluate_inprocess
+from repro.engine.profile import PerfStats
+from repro.engine.records import EvalRecord
+from repro.mapping.encoding import MappingString
+from repro.problem import Problem
+from repro.synthesis.config import SynthesisConfig
+
+
+class EvaluationBackend(ABC):
+    """Where one synthesis run's genome batches get evaluated.
+
+    Usage protocol, per batch: :meth:`submit` a deduplicated list of
+    genomes, then :meth:`drain` their records in submission order.
+    One batch may be outstanding at a time.  :meth:`speculate` offers
+    *predicted* future genomes the backend may evaluate early (or
+    ignore — the default); a prediction the driver abandons is cleaned
+    up by :meth:`cancel_speculation`.  :meth:`finalize_perf` folds the
+    backend's accounting into the run's :class:`PerfStats`;
+    :meth:`close` / :meth:`terminate` end service.
+    """
+
+    #: Configured worker count (1 = in-process).
+    jobs: int = 1
+
+    @abstractmethod
+    def submit(self, genomes: Sequence[MappingString]) -> None:
+        """Accept one batch of genomes for evaluation."""
+
+    @abstractmethod
+    def drain(self) -> List[EvalRecord]:
+        """Records of the submitted batch, in submission order."""
+
+    @property
+    def supports_speculation(self) -> bool:
+        """Whether :meth:`speculate` can do anything useful right now."""
+        return False
+
+    def speculate(self, genomes: Sequence[MappingString]) -> int:
+        """Offer predicted next-batch genomes for early evaluation.
+
+        Returns the number of speculative evaluations actually issued;
+        backends without idle capacity to fill simply return 0.
+        """
+        return 0
+
+    def cancel_speculation(self) -> None:
+        """Abandon any outstanding or buffered speculative work."""
+
+    def finalize_perf(self, perf: PerfStats) -> None:
+        """Fold this backend's accounting into a run summary."""
+
+    def close(self) -> None:
+        """Graceful shutdown (idempotent)."""
+
+    def terminate(self) -> None:
+        """Hard stop for abnormal exits (idempotent)."""
+
+
+class SerialBackend(EvaluationBackend):
+    """In-process evaluation — the reference backend.
+
+    Books its work through the shared
+    :func:`~repro.engine.parallel.evaluate_inprocess` helper, so the
+    ``inprocess_*`` figures mean the same thing they mean under a
+    :class:`PooledBackend` that fell back.
+    """
+
+    def __init__(self, problem: Problem, config: SynthesisConfig) -> None:
+        self.problem = problem
+        self.config = config
+        self.jobs = 1
+        self.inprocess_evaluations = 0
+        self.inprocess_eval_seconds = 0.0
+        self._pending: Optional[List[MappingString]] = None
+
+    def submit(self, genomes: Sequence[MappingString]) -> None:
+        assert self._pending is None, "one batch may be outstanding"
+        self._pending = list(genomes)
+
+    def drain(self) -> List[EvalRecord]:
+        assert self._pending is not None, "nothing submitted"
+        genomes, self._pending = self._pending, None
+        records, elapsed = evaluate_inprocess(
+            self.problem, self.config, genomes
+        )
+        self.inprocess_evaluations += len(records)
+        self.inprocess_eval_seconds += elapsed
+        return records
+
+    def finalize_perf(self, perf: PerfStats) -> None:
+        perf.inprocess_evaluations += self.inprocess_evaluations
+        perf.inprocess_eval_seconds += self.inprocess_eval_seconds
+
+
+class PooledBackend(EvaluationBackend):
+    """Process-pool evaluation via :class:`ParallelEvaluator`.
+
+    Wraps the evaluator rather than replacing it: failure fallback,
+    tiny-batch routing, worker phase/metric folding and the
+    speculation machinery all live there; this class adapts them to
+    the backend protocol and copies the accounting out at the end.
+    """
+
+    def __init__(self, problem: Problem, config: SynthesisConfig) -> None:
+        self.evaluator = ParallelEvaluator(problem, config)
+        self.jobs = self.evaluator.jobs
+        self._pending: Optional[List[MappingString]] = None
+
+    def submit(self, genomes: Sequence[MappingString]) -> None:
+        assert self._pending is None, "one batch may be outstanding"
+        self._pending = list(genomes)
+
+    def drain(self) -> List[EvalRecord]:
+        assert self._pending is not None, "nothing submitted"
+        genomes, self._pending = self._pending, None
+        return self.evaluator.evaluate_batch(genomes)
+
+    @property
+    def supports_speculation(self) -> bool:
+        return self.evaluator.supports_speculation
+
+    def speculate(self, genomes: Sequence[MappingString]) -> int:
+        return self.evaluator.speculate(genomes)
+
+    def cancel_speculation(self) -> None:
+        self.evaluator.cancel_speculation()
+
+    def finalize_perf(self, perf: PerfStats) -> None:
+        evaluator = self.evaluator
+        perf.merge_phase_totals(evaluator.worker_phase_totals)
+        perf.batches = evaluator.batches
+        perf.parallel_evaluations = evaluator.parallel_evaluations
+        perf.pool_busy_seconds = evaluator.pool_busy_seconds
+        perf.pool_workers = evaluator.pool_workers
+        perf.pool_service_seconds = evaluator.pool_service_seconds
+        perf.pool_dispatch_seconds = evaluator.pool_dispatch_seconds
+        perf.pool_steals = evaluator.pool_steals
+        perf.pool_fallbacks = evaluator.pool_failures
+        perf.inprocess_evaluations = evaluator.inprocess_evaluations
+        perf.inprocess_eval_seconds = evaluator.inprocess_eval_seconds
+        perf.speculation_issued = evaluator.speculation_issued
+        perf.speculation_hits = evaluator.speculation_hits
+        perf.speculation_discards = evaluator.speculation_discards
+
+    def close(self) -> None:
+        self.evaluator.close()
+
+    def terminate(self) -> None:
+        self.evaluator.terminate()
+
+
+def backend_for(
+    problem: Problem, config: SynthesisConfig
+) -> EvaluationBackend:
+    """The backend a configuration asks for: serial or pooled."""
+    if config.jobs > 1:
+        return PooledBackend(problem, config)
+    return SerialBackend(problem, config)

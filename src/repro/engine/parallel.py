@@ -39,12 +39,24 @@ import multiprocessing.pool
 import pickle
 import time
 import warnings
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.engine.async_pool import AsyncWorkStealingPool
 from repro.engine.decode_cache import DecodeContext, context_for
 from repro.engine.profile import PROFILER, PhaseTotals
-from repro.engine.records import EvalRecord, evaluate_genes
+from repro.engine.records import (
+    EvalRecord,
+    evaluate_genes,
+    record_from_implementation,
+)
 from repro.eval.cache import mode_cache_for
 from repro.errors import WorkerPoolError
 from repro.obs.metrics import REGISTRY, MetricsSnapshot
@@ -80,6 +92,39 @@ def _init_forked_worker() -> None:
     """Initialise a fork-start worker: state arrived copy-on-write."""
     PROFILER.reset()
     REGISTRY.reset()
+
+
+def evaluate_inprocess(
+    problem: Problem,
+    config: "SynthesisConfig",
+    genomes: Sequence[Any],
+) -> Tuple[List[EvalRecord], float]:
+    """Evaluate mapping strings in the current process, with accounting.
+
+    The one in-process batch path, shared by the serial backend, the
+    synthesizer's no-backend evaluation and the parallel evaluator's
+    tiny-batch/fallback route — so ``inprocess_*`` accounting and the
+    ``engine_inprocess_evaluations_total`` meter mean the same thing
+    everywhere.  Takes the :class:`~repro.mapping.encoding.
+    MappingString` objects themselves (not gene tuples) to preserve
+    their dirty-mode sets for the incremental pipeline.  Returns the
+    records and the wall-clock seconds spent.
+    """
+    from repro.synthesis.evaluator import evaluate_mapping
+
+    context = context_for(problem) if config.decode_cache else None
+    started = time.perf_counter()
+    records = [
+        record_from_implementation(
+            evaluate_mapping(problem, genome, config, context)
+        )
+        for genome in genomes
+    ]
+    elapsed = time.perf_counter() - started
+    REGISTRY.inc(
+        "engine_inprocess_evaluations_total", amount=len(records)
+    )
+    return records, elapsed
 
 
 def _eval_chunk(
@@ -151,6 +196,11 @@ class ParallelEvaluator:
         #: so they cannot inflate pool utilisation.
         self.inprocess_evaluations = 0
         self.inprocess_eval_seconds = 0.0
+        #: Speculative next-generation evaluation accounting, mirrored
+        #: from the async pool so the figures survive a pool retirement.
+        self.speculation_issued = 0
+        self.speculation_hits = 0
+        self.speculation_discards = 0
         self.last_pool_error: Optional[str] = None
         self.worker_phase_totals: Dict[str, Tuple[float, int]] = {}
         #: Workers actually placed in service (0 = never had a pool).
@@ -268,6 +318,11 @@ class ParallelEvaluator:
     def close(self) -> None:
         """Shut the pool down gracefully (idempotent)."""
         if self._async is not None:
+            # Outstanding speculation would otherwise finish unobserved
+            # inside the pool's join: drain it so its busy time, cache
+            # journals and discard counts are accounted first.
+            self.cancel_speculation()
+        if self._async is not None:
             self._stop_service_clock()
             self._async.close()
             self._async = None
@@ -327,8 +382,13 @@ class ParallelEvaluator:
         # pickling cost more than the evaluations.  Results are the
         # same either way, only the wall-clock differs.  The in-process
         # path books its time into the inprocess_* counters, never the
-        # pool busy window.
-        if self.uses_pool and len(genomes) >= self.jobs:
+        # pool busy window.  A batch partly covered by outstanding
+        # speculation always goes through the pool — the predicted
+        # results are already paid for there.
+        if self.uses_pool and (
+            len(genomes) >= self.jobs
+            or self._speculation_covers(genomes)
+        ):
             try:
                 if self._async is not None:
                     return self._evaluate_async(genomes)
@@ -352,19 +412,11 @@ class ParallelEvaluator:
         return self._evaluate_serial(genomes)
 
     def _evaluate_serial(self, genomes: Sequence) -> List[EvalRecord]:
-        context = (
-            context_for(self.problem) if self.config.decode_cache else None
+        records, elapsed = evaluate_inprocess(
+            self.problem, self.config, genomes
         )
-        started = time.perf_counter()
-        records = [
-            evaluate_genes(self.problem, genome.genes, self.config, context)
-            for genome in genomes
-        ]
-        self.inprocess_eval_seconds += time.perf_counter() - started
+        self.inprocess_eval_seconds += elapsed
         self.inprocess_evaluations += len(records)
-        REGISTRY.inc(
-            "engine_inprocess_evaluations_total", amount=len(records)
-        )
         return records
 
     def _evaluate_async(self, genomes: Sequence) -> List[EvalRecord]:
@@ -376,10 +428,70 @@ class ParallelEvaluator:
         self.pool_busy_seconds += batch.busy_seconds
         self.pool_dispatch_seconds += batch.dispatch_seconds
         self.pool_steals += batch.steals
+        self.speculation_hits = self._async.speculation_hits
         self.parallel_evaluations += len(batch.records)
         self.batches += 1
         REGISTRY.inc("engine_pool_batches_total")
         return batch.records
+
+    # ------------------------------------------------------------------
+    # Speculative evaluation (async pool only)
+    # ------------------------------------------------------------------
+
+    @property
+    def supports_speculation(self) -> bool:
+        """Whether predicted genomes can be dispatched ahead of time."""
+        return self._async is not None
+
+    def _speculation_covers(self, genomes: Sequence) -> bool:
+        if self._async is None:
+            return False
+        return self._async.speculation_covers_any(
+            [genome.genes for genome in genomes]
+        )
+
+    def speculate(self, genomes: Sequence) -> int:
+        """Dispatch predicted genomes to the async pool ahead of time.
+
+        Returns the number of speculative tasks issued (0 when no
+        async pool is live).  A dispatch failure retires the pool and
+        follows the configured failure mode, exactly like a batch
+        dispatch failure — subsequent batches fall back in-process.
+        """
+        if self._async is None or not genomes:
+            return 0
+        try:
+            issued = self._async.submit_speculative(
+                [genome.genes for genome in genomes]
+            )
+            self.speculation_issued = self._async.speculation_issued
+            return issued
+        except Exception as exc:
+            self._async.terminate()
+            self._async = None
+            self._record_failure("speculate", exc)
+            return 0
+
+    def cancel_speculation(self) -> None:
+        """Retire outstanding speculation, folding its accounting in.
+
+        Draining publishes the mispredictions' cache journals; their
+        busy and window time is charged to the pool like any batch.
+        """
+        if self._async is None:
+            return
+        try:
+            batch = self._async.cancel_speculation(
+                self.worker_phase_totals
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            self._async.terminate()
+            self._async = None
+            self._record_failure("speculate", exc)
+            return
+        self.pool_busy_seconds += batch.busy_seconds
+        self.pool_dispatch_seconds += batch.dispatch_seconds
+        self.speculation_discards = self._async.speculation_discards
 
     def _evaluate_pooled(self, genomes: Sequence) -> List[EvalRecord]:
         gene_tuples = [genome.genes for genome in genomes]

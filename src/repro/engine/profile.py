@@ -180,6 +180,12 @@ class PerfStats:
         evaluation pipeline (:mod:`repro.eval`), summed over the main
         process and all pool workers via the run's metric delta.  All
         zero when ``SynthesisConfig.mode_cache`` is disabled.
+    speculation_issued / speculation_hits / speculation_discards:
+        Speculative next-generation evaluation activity on the async
+        pool: predicted genomes dispatched ahead of their batch, batch
+        slots served from the speculation buffer, and buffered
+        predictions abandoned at run end.  All zero when
+        ``SynthesisConfig.speculative`` is off or no async pool ran.
     """
 
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -208,6 +214,9 @@ class PerfStats:
     mode_cache_hits: int = 0
     mode_cache_misses: int = 0
     mode_cache_evictions: int = 0
+    speculation_issued: int = 0
+    speculation_hits: int = 0
+    speculation_discards: int = 0
 
     @property
     def evaluations_per_second(self) -> float:
@@ -230,6 +239,19 @@ class PerfStats:
         if looked_up == 0:
             return 0.0
         return self.mode_cache_hits / looked_up
+
+    @property
+    def speculation_hit_rate(self) -> float:
+        """Fraction of speculative dispatches a later batch confirmed.
+
+        Exact-replay prediction (``speculation_depth=1``) confirms
+        everything the run actually needed; unconfirmed leftovers at
+        run end (convergence struck, or deeper heuristic probes) are
+        the discard side of the ledger.
+        """
+        if self.speculation_issued == 0:
+            return 0.0
+        return self.speculation_hits / self.speculation_issued
 
     @property
     def pool_utilisation(self) -> float:
@@ -287,6 +309,10 @@ class PerfStats:
             "mode_cache_misses": self.mode_cache_misses,
             "mode_cache_evictions": self.mode_cache_evictions,
             "mode_cache_hit_rate": self.mode_cache_hit_rate,
+            "speculation_issued": self.speculation_issued,
+            "speculation_hits": self.speculation_hits,
+            "speculation_discards": self.speculation_discards,
+            "speculation_hit_rate": self.speculation_hit_rate,
         }
 
     def merge_phase_totals(

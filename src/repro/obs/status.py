@@ -444,6 +444,11 @@ def format_pool_stats(summary: Dict[str, Any]) -> str:
             f"{count('pool_fallbacks')} fallbacks"
         ),
         (
+            f"  speculation: {count('speculation_issued')} issued, "
+            f"{count('speculation_hits')} hits, "
+            f"{count('speculation_discards')} discarded"
+        ),
+        (
             f"  in-process: {count('inprocess_evaluations')} evaluations, "
             f"{seconds('inprocess_eval_seconds')}"
         ),

@@ -75,6 +75,9 @@ _PERF_SCALARS = (
     "pool_fallbacks",
     "inprocess_evaluations",
     "inprocess_eval_seconds",
+    "speculation_issued",
+    "speculation_hits",
+    "speculation_discards",
     "mode_cache_hits",
     "mode_cache_misses",
 )

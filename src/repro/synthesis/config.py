@@ -99,6 +99,23 @@ class SynthesisConfig:
         the per-generation barrier pool (static chunking, diverging
         COW caches) as an ablation oracle; both produce bit-identical
         results at any job count.  Only meaningful for ``jobs > 1``.
+    speculative:
+        Evaluate *predicted* next-generation genomes on the async pool
+        while the parent breeds the real ones
+        (:mod:`repro.synthesis.speculation`): the predictor replays the
+        breeding stages on a cloned RNG, so at depth 1 the prediction
+        is exact and every dispatched speculation is confirmed.
+        Results are bit-identical with speculation on or off —
+        ``False`` is the ablation oracle the differential fuzz pins —
+        and the flag is inert without an async pool (``jobs=1``,
+        ``async_pool=False``, or a pool that fell back).
+    speculation_depth:
+        How far ahead speculation reaches.  ``1`` (default) dispatches
+        only the exactly predicted next batch.  Deeper levels add
+        heuristic split-RNG mutations of the predicted population —
+        pool filler and mode-cache warmers whose journal entries
+        publish either way — at the cost of discarded work when the
+        probes never materialise.
     pool_failure_mode:
         What a dead/unusable worker pool does to the run.
         ``"fallback"`` (default) degrades to in-process evaluation and
@@ -177,6 +194,8 @@ class SynthesisConfig:
     mode_cache_size: int = 4096
     vector_dvs: bool = True
     dvs_warm_start: bool = False
+    speculative: bool = True
+    speculation_depth: int = 1
     pool_failure_mode: str = "fallback"
 
     seed: int = 0
@@ -228,12 +247,14 @@ class SynthesisConfig:
                 "dvs_warm_start requires the vectorised kernels "
                 "(vector_dvs=True)"
             )
+        if self.speculation_depth < 1:
+            raise SynthesisError("speculation depth must be at least 1")
         if self.pool_failure_mode not in ("fallback", "raise"):
             raise SynthesisError(
                 "pool failure mode must be 'fallback' or 'raise'"
             )
 
-    def with_updates(self, **changes) -> "SynthesisConfig":
+    def with_updates(self, **changes: Any) -> "SynthesisConfig":
         """A copy of this configuration with some fields replaced."""
         return dataclasses.replace(self, **changes)
 

@@ -1,95 +1,44 @@
-"""The multi-mode co-synthesis driver (paper Fig. 4, complete loop).
+"""The multi-mode co-synthesis entry point (paper Fig. 4, complete loop).
 
-:class:`MultiModeSynthesizer` runs the genetic algorithm over multi-mode
-mapping strings: random initial population, per-candidate evaluation
-(mobilities → cores → per-mode scheduling → optional DVS → fitness),
-linear-scaling ranking, tournament selection, two-point crossover,
-offspring insertion with elitism, and the four improvement mutations.
-The run terminates on convergence (no improvement of the best fitness
-for a configured number of generations) or at the generation limit.
+:class:`MultiModeSynthesizer` is the stable façade over the generation
+pipeline: it builds the
+:class:`~repro.engine.backend.EvaluationBackend` a configuration asks
+for, hands it to the :class:`~repro.synthesis.driver.GenerationDriver`,
+and owns the backend's lifecycle (graceful close on success, hard
+terminate on any error or interrupt).  The GA itself — random initial
+population, per-candidate evaluation (mobilities → cores → per-mode
+scheduling → optional DVS → fitness), linear-scaling ranking,
+tournament selection, two-point crossover, offspring insertion with
+elitism, the four improvement mutations, speculation, and the
+local-search polish — lives in the stage modules
+(:mod:`repro.synthesis.operators`, :mod:`repro.synthesis.improvements`,
+:mod:`repro.synthesis.speculation`) composed by the driver.  The run
+terminates on convergence (no improvement of the best fitness for a
+configured number of generations) or at the generation limit.
 """
 
 from __future__ import annotations
 
-import math
-import random
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.errors import SynthesisError
-from repro.engine.decode_cache import context_for
-from repro.engine.parallel import ParallelEvaluator
-from repro.engine.profile import PROFILER, PerfStats
-from repro.engine.records import EvalRecord, record_from_implementation
-from repro.obs.metrics import REGISTRY
+from repro.engine.backend import EvaluationBackend, backend_for
+from repro.engine.records import EvalRecord
 from repro.mapping.encoding import MappingString
-from repro.mapping.implementation import Implementation
 from repro.problem import Problem
-from repro.synthesis import ga
-from repro.synthesis import mutations
 from repro.synthesis.config import SynthesisConfig
-from repro.synthesis.evaluator import evaluate_mapping
+from repro.synthesis.driver import GenerationDriver, SynthesisResult
 from repro.synthesis.state import GAState
+
+__all__ = [
+    "MultiModeSynthesizer",
+    "SynthesisResult",
+    "synthesize",
+]
 
 # Backwards-compatible alias: the per-genome cache entry moved to
 # :mod:`repro.engine.records` so pool workers can ship it between
 # processes without importing the synthesis stack.
 _EvalRecord = EvalRecord
-
-
-@dataclass
-class SynthesisResult:
-    """Outcome of one synthesis run.
-
-    ``best`` is the fully decoded best implementation found; ``history``
-    records the best fitness after every generation; ``cpu_time`` is the
-    wall-clock optimisation time in seconds (the quantity the paper's
-    "CPU time" columns report); ``perf`` carries the per-phase timing
-    and cache statistics collected by the evaluation engine;
-    ``mode_powers`` is the stable per-mode power breakdown (see below).
-    """
-
-    best: Implementation
-    generations: int
-    evaluations: int
-    cpu_time: float
-    history: List[float] = field(default_factory=list)
-    perf: Optional[PerfStats] = None
-    #: Per-mode power breakdown of the best candidate, in watts:
-    #: ``{mode: {"dynamic": …, "static": …}}``.  This is the quantity
-    #: Equation (1) is *linear* in — ``p̄(Ψ) = Σ_O (dyn_O + stat_O)·Ψ_O``
-    #: for any probability vector — so persisting it lets any stored
-    #: design be re-scored exactly under a new Ψ without re-simulation
-    #: (the foundation of :mod:`repro.adaptive`).  Serialised by
-    #: :func:`repro.io.result_to_dict` and carried on campaign
-    #: ``job_finished`` events / result records.
-    mode_powers: Dict[str, Dict[str, float]] = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
-        if not self.mode_powers and self.best is not None:
-            metrics = self.best.metrics
-            self.mode_powers = {
-                mode: {
-                    "dynamic": metrics.dynamic_power[mode],
-                    "static": metrics.static_power[mode],
-                }
-                for mode in metrics.dynamic_power
-            }
-
-    @property
-    def average_power(self) -> float:
-        """True-probability Equation (1) power of the best candidate."""
-        return self.best.metrics.average_power
-
-    @property
-    def is_feasible(self) -> bool:
-        return self.best.metrics.is_feasible
-
-    def mode_power(self, mode_name: str) -> float:
-        """Total (dynamic + static) power of one mode, in watts."""
-        entry = self.mode_powers[mode_name]
-        return entry["dynamic"] + entry["static"]
 
 
 class MultiModeSynthesizer:
@@ -98,67 +47,40 @@ class MultiModeSynthesizer:
     def __init__(self, problem: Problem, config: SynthesisConfig) -> None:
         self.problem = problem
         self.config = config
-        self._cache: Dict[MappingString, _EvalRecord] = {}
-        self._evaluations = 0
-        self._cache_hits = 0
-        self._dedup_hits = 0
+        self._driver = GenerationDriver(problem, config)
 
     # ------------------------------------------------------------------
-    # Evaluation with caching
+    # Driver delegation (the historical internal surface — kept because
+    # warm-started re-synthesis and the determinism tests rely on the
+    # per-genome cache and its counters living on the synthesizer)
     # ------------------------------------------------------------------
+
+    @property
+    def _cache(self) -> Dict[MappingString, _EvalRecord]:
+        return self._driver.genome_cache
+
+    @property
+    def _evaluations(self) -> int:
+        return self._driver.evaluations
+
+    @property
+    def _cache_hits(self) -> int:
+        return self._driver.cache_hits
+
+    @property
+    def _dedup_hits(self) -> int:
+        return self._driver.dedup_hits
 
     def _evaluate(self, genome: MappingString) -> _EvalRecord:
-        record = self._cache.get(genome)
-        if record is not None:
-            self._cache_hits += 1
-            return record
-        self._evaluations += 1
-        implementation = evaluate_mapping(self.problem, genome, self.config)
-        record = record_from_implementation(implementation)
-        self._cache[genome] = record
-        return record
+        return self._driver.evaluate_one(genome)
 
     def _evaluate_population(
         self,
         population: Sequence[MappingString],
-        evaluator: Optional[ParallelEvaluator],
+        backend: Optional[EvaluationBackend],
     ) -> List[_EvalRecord]:
-        """Evaluate one generation: dedup, cache lookup, batch dispatch.
-
-        Duplicate population slots (clones survive crossover and
-        elitism routinely) collapse to one evaluation, cached genomes
-        are answered without re-decoding, and only the remaining unique
-        misses reach the process pool — or the in-process loop when no
-        pool is active.  Results are returned per slot, in population
-        order.
-        """
-        unique: Dict[MappingString, None] = {}
-        for genome in population:
-            unique.setdefault(genome, None)
-        self._dedup_hits += len(population) - len(unique)
-        pending = [g for g in unique if g not in self._cache]
-        self._cache_hits += len(unique) - len(pending)
-        if pending:
-            if evaluator is not None:
-                results = evaluator.evaluate_batch(pending)
-            else:
-                context = (
-                    context_for(self.problem)
-                    if self.config.decode_cache
-                    else None
-                )
-                results = [
-                    record_from_implementation(
-                        evaluate_mapping(
-                            self.problem, genome, self.config, context
-                        )
-                    )
-                    for genome in pending
-                ]
-            self._evaluations += len(pending)
-            for genome, record in zip(pending, results):
-                self._cache[genome] = record
-        return [self._cache[genome] for genome in population]
+        """Evaluate one generation (``None`` backend = in-process)."""
+        return self._driver.evaluate_population(population, backend)
 
     # ------------------------------------------------------------------
     # The optimisation loop
@@ -171,9 +93,9 @@ class MultiModeSynthesizer:
     ) -> SynthesisResult:
         """Execute the GA and return the best implementation found.
 
-        With ``config.jobs > 1`` a :class:`ParallelEvaluator` (and its
-        process pool) lives for the duration of the run; evaluation
-        results are bit-identical to the serial path either way.
+        With ``config.jobs > 1`` a pooled backend (and its process
+        pool) lives for the duration of the run; evaluation results
+        are bit-identical to the serial path either way.
 
         ``resume`` continues a previous run from a
         :class:`~repro.synthesis.state.GAState` snapshot —
@@ -182,621 +104,18 @@ class MultiModeSynthesizer:
         snapshot after every completed generation; a checkpointing
         runtime persists (some of) these snapshots to disk.
         """
-        evaluator: Optional[ParallelEvaluator] = None
-        if self.config.jobs > 1:
-            evaluator = ParallelEvaluator(self.problem, self.config)
+        backend = backend_for(self.problem, self.config)
         try:
-            result = self._run(evaluator, resume, on_generation)
+            result = self._driver.run(backend, resume, on_generation)
         except BaseException:
             # Ctrl-C (or any error) can leave queued pool tasks whose
             # feeder thread died with the interrupt; a graceful
             # close()+join() would then wait forever for worker
             # sentinels that never arrive.  Hard-stop instead.
-            if evaluator is not None:
-                evaluator.terminate()
+            backend.terminate()
             raise
-        if evaluator is not None:
-            evaluator.close()
+        backend.close()
         return result
-
-    def _run(
-        self,
-        evaluator: Optional[ParallelEvaluator],
-        resume: Optional[GAState] = None,
-        on_generation: Optional[Callable[[GAState], None]] = None,
-    ) -> SynthesisResult:
-        config = self.config
-        started = time.perf_counter()
-        profile_base = PROFILER.snapshot()
-        metrics_base = REGISTRY.snapshot()
-        mutation_rate = config.per_gene_mutation_rate
-        if mutation_rate is None:
-            mutation_rate = 1.0 / max(1, self.problem.genome_length())
-
-        if resume is not None:
-            # Continue exactly where the snapshot left off: the RNG
-            # resumes mid-stream, the population is the bred-and-mutated
-            # one the interrupted run would have evaluated next.
-            rng = resume.restore_rng()
-            population = [
-                MappingString(self.problem, genes)
-                for genes in resume.population
-            ]
-            if len(population) != config.population_size:
-                raise SynthesisError(
-                    f"resume snapshot has population "
-                    f"{len(population)}, configuration expects "
-                    f"{config.population_size}"
-                )
-            best_genome = (
-                MappingString(self.problem, resume.best_genes)
-                if resume.best_genes is not None
-                else None
-            )
-            best_fitness = resume.best_fitness
-            stagnant = resume.stagnant
-            area_stall = resume.area_stall
-            timing_stall = resume.timing_stall
-            transition_stall = resume.transition_stall
-            history = list(resume.history)
-            self._evaluations = resume.evaluations
-            generation = resume.generation
-            start_generation = resume.generation + 1
-        else:
-            rng = random.Random(config.seed)
-            # Half the initial population is uniformly random, half is
-            # software-biased: on large problems uniform genomes map
-            # ~half of all tasks into hardware and violate every area
-            # constraint, leaving the GA without a feasible foothold.
-            population = []
-            for index in range(config.population_size):
-                if index % 2 == 0:
-                    population.append(
-                        MappingString.random(self.problem, rng)
-                    )
-                else:
-                    population.append(
-                        MappingString.random_software_biased(
-                            self.problem, rng, bias=rng.uniform(0.6, 0.98)
-                        )
-                    )
-            best_genome = None
-            best_fitness = math.inf
-            stagnant = 0
-            area_stall = 0
-            timing_stall = 0
-            transition_stall = 0
-            history = []
-            generation = 0
-            start_generation = 1
-
-        for generation in range(
-            start_generation, config.max_generations + 1
-        ):
-            generation_started = time.perf_counter()
-            records = self._evaluate_population(population, evaluator)
-
-            improved = False
-            for genome, record in zip(population, records):
-                if record.fitness < best_fitness - 1e-15:
-                    best_fitness = record.fitness
-                    best_genome = genome
-                    improved = True
-            stagnant = 0 if improved else stagnant + 1
-            history.append(best_fitness)
-            REGISTRY.inc("ga_generations_total")
-            if math.isfinite(best_fitness):
-                REGISTRY.set_gauge("ga_best_fitness", best_fitness)
-
-            if stagnant >= config.convergence_generations:
-                REGISTRY.observe(
-                    "ga_generation_seconds",
-                    time.perf_counter() - generation_started,
-                )
-                break
-            if (
-                stagnant > 0
-                and stagnant % max(2, config.convergence_generations // 2)
-                == 0
-            ):
-                # Partial restart against premature convergence: the
-                # worst half of the population is replaced with fresh
-                # random/software-biased genomes (elites and the best
-                # are never touched).
-                population = self._partial_restart(
-                    population, records, rng
-                )
-                records = self._evaluate_population(population, evaluator)
-
-            # --- ranking, selection, crossover, insertion --------------
-            ranked = ga.rank_population(
-                list(zip(population, (r.fitness for r in records))),
-                config.selection_pressure,
-            )
-            parents = ga.select_mating_pool(
-                ranked,
-                rng,
-                config.tournament_size,
-                config.population_size - config.elite_count,
-            )
-            offspring = ga.breed(
-                parents, rng, config.crossover_rate, mutation_rate
-            )
-            if config.group_mutation_rate > 0:
-                offspring = [
-                    self._maybe_group_move(child, rng)
-                    for child in offspring
-                ]
-            population = ga.insert_offspring(
-                ranked,
-                offspring,
-                config.elite_count,
-                config.population_size,
-            )
-
-            # --- improvement mutations ---------------------------------
-            area_stall, timing_stall, transition_stall = self._update_stalls(
-                records, area_stall, timing_stall, transition_stall
-            )
-            population = self._apply_improvements(
-                population,
-                records,
-                rng,
-                area_stall,
-                timing_stall,
-                transition_stall,
-                best_genome,
-            )
-            if area_stall >= config.stall_generations:
-                area_stall = 0
-            if timing_stall >= config.stall_generations:
-                timing_stall = 0
-            if transition_stall >= config.stall_generations:
-                transition_stall = 0
-
-            REGISTRY.observe(
-                "ga_generation_seconds",
-                time.perf_counter() - generation_started,
-            )
-            if on_generation is not None:
-                # The end of the generation body is the one clean
-                # resume point: the next-generation population is bred,
-                # the counters are settled, and no RNG draw separates
-                # this state from the top of the next iteration.
-                on_generation(
-                    GAState(
-                        generation=generation,
-                        rng_state=rng.getstate(),
-                        population=[g.genes for g in population],
-                        best_genes=(
-                            best_genome.genes
-                            if best_genome is not None
-                            else None
-                        ),
-                        best_fitness=best_fitness,
-                        stagnant=stagnant,
-                        area_stall=area_stall,
-                        timing_stall=timing_stall,
-                        transition_stall=transition_stall,
-                        history=list(history),
-                        evaluations=self._evaluations,
-                    )
-                )
-
-        if best_genome is None:
-            raise SynthesisError(
-                "synthesis produced no evaluable candidate (architecture "
-                "may be missing communication links)"
-            )
-        if config.local_search_budget_factor > 0:
-            best_genome = self._local_search(best_genome, rng)
-        best = evaluate_mapping(self.problem, best_genome, self.config)
-        if best is None:  # pragma: no cover - guarded by fitness < inf
-            raise SynthesisError("best candidate became infeasible")
-        elapsed = time.perf_counter() - started
-        perf = PerfStats(
-            evaluations=self._evaluations,
-            cache_hits=self._cache_hits,
-            dedup_hits=self._dedup_hits,
-            wall_time=elapsed,
-            jobs=config.jobs,
-        )
-        perf.merge_phase_totals(PROFILER.delta_since(profile_base))
-        if evaluator is not None:
-            perf.merge_phase_totals(evaluator.worker_phase_totals)
-            perf.batches = evaluator.batches
-            perf.parallel_evaluations = evaluator.parallel_evaluations
-            perf.pool_busy_seconds = evaluator.pool_busy_seconds
-            perf.pool_workers = evaluator.pool_workers
-            perf.pool_service_seconds = evaluator.pool_service_seconds
-            perf.pool_dispatch_seconds = evaluator.pool_dispatch_seconds
-            perf.pool_steals = evaluator.pool_steals
-            perf.pool_fallbacks = evaluator.pool_failures
-            perf.inprocess_evaluations = evaluator.inprocess_evaluations
-            perf.inprocess_eval_seconds = evaluator.inprocess_eval_seconds
-        # Mode-result cache activity of this run: sum the labelled
-        # counters (per mode, per stage) accumulated since the start.
-        # Pool-worker activity is already folded in — chunk results
-        # merge their metric deltas into this registry on arrival.
-        metrics_delta = REGISTRY.delta_since(metrics_base).get("counters", {})
-        for (metric_name, _labels), value in metrics_delta.items():
-            if metric_name == "eval_mode_cache_hits_total":
-                perf.mode_cache_hits += int(value)
-            elif metric_name == "eval_mode_cache_misses_total":
-                perf.mode_cache_misses += int(value)
-            elif metric_name == "eval_mode_cache_evictions_total":
-                perf.mode_cache_evictions += int(value)
-        REGISTRY.inc("ga_runs_total")
-        REGISTRY.inc("ga_cache_hits_total", self._cache_hits)
-        REGISTRY.inc("ga_dedup_hits_total", self._dedup_hits)
-        return SynthesisResult(
-            best=best,
-            generations=generation,
-            evaluations=self._evaluations,
-            cpu_time=elapsed,
-            history=history,
-            perf=perf,
-        )
-
-    def _maybe_group_move(
-        self, genome: MappingString, rng: random.Random
-    ) -> MappingString:
-        if rng.random() >= self.config.group_mutation_rate:
-            return genome
-        moved = mutations.type_group_move(genome, rng)
-        return moved if moved is not None else genome
-
-    def _exchange_pass(
-        self,
-        current: MappingString,
-        current_fitness: float,
-        budget: int,
-        rng: random.Random,
-    ) -> Tuple[MappingString, float, int, bool]:
-        """One pass of cross-mode type exchanges on hardware components.
-
-        For every hardware PE, tries replacing one resident task type
-        (all its tasks, in every mode, moved to a software PE) with one
-        absent supported type (all its tasks moved in).  Returns the
-        possibly improved genome, its fitness, evaluations spent and
-        whether anything improved.
-        """
-        problem = self.problem
-        software = [
-            pe.name for pe in problem.architecture.software_pes()
-        ]
-        if not software:
-            return current, current_fitness, 0, False
-        spent = 0
-        improved = False
-
-        def cross_mode_replacements(
-            task_type: str,
-            target: str,
-            only_from: Optional[str] = None,
-        ) -> Dict[int, str]:
-            """Gene changes moving a type to ``target`` in every mode.
-
-            With ``only_from`` set, only tasks currently on that PE
-            move — evicting a type from one component must not disturb
-            its placements elsewhere.
-            """
-            changes: Dict[int, str] = {}
-            for mode in problem.omsm.modes:
-                for task in mode.task_graph.tasks_of_type(task_type):
-                    index = current.gene_index(mode.name, task.name)
-                    gene = current.genes[index]
-                    if gene == target:
-                        continue
-                    if only_from is not None and gene != only_from:
-                        continue
-                    changes[index] = target
-            return changes
-
-        for pe in problem.architecture.hardware_pes():
-            resident_types = {
-                task.task_type
-                for mode in problem.omsm.modes
-                for task in mode.task_graph
-                if current.pe_of(mode.name, task.name) == pe.name
-            }
-            resident = sorted(resident_types)
-            supported = [
-                t
-                for t in problem.technology.task_types()
-                if problem.technology.supports(t, pe.name)
-                and t in problem.omsm.all_task_types()
-            ]
-            absent = [t for t in supported if t not in resident]
-            rng.shuffle(resident)
-            rng.shuffle(absent)
-            for type_out in resident:
-                if spent >= budget:
-                    return current, current_fitness, spent, improved
-                out_sw = [
-                    s
-                    for s in software
-                    if problem.technology.supports(type_out, s)
-                ]
-                if not out_sw:
-                    continue
-                for type_in in absent:
-                    if spent >= budget:
-                        return (
-                            current,
-                            current_fitness,
-                            spent,
-                            improved,
-                        )
-                    changes = cross_mode_replacements(
-                        type_out, out_sw[0], only_from=pe.name
-                    )
-                    changes.update(
-                        cross_mode_replacements(type_in, pe.name)
-                    )
-                    if not changes:
-                        continue
-                    candidate = current.with_genes(changes)
-                    record = self._evaluate(candidate)
-                    spent += 1
-                    if record.fitness < current_fitness - 1e-15:
-                        current = candidate
-                        current_fitness = record.fitness
-                        improved = True
-                        break
-        return current, current_fitness, spent, improved
-
-    # ------------------------------------------------------------------
-    # Diversity maintenance
-    # ------------------------------------------------------------------
-
-    def _partial_restart(
-        self,
-        population: List[MappingString],
-        records: Sequence[_EvalRecord],
-        rng: random.Random,
-    ) -> List[MappingString]:
-        """Replace the worst half of the population with fresh genomes."""
-        order = sorted(
-            range(len(population)), key=lambda i: records[i].fitness
-        )
-        keep = order[: max(1, len(population) // 2)]
-        refreshed = [population[i] for i in keep]
-        while len(refreshed) < len(population):
-            if rng.random() < 0.5:
-                refreshed.append(
-                    MappingString.random(self.problem, rng)
-                )
-            else:
-                refreshed.append(
-                    MappingString.random_software_biased(
-                        self.problem, rng, bias=rng.uniform(0.6, 0.98)
-                    )
-                )
-        return refreshed
-
-    # ------------------------------------------------------------------
-    # Final polish
-    # ------------------------------------------------------------------
-
-    def _local_search(
-        self, genome: MappingString, rng: random.Random
-    ) -> MappingString:
-        """First-improvement descent on the best genome, two move kinds.
-
-        Alternates (a) *group moves* — all tasks of one (mode, type)
-        onto one PE, the granularity at which hardware cores are paid
-        for — and (b) single-gene moves.  Improvements are accepted
-        immediately and the pass continues; the search stops when
-        neither move kind improves or the evaluation budget
-        (``local_search_budget_factor × genome length``) is spent.
-        """
-        current = genome
-        current_fitness = self._evaluate(current).fitness
-        spent = 0
-
-        group_moves: List[Tuple[str, str, str]] = []
-        for mode in self.problem.omsm.modes:
-            for task_type in sorted(mode.task_graph.task_types()):
-                for pe in self.problem.technology.candidate_pes(
-                    task_type
-                ):
-                    group_moves.append((mode.name, task_type, pe))
-
-        # The budget scales with the size of the *neighbourhood* (one
-        # full pass over single-gene moves and group moves), not just
-        # the genome length — on small problems the neighbourhood is
-        # several times the gene count and a genome-length budget would
-        # end the search before a single complete pass.
-        single_moves = sum(
-            len(current.candidates_at(index)) - 1
-            for index in range(len(current))
-        )
-        budget = int(
-            self.config.local_search_budget_factor
-            * max(1, single_moves + len(group_moves))
-        )
-
-        improved = True
-        while improved and spent < budget:
-            improved = False
-
-            # Phase 0: knapsack exchanges — swap which task types own
-            # area on a hardware component, across all modes at once.
-            # Area-full components are local optima for every smaller
-            # move kind; only an exchange escapes them.
-            current, current_fitness, used, improved_swap = (
-                self._exchange_pass(
-                    current, current_fitness, budget - spent, rng
-                )
-            )
-            spent += used
-            improved = improved or improved_swap
-
-            # Phase a: coordinated type-group moves.
-            rng.shuffle(group_moves)
-            for mode_name, task_type, pe in group_moves:
-                if spent >= budget:
-                    break
-                graph = self.problem.omsm.mode(mode_name).task_graph
-                replacements = {
-                    current.gene_index(mode_name, task.name): pe
-                    for task in graph.tasks_of_type(task_type)
-                    if current.pe_of(mode_name, task.name) != pe
-                }
-                if not replacements:
-                    continue
-                candidate = current.with_genes(replacements)
-                record = self._evaluate(candidate)
-                spent += 1
-                if record.fitness < current_fitness - 1e-15:
-                    current = candidate
-                    current_fitness = record.fitness
-                    improved = True
-
-            # Phase b: single-gene refinements.
-            order = list(range(len(current)))
-            rng.shuffle(order)
-            for index in order:
-                if spent >= budget:
-                    break
-                gene = current.genes[index]
-                for alternative in current.candidates_at(index):
-                    if alternative == gene:
-                        continue
-                    candidate = current.with_gene(index, alternative)
-                    record = self._evaluate(candidate)
-                    spent += 1
-                    if record.fitness < current_fitness - 1e-15:
-                        current = candidate
-                        current_fitness = record.fitness
-                        improved = True
-                        break
-                    if spent >= budget:
-                        break
-        return current
-
-    # ------------------------------------------------------------------
-    # Improvement strategies
-    # ------------------------------------------------------------------
-
-    def _update_stalls(
-        self,
-        records: Sequence[_EvalRecord],
-        area_stall: int,
-        timing_stall: int,
-        transition_stall: int,
-    ) -> Tuple[int, int, int]:
-        """Streak counters for the repair mutations.
-
-        A constraint class stalls while the generation's *best*
-        candidate violates it — i.e. the search keeps producing
-        solutions whose penalised fitness beats every feasible one.
-        This is the situation the paper's repair strategies target
-        ("if only infeasible mappings have been produced for a certain
-        number of generations").
-        """
-        finite = [r for r in records if math.isfinite(r.fitness)]
-        if not finite:
-            return area_stall + 1, timing_stall + 1, transition_stall + 1
-        best = min(finite, key=lambda r: r.fitness)
-        return (
-            area_stall + 1 if best.area_violating_pes else 0,
-            timing_stall + 1 if best.timing_violating_modes else 0,
-            transition_stall + 1 if best.transition_violating else 0,
-        )
-
-    def _apply_improvements(
-        self,
-        population: List[MappingString],
-        records: Sequence[_EvalRecord],
-        rng: random.Random,
-        area_stall: int,
-        timing_stall: int,
-        transition_stall: int,
-        best_genome: Optional[MappingString] = None,
-    ) -> List[MappingString]:
-        config = self.config
-        elite = config.elite_count
-
-        if config.enable_shutdown_improvement:
-            for index in range(elite, len(population)):
-                if rng.random() < config.shutdown_mutation_rate:
-                    improved = mutations.shutdown_improvement(
-                        population[index],
-                        rng,
-                        config.bias_shutdown_by_probability,
-                    )
-                    if improved is not None:
-                        population[index] = improved
-
-        def repair_indices() -> List[int]:
-            count = max(
-                1, int(config.repair_fraction * (len(population) - elite))
-            )
-            candidates = list(range(elite, len(population)))
-            rng.shuffle(candidates)
-            return candidates[:count]
-
-        if (
-            config.enable_area_improvement
-            and area_stall >= config.stall_generations
-        ):
-            violating = sorted(
-                {
-                    pe
-                    for record in records
-                    for pe in record.area_violating_pes
-                }
-            )
-            targets = repair_indices()
-            for index in targets:
-                improved = mutations.area_improvement(
-                    population[index], rng, violating
-                )
-                if improved is not None:
-                    population[index] = improved
-            # Repairing the current best is the most promising move: it
-            # is the candidate whose penalised fitness dominates the
-            # search despite its violation.
-            if best_genome is not None and targets:
-                # A gentle trim: typically only a few cores overflow.
-                repaired_best = mutations.area_improvement(
-                    best_genome, rng, violating, move_fraction=0.15
-                )
-                if repaired_best is not None:
-                    population[targets[0]] = repaired_best
-
-        if (
-            config.enable_timing_improvement
-            and timing_stall >= config.stall_generations
-        ):
-            violating_modes = sorted(
-                {
-                    mode
-                    for record in records
-                    for mode in record.timing_violating_modes
-                }
-            )
-            for index in repair_indices():
-                improved = mutations.timing_improvement(
-                    population[index], rng, violating_modes
-                )
-                if improved is not None:
-                    population[index] = improved
-
-        if (
-            config.enable_transition_improvement
-            and transition_stall >= config.stall_generations
-        ):
-            for index in repair_indices():
-                improved = mutations.transition_improvement(
-                    population[index], rng, ()
-                )
-                if improved is not None:
-                    population[index] = improved
-
-        return population
 
 
 def synthesize(

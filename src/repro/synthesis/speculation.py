@@ -1,0 +1,104 @@
+"""Next-generation prediction for speculative evaluation.
+
+While pool workers evaluate generation *g*, the parent runs selection,
+crossover and the improvement mutations for generation *g + 1* — and
+during *that* window the workers idle.  Speculative evaluation fills
+the window by predicting the next population and dispatching it early.
+
+The predictor exploits a structural property of the generation loop:
+every stage downstream of evaluation (:func:`~repro.synthesis.
+operators.breed_next`, :func:`~repro.synthesis.improvements.
+update_stalls`, :func:`~repro.synthesis.improvements.
+apply_improvements`) is a pure function of the evaluated records, the
+current population and the RNG — and the next iteration's convergence
+and restart decisions happen only *after* its evaluation.  So once a
+generation's records have landed, cloning the RNG state (a *split
+generator*: same seeded stream, zero draws consumed from the live one)
+and replaying those stages yields **exactly** the population the driver
+is about to breed.  Prediction accuracy is 1.0 by construction, and
+determinism is untouched: speculated genomes are keyed by gene tuple,
+so serving one is indistinguishable from evaluating it on demand.
+
+Depths beyond 1 are heuristic: generation *g + 2* depends on records
+that do not exist yet, so deeper probes are split-RNG mutations of the
+predicted population — useful as pool-utilisation filler and mode-cache
+warmers (their journal entries publish either way), discarded as
+mispredictions if their genomes never materialise.  The probe RNG is
+seeded from a string derived from ``(seed, generation, round)``, never
+from the live stream, so probing cannot perturb results either.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.engine.records import EvalRecord
+from repro.mapping.encoding import MappingString
+from repro.obs.metrics import REGISTRY
+from repro.synthesis import improvements, operators
+from repro.synthesis.config import SynthesisConfig
+
+
+def predict_next_batch(
+    config: SynthesisConfig,
+    mutation_rate: float,
+    population: Sequence[MappingString],
+    records: Sequence[EvalRecord],
+    rng_state: Tuple[object, ...],
+    area_stall: int,
+    timing_stall: int,
+    transition_stall: int,
+    best_genome: MappingString,
+) -> List[MappingString]:
+    """Replay the breeding pipeline on a cloned RNG: the exact next batch.
+
+    ``rng_state`` is the live generator's state *before* the driver
+    breeds; the replay consumes draws only from the clone.  Meters are
+    suppressed for the duration — the real pass, which follows
+    immediately, does the counting.
+    """
+    rng = random.Random()
+    rng.setstate(rng_state)
+    with REGISTRY.paused():
+        predicted = operators.breed_next(
+            config, mutation_rate, population, records, rng
+        )
+        stalls = improvements.update_stalls(
+            records, area_stall, timing_stall, transition_stall
+        )
+        predicted = improvements.apply_improvements(
+            config, predicted, records, rng, *stalls, best_genome
+        )
+    return predicted
+
+
+def heuristic_probes(
+    config: SynthesisConfig,
+    mutation_rate: float,
+    predicted: Sequence[MappingString],
+    generation: int,
+    known: Iterable[MappingString],
+) -> List[MappingString]:
+    """Deeper-than-one speculative candidates (cache warmers).
+
+    One round per depth level beyond the exact layer, each mutating the
+    predicted population under a string-seeded RNG (stable across
+    processes and ``PYTHONHASHSEED``).  Genomes already predicted,
+    cached or produced by an earlier round are skipped — re-evaluating
+    them could never serve a hit.
+    """
+    seen: Set[MappingString] = set(predicted)
+    seen.update(known)
+    probes: List[MappingString] = []
+    for level in range(2, config.speculation_depth + 1):
+        rng = random.Random(
+            f"speculate:{config.seed}:{generation}:{level}"
+        )
+        for genome in predicted:
+            probe = genome.mutate(rng, mutation_rate)
+            if probe in seen:
+                continue
+            seen.add(probe)
+            probes.append(probe)
+    return probes

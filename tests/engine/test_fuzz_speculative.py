@@ -1,0 +1,180 @@
+"""Differential fuzz: speculative vs non-speculative vs serial.
+
+Acceptance coverage for speculative next-generation evaluation:
+randomised GA chains on suite, smartphone and stress instances must
+produce *exactly* equal results with speculation on (at depth 1 and a
+deeper probe level), with speculation off, and serially — fitness,
+history, best genome, evaluation counts — and a checkpointed run must
+resume bit-identically with ``speculative=True``.
+
+The configs are drawn once per instance from a seeded RNG and shared
+verbatim across the arms (only ``jobs`` / ``speculative`` /
+``speculation_depth`` differ), so any divergence is speculation's
+fault, never the sampler's.  The fuzz corpus keeps
+``convergence_generations`` above ``max_generations``, so every run
+reaches the generation limit and the depth-1 predictor — an exact
+replay of the breeding stages on a cloned RNG — must confirm every
+speculation it issues (hits == issued, zero discards).
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.benchgen.multimode import MultiModeSpec, generate_problem
+from repro.benchgen.smartphone import smartphone_problem
+from repro.benchgen.suite import suite_problem
+from repro.synthesis.config import DvsMethod, SynthesisConfig
+from repro.synthesis.cosynthesis import MultiModeSynthesizer
+from repro.synthesis.state import GAState
+
+
+def _stress_mini():
+    """Denser-than-suite instance, scaled to fit the fuzz budget."""
+    return generate_problem(
+        MultiModeSpec(
+            name="stress-mini",
+            seed=777,
+            mode_tasks=(18, 22, 16),
+            pe_count=4,
+            cl_count=2,
+        )
+    )
+
+
+#: (instance loader, DVS method) fuzz corpus — mirrors the async fuzz:
+#: GRADIENT exercises the full inner loop on the small suite instances,
+#: the larger graphs run NONE to keep the differential affordable.
+CORPUS = [
+    ("mul1", lambda: suite_problem("mul1"), DvsMethod.GRADIENT),
+    ("mul3", lambda: suite_problem("mul3"), DvsMethod.GRADIENT),
+    ("smartphone", smartphone_problem, DvsMethod.NONE),
+    ("stress-mini", _stress_mini, DvsMethod.NONE),
+]
+
+
+def _draw_config(name: str, dvs: DvsMethod) -> SynthesisConfig:
+    rng = random.Random(f"speculative-fuzz:{name}")
+    return SynthesisConfig(
+        dvs=dvs,
+        seed=rng.randrange(10_000),
+        population_size=rng.choice([10, 12, 14]),
+        max_generations=rng.choice([3, 4]),
+        convergence_generations=10,
+        local_search_budget_factor=rng.choice([0.0, 0.5]),
+        group_mutation_rate=rng.choice([0.1, 0.3]),
+        shutdown_mutation_rate=rng.choice([0.0, 0.02]),
+    )
+
+
+@pytest.mark.parametrize(
+    "name,loader,dvs", CORPUS, ids=[entry[0] for entry in CORPUS]
+)
+def test_speculative_chains_identical(name, loader, dvs):
+    base = _draw_config(name, dvs)
+    arms = {
+        "serial": base.with_updates(jobs=1),
+        "nospec": base.with_updates(jobs=2, speculative=False),
+        "speculative": base.with_updates(jobs=2, speculative=True),
+        "deep": base.with_updates(
+            jobs=2, speculative=True, speculation_depth=2
+        ),
+    }
+    results = {}
+    for arm, config in arms.items():
+        # A fresh problem per arm: no shared decode context or warm
+        # mode cache can paper over a divergence between strategies.
+        results[arm] = MultiModeSynthesizer(loader(), config).run()
+    serial = results["serial"]
+    for arm in ("nospec", "speculative", "deep"):
+        result = results[arm]
+        assert result.history == serial.history, arm
+        assert (
+            result.best.metrics.fitness == serial.best.metrics.fitness
+        ), arm
+        assert (
+            result.best.mapping.genes == serial.best.mapping.genes
+        ), arm
+        assert result.evaluations == serial.evaluations, arm
+        assert result.generations == serial.generations, arm
+        assert result.average_power == serial.average_power, arm
+
+    # The ablation arms never speculate...
+    assert serial.perf.speculation_issued == 0
+    assert results["nospec"].perf.speculation_issued == 0
+    # ...the depth-1 arm speculates and — because the corpus never
+    # converges before max_generations, so every predicted generation
+    # really runs — confirms every prediction it issued.
+    spec_perf = results["speculative"].perf
+    assert spec_perf.speculation_issued > 0
+    assert spec_perf.speculation_hits == spec_perf.speculation_issued
+    assert spec_perf.speculation_discards == 0
+    assert spec_perf.speculation_hit_rate == 1.0
+    # The deeper arm adds heuristic probes: the exact predictions still
+    # all confirm, the probes may or may not, and every speculation is
+    # accounted for either way.
+    deep_perf = results["deep"].perf
+    assert deep_perf.speculation_issued >= spec_perf.speculation_issued
+    assert (
+        deep_perf.speculation_hits + deep_perf.speculation_discards
+        == deep_perf.speculation_issued
+    )
+    assert deep_perf.speculation_hits >= spec_perf.speculation_hits
+
+
+def test_speculation_inert_without_async_pool():
+    # The flag defaults on but has nothing to speculate *on* without
+    # the async evaluator: the barrier pool and the serial path must
+    # run exactly as before and report zero speculation activity.
+    config = SynthesisConfig(
+        population_size=10,
+        max_generations=3,
+        convergence_generations=10,
+        local_search_budget_factor=0.0,
+        seed=7,
+        jobs=2,
+        async_pool=False,
+        speculative=True,
+    )
+    result = MultiModeSynthesizer(suite_problem("mul1"), config).run()
+    assert result.perf.speculation_issued == 0
+    assert result.perf.speculation_hits == 0
+    assert result.perf.speculation_discards == 0
+    assert result.perf.speculation_hit_rate == 0.0
+
+
+def test_kill_resume_bit_identical_with_speculation():
+    problem = suite_problem("mul1")
+    config = SynthesisConfig(
+        population_size=10,
+        max_generations=6,
+        convergence_generations=8,
+        local_search_budget_factor=0.0,
+        seed=31,
+        jobs=2,
+        async_pool=True,
+        speculative=True,
+    )
+    snapshots = []
+    reference = MultiModeSynthesizer(problem, config).run(
+        on_generation=snapshots.append
+    )
+    assert snapshots, "run emitted no generation snapshots"
+    # Serialise through JSON exactly like the checkpoint store: this is
+    # the state a killed campaign job restarts from.  Speculation state
+    # is deliberately not part of the snapshot — a resumed run simply
+    # starts predicting again from the restored RNG state.
+    state = GAState.from_dict(
+        json.loads(json.dumps(snapshots[len(snapshots) // 2].to_dict()))
+    )
+    resumed = MultiModeSynthesizer(problem, config).run(resume=state)
+    assert resumed.history == reference.history
+    assert resumed.best.mapping.genes == reference.best.mapping.genes
+    assert resumed.average_power == reference.average_power
+    assert resumed.generations == reference.generations
+    # The resumed half re-predicts and confirms like the original.
+    assert resumed.perf.speculation_issued > 0
+    assert (
+        resumed.perf.speculation_hits == resumed.perf.speculation_issued
+    )

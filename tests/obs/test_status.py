@@ -277,6 +277,9 @@ class TestPoolStats:
                 "batches": 58,
                 "pool_steals": 120,
                 "pool_fallbacks": 0,
+                "speculation_issued": 900,
+                "speculation_hits": 840,
+                "speculation_discards": 60,
                 "inprocess_evaluations": 12,
                 "inprocess_eval_seconds": 0.4,
             }
@@ -285,6 +288,7 @@ class TestPoolStats:
         assert "workers 4" in text
         assert "utilisation 91%" in text
         assert "120 steals" in text
+        assert "900 issued, 840 hits, 60 discarded" in text
         assert "12 evaluations" in text
         assert "n/a" not in text
 

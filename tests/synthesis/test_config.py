@@ -132,6 +132,29 @@ class TestSerialisation:
         assert data["vector_dvs"] is True
         assert data["dvs_warm_start"] is False
 
+    def test_speculation_fields_round_trip(self):
+        config = SynthesisConfig(speculative=False, speculation_depth=3)
+        data = config.to_dict()
+        assert data["speculative"] is False
+        assert data["speculation_depth"] == 3
+        restored = SynthesisConfig.from_dict(data)
+        assert restored == config
+        assert restored.speculative is False
+        assert restored.speculation_depth == 3
+
+    def test_speculation_defaults_serialised(self):
+        data = SynthesisConfig().to_dict()
+        assert data["speculative"] is True
+        assert data["speculation_depth"] == 1
+
+    def test_speculation_depth_validated(self):
+        with pytest.raises(SynthesisError, match="speculation depth"):
+            SynthesisConfig(speculation_depth=0)
+        data = SynthesisConfig().to_dict()
+        data["speculation_depth"] = -2
+        with pytest.raises(SynthesisError, match="speculation depth"):
+            SynthesisConfig.from_dict(data)
+
     def test_warm_start_requires_vector_dvs(self):
         with pytest.raises(SynthesisError, match="vector_dvs"):
             SynthesisConfig(vector_dvs=False, dvs_warm_start=True)

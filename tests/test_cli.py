@@ -80,6 +80,25 @@ class TestParser:
         )
         assert _config_from_args(args).dvs_warm_start is True
 
+    def test_speculation_flags(self):
+        from repro.cli import _config_from_args
+
+        default = build_parser().parse_args(["synthesize", "mul1"])
+        config = _config_from_args(default)
+        assert config.speculative is True
+        assert config.speculation_depth == 1
+
+        args = build_parser().parse_args(
+            ["synthesize", "mul1", "--no-speculation"]
+        )
+        assert args.no_speculation
+        assert _config_from_args(args).speculative is False
+
+        args = build_parser().parse_args(
+            ["synthesize", "mul1", "--speculation-depth", "2"]
+        )
+        assert _config_from_args(args).speculation_depth == 2
+
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
